@@ -1,0 +1,134 @@
+// Algorithm shoot-out on the on-line metric: PRO vs SRO vs Nelder-Mead vs
+// compass search vs simulated annealing vs genetic vs random vs no-tuning,
+// all on the GS2 database with moderate heavy-tailed variability.
+// The paper's claims (§2, §3): PRO exploits the parallel machine and has
+// the best Total_Time; randomized global optimizers pay a prohibitive
+// transient; Nelder-Mead is erratic on discrete spaces.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/simulated_cluster.h"
+#include "core/annealing.h"
+#include "core/compass.h"
+#include "core/fixed.h"
+#include "core/genetic.h"
+#include "core/nelder_mead.h"
+#include "core/pro.h"
+#include "core/random_search.h"
+#include "core/session.h"
+#include "core/sro.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "util/csv.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+namespace {
+
+core::TuningStrategyPtr make(const std::string& which,
+                             const core::ParameterSpace& space,
+                             std::uint64_t seed) {
+  if (which == "PRO") {
+    return std::make_unique<core::ProStrategy>(space, core::ProOptions{});
+  }
+  if (which == "PRO-K3") {
+    core::ProOptions o;
+    o.samples = 3;
+    return std::make_unique<core::ProStrategy>(space, o);
+  }
+  if (which == "SRO") {
+    return std::make_unique<core::SroStrategy>(space, core::SroOptions{});
+  }
+  if (which == "NelderMead") {
+    core::NelderMeadOptions o;
+    o.max_iterations = 200;
+    return std::make_unique<core::NelderMeadStrategy>(space, o);
+  }
+  if (which == "Compass") {
+    return std::make_unique<core::CompassStrategy>(space,
+                                                   core::CompassOptions{});
+  }
+  if (which == "Annealing") {
+    core::AnnealingOptions o;
+    o.seed = seed;
+    return std::make_unique<core::AnnealingStrategy>(space, o);
+  }
+  if (which == "Genetic") {
+    core::GeneticOptions o;
+    o.seed = seed;
+    return std::make_unique<core::GeneticStrategy>(space, o);
+  }
+  if (which == "Random") {
+    return std::make_unique<core::RandomSearchStrategy>(space, seed);
+  }
+  return std::make_unique<core::FixedStrategy>(space.center());
+}
+
+}  // namespace
+
+int main() {
+  const long reps = bench::reps(60);
+  bench::header("Ablation — tuning algorithms on the on-line metric",
+                "PRO leads on Total_Time; randomized optimizers and "
+                "no-tuning lose; SRO pays for sequentiality");
+
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.1, 1.7);
+
+  const std::vector<std::string> algos{"PRO",     "PRO-K3",  "SRO",
+                                       "NelderMead", "Compass", "Annealing",
+                                       "Genetic", "Random",  "NoTuning"};
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"algorithm", "avg_ntt_100", "avg_best_clean",
+              "avg_convergence_step"});
+
+  std::vector<double> ntt(algos.size(), 0.0);
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
+    for (long rep = 0; rep < reps; ++rep) {
+      const std::uint64_t seed =
+          bench::seed() + 61ULL * static_cast<std::uint64_t>(rep);
+      cluster::SimulatedCluster machine(db, noise, {.ranks = 8, .seed = seed});
+      auto strategy = make(algos[a], space, seed ^ 0xabcdULL);
+      const core::SessionResult r = core::run_session(
+          *strategy, machine, {.steps = 100, .record_series = false});
+      acc_ntt += r.ntt;
+      acc_clean += r.best_clean;
+      acc_conv += static_cast<double>(r.convergence_step);
+    }
+    ntt[a] = acc_ntt / static_cast<double>(reps);
+    csv.row(algos[a], ntt[a], acc_clean / static_cast<double>(reps),
+            acc_conv / static_cast<double>(reps));
+  }
+
+  const auto idx = [&](const std::string& n) {
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      if (algos[i] == n) return i;
+    }
+    return std::size_t{0};
+  };
+  bench::check(ntt[idx("PRO")] < ntt[idx("SRO")],
+               "PRO beats SRO: parallel candidate evaluation pays");
+  bench::check(ntt[idx("PRO")] < ntt[idx("Annealing")] &&
+                   ntt[idx("PRO")] < ntt[idx("Random")],
+               "PRO beats the pure randomized optimizers (annealing, random "
+               "search) on Total_Time — the §2 argument");
+  if (ntt[idx("Genetic")] < ntt[idx("PRO")]) {
+    std::cout << "finding: an elitist tournament GA is competitive on this "
+                 "trap-dense surrogate (see EXPERIMENTS.md discussion); the "
+                 "paper's blanket §2 claim holds for SA/random here.\n";
+  }
+  bench::check(ntt[idx("PRO")] < ntt[idx("NoTuning")],
+               "tuning beats running the default configuration");
+  bench::check(ntt[idx("PRO")] < ntt[idx("NelderMead")],
+               "PRO beats the Nelder-Mead baseline used by the original "
+               "Active Harmony");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation (paper footnote 3): the Fig. 10 analysis assumes the
+// variability is independent across processors within a time step, while
+// the paper's own Fig. 3 measurements show strong cross-rank correlation.
+// How much does the i.i.d. assumption matter for the tuner?
+//
+// We run PRO (K = 1..3) on the GS2 database under (a) i.i.d. per-rank
+// Pareto noise and (b) the correlated shock process with a comparable
+// disturbance level, and compare final-configuration quality and
+// Total_Time.  Shared shocks hit *every* candidate in a step equally, so
+// they cancel in within-step comparisons — correlation should make tuning
+// decisions easier, not harder.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/simulated_cluster.h"
+#include "cluster/trace_cluster.h"
+#include "core/pro.h"
+#include "core/session.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "stats/pareto.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+int main() {
+  const long reps = bench::reps(150);
+  bench::header("Ablation — i.i.d. vs cross-rank correlated variability",
+                "shared shocks cancel in within-step comparisons; the "
+                "i.i.d. assumption is the harder case for the tuner");
+
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"noise", "K", "avg_total_time", "avg_best_clean"});
+
+  // clean_quality[noise_kind][k-1]
+  double quality[2][3] = {};
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 1; k <= 3; ++k) {
+      double acc_total = 0.0, acc_clean = 0.0;
+      for (long rep = 0; rep < reps; ++rep) {
+        const std::uint64_t seed =
+            bench::seed() + 211ULL * static_cast<std::uint64_t>(rep);
+        core::ProOptions opts;
+        opts.samples = k;
+        core::ProStrategy pro(space, opts);
+        core::SessionResult r;
+        if (kind == 0) {
+          auto noise = std::make_shared<varmodel::ParetoNoise>(0.25, 1.7);
+          cluster::SimulatedCluster machine(db, noise,
+                                            {.ranks = 6, .seed = seed});
+          r = core::run_session(pro, machine,
+                                {.steps = 200, .record_series = false});
+        } else {
+          cluster::TraceClusterConfig cfg;
+          cfg.ranks = 6;
+          cfg.seed = seed;
+          cfg.shocks.big_prob = 0.04;   // shared system-wide events
+          cfg.shocks.small_prob = 0.04; // per-rank events
+          cluster::TraceCluster machine(db, cfg);
+          r = core::run_session(pro, machine,
+                                {.steps = 200, .record_series = false});
+        }
+        acc_total += r.total_time;
+        acc_clean += r.best_clean;
+      }
+      const double q = acc_clean / static_cast<double>(reps);
+      quality[kind][k - 1] = q;
+      csv.row(kind == 0 ? "iid_pareto" : "correlated_shocks", k,
+              acc_total / static_cast<double>(reps), q);
+    }
+  }
+  std::cout << "K=1 final quality: iid=" << quality[0][0]
+            << "  correlated=" << quality[1][0] << "\n";
+
+  std::cout << "note: absolute NTT/quality between the two noise rows is "
+               "not directly comparable (different effective disturbance "
+               "levels); the mechanism check below isolates the "
+               "correlation effect.\n";
+
+  // Mechanism check: within one time step, configurations f and 1.05 f are
+  // compared.  A *shared* shock (same draw added to both) can never flip
+  // the ordering; *idiosyncratic* shocks of the same magnitude can.
+  util::Rng rng(bench::seed());
+  const stats::Pareto shock(1.7, 0.2);
+  constexpr int kTrials = 40000;
+  int shared_correct = 0, idio_correct = 0;
+  const double f1 = 1.0, f2 = 1.05;
+  for (int t = 0; t < kTrials; ++t) {
+    const double s_shared = rng.bernoulli(0.3) ? shock.sample(rng) : 0.0;
+    shared_correct += (f1 + s_shared) < (f2 + s_shared);
+    const double n1 = rng.bernoulli(0.3) ? shock.sample(rng) : 0.0;
+    const double n2 = rng.bernoulli(0.3) ? shock.sample(rng) : 0.0;
+    idio_correct += (f1 + n1) < (f2 + n2);
+  }
+  const double acc_shared = static_cast<double>(shared_correct) / kTrials;
+  const double acc_idio = static_cast<double>(idio_correct) / kTrials;
+  std::cout << "within-step ranking accuracy: shared-shock=" << acc_shared
+            << "  idiosyncratic=" << acc_idio << "\n";
+  bench::check(acc_shared > 0.999,
+               "shared (correlated) shocks never flip within-step "
+               "comparisons");
+  bench::check(acc_idio < acc_shared,
+               "idiosyncratic (i.i.d.) shocks do flip comparisons — the "
+               "paper's footnote-3 worst case is the independent one");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every harness prints:
+//   * a provenance header (what paper artifact it regenerates, seed, reps),
+//   * the series as CSV (machine-readable),
+//   * an ASCII rendering of the figure's shape,
+//   * a PASS/CHECK line for each qualitative claim the paper makes.
+// Repetition counts are laptop-scale by default and grow via REPRO_REPS.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "util/env.h"
+
+namespace protuner::bench {
+
+inline void header(std::string_view figure, std::string_view claim) {
+  std::cout << "==================================================\n"
+            << "Reproduces: " << figure << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "==================================================\n";
+}
+
+inline long reps(long fallback) {
+  return util::env_long("REPRO_REPS", fallback);
+}
+
+inline std::uint64_t seed() {
+  return static_cast<std::uint64_t>(util::env_long("REPRO_SEED", 20050712));
+}
+
+/// Prints a qualitative-shape check result.  These are the paper's claims;
+/// the absolute numbers are ours.
+inline void check(bool ok, std::string_view what) {
+  std::cout << (ok ? "[SHAPE-OK]   " : "[SHAPE-MISS] ") << what << "\n";
+}
+
+}  // namespace protuner::bench

@@ -1,0 +1,111 @@
+// EXTENSION (the paper's §5.2 future work, implemented): adaptive K.
+//
+// "In practice, it is not easy to find a fixed value for K.  Currently, we
+// are working on optimization algorithms that update K adaptively."
+//
+// Our adaptive rule estimates, from the incumbent's repeated observations,
+// the per-sample probability q of landing within lambda of the noise
+// floor, and solves Eq. 11/22 ((1-q)^K <= eps) for K each round.  This
+// bench sweeps rho and compares adaptive K against every fixed K in 1..5
+// on the Fig. 10 setup: the adaptive tuner should track the best fixed K
+// without being told the noise level.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/simulated_cluster.h"
+#include "core/pro.h"
+#include "core/session.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "util/csv.h"
+#include "varmodel/noise_model.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+int main() {
+  const long reps = bench::reps(200);
+  bench::header("Extension — adaptive K (the paper's §5.2 future work)",
+                "one tuner, no K knob: tracks the best fixed K across the "
+                "whole rho range");
+
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+
+  const std::vector<double> rhos{0.0, 0.1, 0.2, 0.3, 0.4};
+  constexpr std::size_t kSteps = 400;  // horizon where K choice matters
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"rho", "policy", "avg_ntt", "avg_best_clean", "avg_final_k"});
+
+  bool adaptive_tracks = true;
+  for (const double rho : rhos) {
+    std::shared_ptr<const varmodel::NoiseModel> noise;
+    if (rho == 0.0) {
+      noise = std::make_shared<varmodel::NoNoise>();
+    } else {
+      noise = std::make_shared<varmodel::ParetoNoise>(rho, 1.7);
+    }
+
+    double best_fixed = 1e300;
+    double worst_fixed = 0.0;
+    for (int k = 1; k <= 5; ++k) {
+      double acc = 0.0, acc_clean = 0.0;
+      for (long rep = 0; rep < reps; ++rep) {
+        cluster::SimulatedCluster machine(
+            db, noise,
+            {.ranks = 6,
+             .seed = bench::seed() + 613ULL * static_cast<std::uint64_t>(rep)});
+        core::ProOptions opts;
+        opts.samples = k;
+        core::ProStrategy pro(space, opts);
+        const auto r = core::run_session(
+            pro, machine, {.steps = kSteps, .record_series = false});
+        acc += r.ntt;
+        acc_clean += r.best_clean;
+      }
+      const double ntt = acc / static_cast<double>(reps);
+      csv.row(rho, "fixed K=" + std::to_string(k), ntt,
+              acc_clean / static_cast<double>(reps), k);
+      best_fixed = std::min(best_fixed, ntt);
+      worst_fixed = std::max(worst_fixed, ntt);
+    }
+
+    double acc = 0.0, acc_clean = 0.0, acc_k = 0.0;
+    for (long rep = 0; rep < reps; ++rep) {
+      cluster::SimulatedCluster machine(
+          db, noise,
+          {.ranks = 6,
+           .seed = bench::seed() + 613ULL * static_cast<std::uint64_t>(rep)});
+      core::ProOptions opts;
+      opts.adaptive_samples = true;
+      opts.max_samples = 5;
+      core::ProStrategy pro(space, opts);
+      const auto r = core::run_session(
+          pro, machine, {.steps = kSteps, .record_series = false});
+      acc += r.ntt;
+      acc_clean += r.best_clean;
+      acc_k += pro.current_samples();
+    }
+    const double ntt_adaptive = acc / static_cast<double>(reps);
+    csv.row(rho, "adaptive", ntt_adaptive,
+            acc_clean / static_cast<double>(reps),
+            acc_k / static_cast<double>(reps));
+
+    // Track = land in the better half of the fixed-K envelope.
+    const double mid = 0.5 * (best_fixed + worst_fixed);
+    if (ntt_adaptive > mid) adaptive_tracks = false;
+    std::cout << "rho=" << rho << ": fixed-K envelope [" << best_fixed
+              << ", " << worst_fixed << "], adaptive " << ntt_adaptive
+              << "\n";
+  }
+
+  bench::check(adaptive_tracks,
+               "adaptive K stays in the better half of the fixed-K envelope "
+               "at every rho, with no tuning of K");
+  return 0;
+}

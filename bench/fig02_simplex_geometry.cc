@@ -1,0 +1,79 @@
+// Figure 2: the three simplex transformations (reflection, shrink,
+// expansion) of a 3-point simplex in 2-D space, all taken around the best
+// vertex v^0.  Prints the transformed coordinates and an ASCII rendering.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/simplex.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+
+using namespace protuner;
+
+int main() {
+  bench::header("Fig. 2 — simplex transformations around the best vertex",
+                "reflection r = 2v0 - v, expansion e = 3v0 - 2v, shrink "
+                "s = (v0 + v)/2");
+
+  const core::ParameterSpace space(
+      {core::Parameter::continuous("x", -20.0, 20.0),
+       core::Parameter::continuous("y", -20.0, 20.0)});
+
+  core::Simplex s({core::Point{0.0, 0.0},   // v0 (best)
+                   core::Point{4.0, 1.0},   // v1
+                   core::Point{1.0, 4.0}}); // v2
+  s.set_values(std::vector<double>{1.0, 2.0, 3.0});
+  s.order();
+
+  const auto refl = s.reflections(space);
+  const auto expa = s.expansions(space);
+  const auto shri = s.shrinks(space);
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"set", "vertex", "x", "y"});
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    csv.row("original", j, s.vertex(j)[0], s.vertex(j)[1]);
+  }
+  for (std::size_t j = 0; j < refl.size(); ++j) {
+    csv.row("reflection", j + 1, refl[j][0], refl[j][1]);
+  }
+  for (std::size_t j = 0; j < expa.size(); ++j) {
+    csv.row("expansion", j + 1, expa[j][0], expa[j][1]);
+  }
+  for (std::size_t j = 0; j < shri.size(); ++j) {
+    csv.row("shrink", j + 1, shri[j][0], shri[j][1]);
+  }
+
+  const auto to_series = [](std::string name,
+                            const std::vector<core::Point>& pts) {
+    util::Series out;
+    out.name = std::move(name);
+    for (const auto& p : pts) {
+      out.xs.push_back(p[0]);
+      out.ys.push_back(p[1]);
+    }
+    return out;
+  };
+  std::vector<util::Series> series;
+  series.push_back(to_series("original", s.vertices()));
+  series.push_back(to_series("reflection", refl));
+  series.push_back(to_series("expansion", expa));
+  series.push_back(to_series("shrink", shri));
+  util::PlotOptions po;
+  po.title = "simplex transformations (v0 at origin)";
+  po.height = 20;
+  std::cout << util::line_plot(series, po);
+
+  // Shape checks: algebraic identities of Fig. 2.
+  bench::check(refl[0] == core::Point{-4.0, -1.0} &&
+                   refl[1] == core::Point{-1.0, -4.0},
+               "reflection mirrors each vertex through v0");
+  bench::check(expa[0] == core::Point{-8.0, -2.0} &&
+                   expa[1] == core::Point{-2.0, -8.0},
+               "expansion doubles the reflected offset");
+  bench::check(shri[0] == core::Point{2.0, 0.5} &&
+                   shri[1] == core::Point{0.5, 2.0},
+               "shrink halves each edge toward v0");
+  return 0;
+}

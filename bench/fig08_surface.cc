@@ -1,0 +1,50 @@
+// Figure 8: the GS2 performance surface over two tunable parameters with
+// the third fixed — "the optimization surface is not smooth and contains
+// multiple local minimums".  We print the database values over
+// (ntheta, nodes) at fixed negrid and count strict interior local minima.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "gs2/database.h"
+#include "gs2/slice.h"
+#include "gs2/surface.h"
+#include "util/csv.h"
+
+using namespace protuner;
+
+int main() {
+  bench::header("Fig. 8 — GS2 performance vs two parameters, third fixed",
+                "non-smooth surface with multiple local minima");
+
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+
+  core::Point anchor = space.center();
+  anchor[gs2::kNegrid] = 16.0;  // the fixed third parameter
+  const gs2::Slice slice =
+      gs2::take_slice(space, db, anchor, gs2::kNtheta, gs2::kNodes);
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"ntheta", "nodes", "time"});
+  for (std::size_t i = 0; i < slice.x_values.size(); ++i) {
+    for (std::size_t j = 0; j < slice.y_values.size(); ++j) {
+      csv.row(slice.x_values[i], slice.y_values[j], slice.grid[i][j]);
+    }
+  }
+
+  std::cout << "\ncharacter map (rows: ntheta, cols: nodes; '.' fast, '#' "
+               "slow)\n"
+            << slice.ascii();
+
+  std::cout << "\ninterior local minima on the slice: "
+            << slice.local_minima() << "\n";
+  bench::check(slice.local_minima() >= 2,
+               "surface contains multiple local minima (Fig. 8)");
+  bench::check(slice.max_neighbor_jump() >
+                   0.02 * (slice.max_value - slice.min_value),
+               "surface is not smooth (visible jumps between neighbours)");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the core primitives: projection,
+// simplex transforms, PRO stepping, database interpolation, noise sampling
+// and the two-priority-queue simulator.  These guard the library's
+// per-operation costs (the tuning layer must be negligible next to one
+// application iteration).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/simulated_cluster.h"
+#include "core/pro.h"
+#include "core/projection.h"
+#include "core/session.h"
+#include "core/simplex.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "stats/pareto.h"
+#include "util/rng.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/two_job_sim.h"
+
+using namespace protuner;
+
+namespace {
+
+void BM_Projection(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  const core::Point center = space.center();
+  core::Point x{33.1, 17.7, 41.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::project(space, center, x));
+  }
+}
+BENCHMARK(BM_Projection);
+
+void BM_SimplexReflections(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  core::Simplex s = core::axial_2n_simplex(space, 0.2);
+  s.set_values(std::vector<double>{1, 2, 3, 4, 5, 6});
+  s.order();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.reflections(space));
+  }
+}
+BENCHMARK(BM_SimplexReflections);
+
+void BM_SurfaceEval(benchmark::State& state) {
+  const gs2::Gs2Surface surface;
+  const core::Point x{32.0, 16.0, 16.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surface.clean_time(x));
+  }
+}
+BENCHMARK(BM_SurfaceEval);
+
+void BM_DatabaseExactLookup(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  const core::Point x{16.0, 8.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.clean_time(x));
+  }
+}
+BENCHMARK(BM_DatabaseExactLookup);
+
+void BM_DatabaseInterpolatedLookupCached(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  const core::Point x{16.0, 9.0, 4.0};  // off the stride-2 grid
+  (void)db.clean_time(x);               // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.clean_time(x));
+  }
+}
+BENCHMARK(BM_DatabaseInterpolatedLookupCached);
+
+void BM_ParetoNoiseSample(benchmark::State& state) {
+  const varmodel::ParetoNoise noise(0.3, 1.7);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise.sample(1.0, rng));
+  }
+}
+BENCHMARK(BM_ParetoNoiseSample);
+
+void BM_TwoJobSimRun(benchmark::State& state) {
+  varmodel::TwoJobConfig cfg;
+  cfg.arrival_rate = 0.3;
+  cfg.service = std::make_shared<stats::Pareto>(1.7, 0.41);
+  const varmodel::TwoJobSimulator sim(cfg);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_application(5.0, rng));
+  }
+}
+BENCHMARK(BM_TwoJobSimRun);
+
+void BM_ProTuningStep(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 3});
+  core::ProStrategy pro(space, {});
+  pro.start(6);
+  for (auto _ : state) {
+    const core::StepProposal p = pro.propose();
+    const auto times = machine.run_step(p.configs);
+    pro.observe(times);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(BM_ProTuningStep);
+
+void BM_FullTuningSession100(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  for (auto _ : state) {
+    cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 4});
+    core::ProStrategy pro(space, {});
+    benchmark::DoNotOptimize(
+        core::run_session(pro, machine, {.steps = 100}));
+  }
+}
+BENCHMARK(BM_FullTuningSession100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

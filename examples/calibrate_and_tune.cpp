@@ -1,0 +1,127 @@
+// The full production workflow the library supports:
+//   1. MEASURE: run the default configuration repeatedly on the "real"
+//      machine (here: the two-priority-queue simulator standing in for a
+//      noisy cluster) and record the runtimes;
+//   2. FIT: calibrate the paper's noise model (rho, alpha) to the trace;
+//   3. SIMULATE: rehearse tuning strategies offline against the fitted
+//      model + the performance database to pick K before touching the
+//      cluster again;
+//   4. TUNE: run the chosen configuration on the "real" machine;
+//   5. DIAGNOSE: sensitivity analysis around the final configuration.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "cluster/simulated_cluster.h"
+#include "core/pro.h"
+#include "core/sensitivity.h"
+#include "core/session.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "stats/pareto.h"
+#include "util/rng.h"
+#include "varmodel/fit.h"
+#include "varmodel/two_job_sim.h"
+
+using namespace protuner;
+
+int main() {
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+  const core::Point defaults = space.center();
+  const double f_default = db->clean_time(defaults);
+
+  // --- 1. MEASURE: the "real" machine is a priority queue we can't see
+  // inside; we only observe completion times of the default config.
+  varmodel::TwoJobConfig machine_truth;
+  machine_truth.arrival_rate = 0.28;
+  machine_truth.service = std::make_shared<stats::Pareto>(1.6, 0.6 / 1.6);
+  const varmodel::TwoJobSimulator real_machine(machine_truth);
+  util::Rng rng(77);
+  std::vector<double> trace(3000);
+  for (auto& y : trace) y = real_machine.run_application(f_default, rng);
+  std::printf("measured %zu runs of the default config (f=%.3f)\n",
+              trace.size(), f_default);
+
+  // --- 2. FIT the paper's model.
+  const varmodel::NoiseFit fit = varmodel::fit_noise(trace);
+  std::printf("fit: floor=%.3f rho=%.3f (eq17-corrected %.3f) alpha=%.2f "
+              "heavy=%s   [truth: rho=%.3f]\n",
+              fit.clean_time, fit.rho, fit.rho_eq17, fit.alpha,
+              fit.heavy ? "yes" : "no", real_machine.rho());
+
+  // --- 3. SIMULATE: rehearse K = 1..4 offline against the fitted model.
+  auto fitted = std::make_shared<varmodel::ParetoNoise>(
+      varmodel::to_pareto_noise(fit));
+  std::printf("\noffline rehearsal on the fitted model (NTT(200), 40 reps):\n");
+  int best_k = 1;
+  double best_ntt = 1e300;
+  for (int k = 1; k <= 4; ++k) {
+    double acc = 0.0;
+    for (int rep = 0; rep < 40; ++rep) {
+      cluster::SimulatedCluster sim(
+          db, fitted,
+          {.ranks = 6, .seed = static_cast<std::uint64_t>(900 + rep)});
+      core::ProOptions opts;
+      opts.samples = k;
+      core::ProStrategy pro(space, opts);
+      acc += core::run_session(pro, sim, {.steps = 200}).ntt;
+    }
+    const double ntt = acc / 40.0;
+    std::printf("  K=%d: avg NTT=%.2f\n", k, ntt);
+    if (ntt < best_ntt) {
+      best_ntt = ntt;
+      best_k = k;
+    }
+  }
+  std::printf("chosen K* = %d\n\n", best_k);
+
+  // --- 4. TUNE on the "real" machine with the chosen K.
+  class RealCluster final : public core::StepEvaluator {
+   public:
+    RealCluster(core::LandscapePtr land, const varmodel::TwoJobSimulator& m,
+                std::size_t ranks)
+        : land_(std::move(land)), machine_(m), rng_(4242) {
+      (void)ranks;
+    }
+    std::vector<double> run_step(
+        std::span<const core::Point> configs) override {
+      std::vector<double> t(configs.size());
+      for (std::size_t p = 0; p < configs.size(); ++p) {
+        t[p] = machine_.run_application(land_->clean_time(configs[p]), rng_);
+      }
+      return t;
+    }
+    std::size_t ranks() const override { return 6; }
+    double clean_time(const core::Point& x) const override {
+      return land_->clean_time(x);
+    }
+   private:
+    core::LandscapePtr land_;
+    const varmodel::TwoJobSimulator& machine_;
+    util::Rng rng_;
+  } real_cluster(db, real_machine, 6);
+
+  core::ProOptions opts;
+  opts.samples = best_k;
+  core::ProStrategy pro(space, opts);
+  const core::SessionResult result =
+      core::run_session(pro, real_cluster, {.steps = 200});
+  std::printf("tuned on the real machine: best=(%.0f, %.0f, %.0f) "
+              "f=%.3f (default %.3f), Total_Time=%.1f\n",
+              result.best[0], result.best[1], result.best[2],
+              result.best_clean, f_default, result.total_time);
+
+  // --- 5. DIAGNOSE: which knobs matter around the final configuration?
+  const auto report = core::analyze_sensitivity(space, *db, result.best);
+  std::printf("\nsensitivity around the final configuration:\n");
+  for (const auto& axis : report.axes) {
+    std::printf("  %-8s rel_range=%5.1f%%  axis-optimal=%s\n",
+                axis.name.c_str(), 100.0 * axis.rel_range,
+                axis.anchor_is_axis_optimum ? "yes" : "no");
+  }
+  return 0;
+}

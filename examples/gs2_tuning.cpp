@@ -1,0 +1,92 @@
+// End-to-end GS2 scenario (the paper's case study): build the measured
+// performance database, attach heavy-tailed variability, and tune
+// (ntheta, negrid, nodes) on-line with PRO — printing the tuning
+// trajectory, comparing against running the default configuration, and
+// showing what multi-sampling buys.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "cluster/simulated_cluster.h"
+#include "core/fixed.h"
+#include "core/pro.h"
+#include "core/session.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+namespace {
+
+void report(const char* label, const core::SessionResult& r) {
+  std::printf("%-28s NTT=%8.2f  best=(ntheta=%3.0f negrid=%3.0f nodes=%3.0f)"
+              "  f(best)=%.3f  converged@%zu\n",
+              label, r.ntt, r.best[gs2::kNtheta], r.best[gs2::kNegrid],
+              r.best[gs2::kNodes], r.best_clean, r.convergence_step);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "GS2 on-line tuning demo (paper Section 6 setting)\n\n";
+
+  // The measured performance database: a sparse sweep of the GS2 surface
+  // with weighted-nearest-neighbour interpolation for off-grid points.
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(space, surface, {}));
+  std::cout << "database entries: " << db->entries() << "\n";
+  const core::Point center = space.center();
+  std::cout << "default configuration f = " << db->clean_time(center)
+            << " s/iter at (ntheta=" << center[0] << ", negrid=" << center[1]
+            << ", nodes=" << center[2] << ")\n\n";
+
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.25, 1.7);
+
+  // Baseline: run the default configuration untuned.
+  {
+    cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
+    core::FixedStrategy fixed(center);
+    report("no tuning (default config)",
+           core::run_session(fixed, machine, {.steps = 300}));
+  }
+
+  // PRO, single sample.
+  {
+    cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
+    core::ProStrategy pro(space, {});
+    const auto r = core::run_session(pro, machine, {.steps = 300});
+    report("PRO (K=1)", r);
+  }
+
+  // PRO with the paper's min-of-K modification.
+  {
+    cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
+    core::ProOptions opts;
+    opts.samples = 3;
+    core::ProStrategy pro(space, opts);
+    const auto r = core::run_session(pro, machine, {.steps = 300});
+    report("PRO (min of K=3)", r);
+
+    // Show the tuning trajectory: cumulative time every 30 steps.
+    std::cout << "\ntrajectory (PRO K=3): step -> cumulative time\n";
+    for (std::size_t k = 29; k < r.cumulative.size(); k += 30) {
+      std::printf("  %3zu -> %8.2f\n", k + 1, r.cumulative[k]);
+    }
+  }
+
+  // Plenty of processors: spend them on parallel replicated samples
+  // (§5.2 — extra samples at no time cost).
+  {
+    cluster::SimulatedCluster machine(db, noise, {.ranks = 24, .seed = 7});
+    core::ProOptions opts;
+    opts.samples = 4;
+    opts.parallel_replicas = true;
+    core::ProStrategy pro(space, opts);
+    report("\nPRO (K=4, parallel, 24 ranks)",
+           core::run_session(pro, machine, {.steps = 300}));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Distributed Harmony: a dedicated tuning-server rank and application
+// ranks communicating ONLY via point-to-point messages — the in-process
+// analogue of Active Harmony's socket architecture.  Porting this to MPI
+// means swapping comm::Communicator::send/recv for MPI_Send/MPI_Recv.
+//
+// Rank 0 runs the tuning server (PRO, min-of-2); ranks 1..8 run the
+// "application" (GS2 surface + heavy-tailed noise) and fetch/report each
+// iteration.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "comm/spmd.h"
+#include "core/pro.h"
+#include "gs2/surface.h"
+#include "harmony/message_protocol.h"
+#include "util/rng.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+int main() {
+  constexpr std::size_t kWorld = 9;   // 1 server + 8 application ranks
+  constexpr int kTimeSteps = 120;
+
+  const auto space = gs2::gs2_space();
+  const auto surface = std::make_shared<gs2::Gs2Surface>();
+  const varmodel::ParetoNoise noise(0.2, 1.7);
+
+  harmony::MessageServerResult result;
+
+  comm::spmd_run(kWorld, [&](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      core::ProOptions opts;
+      opts.samples = 2;
+      result = harmony::run_message_server(
+          comm, std::make_unique<core::ProStrategy>(space, opts),
+          kWorld - 1);
+    } else {
+      harmony::MessageClient client(comm, /*server_rank=*/0);
+      util::Rng rng(7000 + comm.rank());
+      for (int step = 0; step < kTimeSteps; ++step) {
+        const core::Point cfg = client.fetch();
+        const double t = noise.observe(surface->clean_time(cfg), rng);
+        client.report(t);
+      }
+      client.goodbye();
+    }
+  });
+
+  std::printf("server completed %zu rounds, Total_Time=%.2f, converged=%s\n",
+              result.rounds, result.total_time,
+              result.converged ? "yes" : "no");
+  std::printf("best configuration: ntheta=%.0f negrid=%.0f nodes=%.0f "
+              "(clean %.3f s/iter; default %.3f)\n",
+              result.best[gs2::kNtheta], result.best[gs2::kNegrid],
+              result.best[gs2::kNodes], surface->clean_time(result.best),
+              surface->clean_time(space.center()));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Live SPMD tuning through the Active-Harmony-style client/server API:
+// eight *real* concurrent ranks (std::jthread + std::barrier) iterate a
+// bulk-synchronous application; each rank fetches its configuration from
+// the tuning server, "runs" one iteration (simulated compute proportional
+// to the GS2 surface plus queue-model noise), reports its time, and
+// barriers.  The server runs PRO behind the scenes.
+//
+// This is the integration shape a real MPI application would use, with the
+// comm substrate standing in for MPI.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "comm/spmd.h"
+#include "core/pro.h"
+#include "gs2/surface.h"
+#include "harmony/server.h"
+#include "util/rng.h"
+#include "varmodel/pareto_noise.h"
+
+using namespace protuner;
+
+int main() {
+  constexpr std::size_t kRanks = 8;
+  constexpr int kTimeSteps = 150;
+
+  const auto space = gs2::gs2_space();
+  const auto surface = std::make_shared<gs2::Gs2Surface>();
+  const varmodel::ParetoNoise noise(0.15, 1.7);
+
+  core::ProOptions opts;
+  opts.samples = 2;
+  harmony::Server server(std::make_unique<core::ProStrategy>(space, opts),
+                         kRanks);
+
+  std::mutex log_mutex;
+
+  comm::spmd_run(kRanks, [&](comm::Communicator& comm) {
+    harmony::Client client(server, comm.rank());
+    util::Rng rng(1000 + comm.rank());
+
+    for (int step = 0; step < kTimeSteps; ++step) {
+      // Fetch this rank's configuration for the current time step.
+      const core::Point cfg = client.fetch();
+
+      // "Run" one application iteration: the simulated duration is the GS2
+      // surface time plus machine noise.  (A real application would time
+      // its actual iteration here.)
+      const double t = noise.observe(surface->clean_time(cfg), rng);
+
+      // The barrier models the application's own per-iteration
+      // synchronisation; the step cost is the slowest rank (Eq. 1).
+      const double step_cost = comm.allreduce_max(t);
+
+      client.report(t);
+
+      if (comm.rank() == 0 && (step + 1) % 30 == 0) {
+        const std::scoped_lock lock(log_mutex);
+        std::printf("step %3d: T_k=%6.3f  cumulative=%8.2f  converged=%s\n",
+                    step + 1, step_cost, server.total_time(),
+                    server.converged() ? "yes" : "no");
+      }
+    }
+  });
+
+  const core::Point best = server.best_point();
+  std::cout << "\nafter " << server.rounds_completed()
+            << " rounds: best configuration (ntheta=" << best[gs2::kNtheta]
+            << ", negrid=" << best[gs2::kNegrid]
+            << ", nodes=" << best[gs2::kNodes] << ")\n"
+            << "clean time there: " << surface->clean_time(best)
+            << " s/iter (default was "
+            << surface->clean_time(space.center()) << ")\n"
+            << "Total_Time: " << server.total_time() << "\n";
+  return 0;
+}

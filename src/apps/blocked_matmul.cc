@@ -1,0 +1,109 @@
+#include "apps/blocked_matmul.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace protuner::apps {
+
+BlockedMatmul::BlockedMatmul(std::size_t n)
+    : n_(n), a_(n * n), b_(n * n), c_(n * n, 0.0), c_ref_(n * n, 0.0) {
+  assert(n >= 4);
+  util::Rng rng(0xbadc0ffeULL);
+  for (auto& v : a_) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b_) v = rng.uniform(-1.0, 1.0);
+}
+
+double BlockedMatmul::run(std::size_t bi, std::size_t bj, std::size_t bk) {
+  bi = std::clamp<std::size_t>(bi, 1, n_);
+  bj = std::clamp<std::size_t>(bj, 1, n_);
+  bk = std::clamp<std::size_t>(bk, 1, n_);
+  std::fill(c_.begin(), c_.end(), 0.0);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t ii = 0; ii < n_; ii += bi) {
+    const std::size_t i_end = std::min(n_, ii + bi);
+    for (std::size_t kk = 0; kk < n_; kk += bk) {
+      const std::size_t k_end = std::min(n_, kk + bk);
+      for (std::size_t jj = 0; jj < n_; jj += bj) {
+        const std::size_t j_end = std::min(n_, jj + bj);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = a_[i * n_ + k];
+            for (std::size_t j = jj; j < j_end; ++j) {
+              c_[i * n_ + j] += aik * b_[k * n_ + j];
+            }
+          }
+        }
+      }
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void BlockedMatmul::run_reference() {
+  std::fill(c_ref_.begin(), c_ref_.end(), 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const double aik = a_[i * n_ + k];
+      for (std::size_t j = 0; j < n_; ++j) {
+        c_ref_[i * n_ + j] += aik * b_[k * n_ + j];
+      }
+    }
+  }
+  have_ref_ = true;
+}
+
+double BlockedMatmul::max_error() const {
+  assert(have_ref_);
+  double e = 0.0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    e = std::max(e, std::fabs(c_[i] - c_ref_[i]));
+  }
+  return e;
+}
+
+double BlockedMatmul::checksum() const {
+  double s = 0.0;
+  for (double v : c_) s += v;
+  return s;
+}
+
+core::ParameterSpace BlockedMatmul::tuning_space(std::size_t n) {
+  std::vector<double> sizes;
+  for (std::size_t s = 4; s <= n; s *= 2) {
+    sizes.push_back(static_cast<double>(s));
+  }
+  if (sizes.back() != static_cast<double>(n)) {
+    sizes.push_back(static_cast<double>(n));
+  }
+  return core::ParameterSpace({
+      core::Parameter::discrete("bi", sizes),
+      core::Parameter::discrete("bj", sizes),
+      core::Parameter::discrete("bk", sizes),
+  });
+}
+
+MatmulEvaluator::MatmulEvaluator(std::size_t n, std::size_t ranks)
+    : kernel_(n), ranks_(ranks) {
+  assert(ranks >= 1);
+}
+
+std::vector<double> MatmulEvaluator::run_step(
+    std::span<const core::Point> configs) {
+  assert(!configs.empty());
+  assert(configs.size() <= ranks_);
+  std::vector<double> times(configs.size());
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    times[p] = kernel_.run(static_cast<std::size_t>(configs[p][0]),
+                           static_cast<std::size_t>(configs[p][1]),
+                           static_cast<std::size_t>(configs[p][2]));
+  }
+  return times;
+}
+
+}  // namespace protuner::apps

@@ -1,0 +1,73 @@
+// A real tunable kernel: cache-blocked matrix multiplication with block
+// sizes (bi, bj, bk) as the tunable parameters, timed with the wall clock.
+//
+// This is the library's genuinely *live* workload — unlike the simulated
+// landscapes, its objective function is an actual measurement on the host
+// machine, with the host's actual performance variability.  It is what the
+// paper's intro motivates ("libraries that are hard to tune to specific
+// application requirements") and powers examples/live_kernel_tuning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+
+namespace protuner::apps {
+
+class BlockedMatmul {
+ public:
+  /// Prepares n x n operand matrices with deterministic pseudo-random
+  /// contents.
+  explicit BlockedMatmul(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Runs C = A * B with loop blocking (bi, bj, bk) and returns the wall
+  /// time in seconds.  Block sizes are clamped to [1, n].
+  double run(std::size_t bi, std::size_t bj, std::size_t bk);
+
+  /// Runs the naive unblocked reference into a separate buffer.
+  void run_reference();
+
+  /// Max absolute difference between the last blocked run and the
+  /// reference result (requires both to have run).
+  double max_error() const;
+
+  /// Sum of the last result matrix — cheap integrity probe.
+  double checksum() const;
+
+  /// Tunable space for the kernel: power-of-two-ish block sizes.
+  static core::ParameterSpace tuning_space(std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  std::vector<double> c_ref_;
+  bool have_ref_ = false;
+};
+
+/// Adapts the kernel to the StepEvaluator interface: each rank slot runs
+/// the kernel once at its assigned block sizes and reports the measured
+/// wall time.  Ranks are executed sequentially (one core machine: running
+/// them concurrently would just measure interference).
+class MatmulEvaluator final : public core::StepEvaluator {
+ public:
+  MatmulEvaluator(std::size_t n, std::size_t ranks);
+
+  std::vector<double> run_step(
+      std::span<const core::Point> configs) override;
+  std::size_t ranks() const override { return ranks_; }
+
+  BlockedMatmul& kernel() { return kernel_; }
+
+ private:
+  BlockedMatmul kernel_;
+  std::size_t ranks_;
+};
+
+}  // namespace protuner::apps

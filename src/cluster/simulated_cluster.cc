@@ -1,0 +1,43 @@
+#include "cluster/simulated_cluster.h"
+
+#include <cassert>
+
+namespace protuner::cluster {
+
+SimulatedCluster::SimulatedCluster(
+    core::LandscapePtr landscape,
+    std::shared_ptr<const varmodel::NoiseModel> noise, ClusterConfig config)
+    : landscape_(std::move(landscape)),
+      noise_(std::move(noise)),
+      config_(config) {
+  assert(landscape_ != nullptr);
+  assert(noise_ != nullptr);
+  assert(config_.ranks >= 1);
+  reseed(config_.seed);
+}
+
+void SimulatedCluster::reseed(std::uint64_t seed) {
+  rank_rng_.clear();
+  rank_rng_.reserve(config_.ranks);
+  util::Rng base(seed);
+  for (std::size_t p = 0; p < config_.ranks; ++p) {
+    rank_rng_.push_back(base.split(static_cast<unsigned>(p)));
+  }
+  steps_run_ = 0;
+}
+
+std::vector<double> SimulatedCluster::run_step(
+    std::span<const core::Point> configs) {
+  assert(!configs.empty());
+  assert(configs.size() <= config_.ranks);
+  std::vector<double> times(configs.size());
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    const double clean = landscape_->clean_time(configs[p]);
+    assert(clean > 0.0);
+    times[p] = clean + noise_->sample(clean, rank_rng_[p]);
+  }
+  ++steps_run_;
+  return times;
+}
+
+}  // namespace protuner::cluster

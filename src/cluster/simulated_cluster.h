@@ -1,0 +1,53 @@
+// SPMD cluster simulator: P logical ranks executing one application
+// iteration per time step, barrier-synchronised (paper §2).  The observed
+// time of rank p is f(v_p) + n_p, with f from a Landscape (e.g. the GS2
+// database) and n_p drawn per-rank from a NoiseModel — i.i.d. across ranks,
+// matching the independence assumption of the paper's Fig. 10 study
+// (footnote 3).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/landscape.h"
+#include "util/rng.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::cluster {
+
+struct ClusterConfig {
+  std::size_t ranks = 8;
+  std::uint64_t seed = 42;
+};
+
+class SimulatedCluster final : public core::StepEvaluator {
+ public:
+  SimulatedCluster(core::LandscapePtr landscape,
+                   std::shared_ptr<const varmodel::NoiseModel> noise,
+                   ClusterConfig config);
+
+  std::vector<double> run_step(
+      std::span<const core::Point> configs) override;
+
+  double rho() const override { return noise_->rho(); }
+  double clean_time(const core::Point& x) const override {
+    return landscape_->clean_time(x);
+  }
+
+  std::size_t ranks() const override { return config_.ranks; }
+  std::size_t steps_run() const { return steps_run_; }
+
+  /// Resets the per-rank noise streams (fresh repetition of an experiment).
+  void reseed(std::uint64_t seed);
+
+ private:
+  core::LandscapePtr landscape_;
+  std::shared_ptr<const varmodel::NoiseModel> noise_;
+  ClusterConfig config_;
+  std::vector<util::Rng> rank_rng_;
+  std::size_t steps_run_ = 0;
+};
+
+}  // namespace protuner::cluster

@@ -1,0 +1,36 @@
+#include "cluster/trace_cluster.h"
+
+#include <cassert>
+
+namespace protuner::cluster {
+
+TraceCluster::TraceCluster(core::LandscapePtr landscape,
+                           TraceClusterConfig config)
+    : landscape_(std::move(landscape)),
+      config_(config),
+      shocks_(config.shocks, config.ranks, config.seed) {
+  assert(landscape_ != nullptr);
+  assert(config_.ranks >= 1);
+}
+
+std::vector<double> TraceCluster::run_step(
+    std::span<const core::Point> configs) {
+  assert(!configs.empty());
+  assert(configs.size() <= config_.ranks);
+  // The shock generator draws its *shared* (system-wide) shock once per
+  // step, so cross-rank correlation is preserved.  Running it at unit clean
+  // time yields each rank's disturbance d_p = unit[p] - 1 (jitter + shared
+  // shock + idiosyncratic spike), which is an absolute machine event and is
+  // added to each rank's own clean time.
+  const std::vector<double> unit = shocks_.step(1.0);
+  std::vector<double> times(configs.size());
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    const double clean = landscape_->clean_time(configs[p]);
+    assert(clean > 0.0);
+    times[p] = clean + (unit[p] - 1.0);
+  }
+  ++steps_run_;
+  return times;
+}
+
+}  // namespace protuner::cluster

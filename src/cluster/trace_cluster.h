@@ -1,0 +1,51 @@
+// Trace-driven SPMD cluster: per-rank noise comes from the correlated
+// shock process (system-wide disruptions felt by all ranks in the same
+// time step) instead of i.i.d. per-rank draws.
+//
+// The paper's Fig. 10 analysis assumes independence of the variability
+// across processors within a time step (footnote 3) while its own Fig. 3
+// measurements show strong cross-rank correlation — this evaluator is the
+// substrate for testing how much that assumption matters
+// (bench/ablation_correlated_noise).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/landscape.h"
+#include "varmodel/shock_model.h"
+
+namespace protuner::cluster {
+
+struct TraceClusterConfig {
+  std::size_t ranks = 8;
+  std::uint64_t seed = 42;
+  varmodel::ShockConfig shocks;  ///< correlation structure of the noise
+};
+
+class TraceCluster final : public core::StepEvaluator {
+ public:
+  TraceCluster(core::LandscapePtr landscape, TraceClusterConfig config);
+
+  std::vector<double> run_step(
+      std::span<const core::Point> configs) override;
+
+  std::size_t ranks() const override { return config_.ranks; }
+  double clean_time(const core::Point& x) const override {
+    return landscape_->clean_time(x);
+  }
+  /// The shock process has no closed-form rho; report the relative mean
+  /// load it injects so NTT normalisation stays meaningful.
+  double rho() const override { return 0.0; }
+
+  std::size_t steps_run() const { return steps_run_; }
+
+ private:
+  core::LandscapePtr landscape_;
+  TraceClusterConfig config_;
+  varmodel::ShockTraceGenerator shocks_;
+  std::size_t steps_run_ = 0;
+};
+
+}  // namespace protuner::cluster

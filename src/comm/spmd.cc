@@ -1,0 +1,112 @@
+#include "comm/spmd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <thread>
+
+namespace protuner::comm {
+
+World::World(std::size_t ranks)
+    : ranks_(ranks),
+      barrier_(static_cast<std::ptrdiff_t>(ranks)),
+      slots_(ranks, 0.0),
+      mailboxes_(ranks) {
+  assert(ranks >= 1);
+}
+
+Communicator::Communicator(World& world, std::size_t rank)
+    : world_(world), rank_(rank) {
+  assert(rank < world.size());
+}
+
+std::size_t Communicator::size() const { return world_.size(); }
+
+void Communicator::barrier() { world_.sync(); }
+
+// All collectives share the pattern: write own slot, barrier (everyone
+// wrote), read/combine, barrier (safe to reuse the slots).
+
+double Communicator::allreduce_max(double v) {
+  world_.slots_[rank_] = v;
+  world_.sync();
+  const double r =
+      *std::max_element(world_.slots_.begin(), world_.slots_.end());
+  world_.sync();
+  return r;
+}
+
+double Communicator::allreduce_min(double v) {
+  world_.slots_[rank_] = v;
+  world_.sync();
+  const double r =
+      *std::min_element(world_.slots_.begin(), world_.slots_.end());
+  world_.sync();
+  return r;
+}
+
+double Communicator::allreduce_sum(double v) {
+  world_.slots_[rank_] = v;
+  world_.sync();
+  const double r =
+      std::accumulate(world_.slots_.begin(), world_.slots_.end(), 0.0);
+  world_.sync();
+  return r;
+}
+
+std::vector<double> Communicator::allgather(double v) {
+  world_.slots_[rank_] = v;
+  world_.sync();
+  std::vector<double> out = world_.slots_;
+  world_.sync();
+  return out;
+}
+
+double Communicator::broadcast(double v, std::size_t root) {
+  if (rank_ == root) world_.slots_[root] = v;
+  world_.sync();
+  const double r = world_.slots_[root];
+  world_.sync();
+  return r;
+}
+
+void Communicator::send(std::size_t dest, std::vector<double> payload) {
+  assert(dest < world_.size());
+  World::Mailbox& box = world_.mailboxes_[dest];
+  {
+    const std::scoped_lock lock(box.mutex);
+    box.messages.push_back(std::move(payload));
+  }
+  box.ready.notify_one();
+}
+
+std::vector<double> Communicator::recv() {
+  World::Mailbox& box = world_.mailboxes_[rank_];
+  std::unique_lock lock(box.mutex);
+  box.ready.wait(lock, [&] { return !box.messages.empty(); });
+  std::vector<double> msg = std::move(box.messages.front());
+  box.messages.pop_front();
+  return msg;
+}
+
+bool Communicator::has_message() const {
+  World::Mailbox& box = world_.mailboxes_[rank_];
+  const std::scoped_lock lock(box.mutex);
+  return !box.messages.empty();
+}
+
+void spmd_run(std::size_t ranks,
+              const std::function<void(Communicator&)>& fn) {
+  World world(ranks);
+  std::vector<std::jthread> threads;
+  threads.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&world, &fn, r] {
+      Communicator comm(world, r);
+      fn(comm);
+    });
+  }
+  // jthread joins on destruction.
+}
+
+}  // namespace protuner::comm

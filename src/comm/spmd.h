@@ -1,0 +1,93 @@
+// In-process SPMD substrate: a miniature MPI-like layer over std::jthread +
+// std::barrier so the tuning harness can be driven by *real* concurrent
+// ranks (the live examples and the harmony integration tests), not only by
+// the discrete-event cluster simulator.
+//
+// Model: spmd_run(P, fn) launches P ranks; each receives a Communicator
+// with rank/size, barrier, allreduce(min/max/sum), allgather and broadcast.
+// Collectives must be called by every rank in the same order (as in MPI).
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace protuner::comm {
+
+class World;
+
+/// Per-rank handle to the collectives.  Valid only inside spmd_run.
+class Communicator {
+ public:
+  Communicator(World& world, std::size_t rank);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t size() const;
+
+  /// Blocks until every rank arrives.
+  void barrier();
+
+  /// Collective reductions over one double per rank.
+  double allreduce_max(double v);
+  double allreduce_min(double v);
+  double allreduce_sum(double v);
+
+  /// Every rank receives the vector of all ranks' contributions, ordered by
+  /// rank.
+  std::vector<double> allgather(double v);
+
+  /// Every rank returns root's value.
+  double broadcast(double v, std::size_t root);
+
+  /// Point-to-point: appends `payload` to `dest`'s mailbox.  Non-blocking;
+  /// messages from one sender to one receiver arrive in send order.
+  void send(std::size_t dest, std::vector<double> payload);
+
+  /// Blocks until a message is available in this rank's mailbox and
+  /// returns it (any sender; FIFO).
+  std::vector<double> recv();
+
+  /// Non-blocking probe: true if recv() would not block.
+  bool has_message() const;
+
+ private:
+  World& world_;
+  std::size_t rank_;
+};
+
+/// Shared state for one SPMD execution.  Construct with the rank count and
+/// run ranks against it, or use the spmd_run convenience wrapper.
+class World {
+ public:
+  explicit World(std::size_t ranks);
+
+  std::size_t size() const { return ranks_; }
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::vector<double>> messages;
+  };
+
+  std::size_t ranks_;
+  std::barrier<> barrier_;
+  std::vector<double> slots_;
+  std::vector<Mailbox> mailboxes_;
+
+  void sync() { barrier_.arrive_and_wait(); }
+};
+
+/// Runs fn on P concurrent ranks (std::jthread each) and joins them all.
+/// Exceptions thrown by a rank terminate the process (by design: a failed
+/// rank in SPMD has no meaningful recovery here).
+void spmd_run(std::size_t ranks,
+              const std::function<void(Communicator&)>& fn);
+
+}  // namespace protuner::comm

@@ -1,0 +1,107 @@
+#include "core/annealing.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/projection.h"
+
+namespace protuner::core {
+
+AnnealingStrategy::AnnealingStrategy(ParameterSpace space,
+                                     AnnealingOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.cooling > 0.0 && opts.cooling <= 1.0);
+  assert(opts.step_fraction > 0.0);
+}
+
+void AnnealingStrategy::start(std::size_t ranks) {
+  assert(ranks >= 1);
+  util::Rng seeder(opts_.seed);
+  rngs_.clear();
+  current_.clear();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    rngs_.push_back(seeder.split(static_cast<unsigned>(r)));
+    current_.push_back(space_.random_point(rngs_.back()));
+  }
+  current_value_.assign(ranks, 0.0);
+  temperature_ = opts_.initial_temperature;
+  step_scale_ = 1.0;
+  steps_seen_ = 0;
+  best_point_ = current_.front();
+  best_value_ = 0.0;
+  first_observation_ = true;
+  proposals_ = current_;  // first step measures the starting points
+}
+
+StepProposal AnnealingStrategy::propose() {
+  StepProposal p;
+  p.configs = proposals_;
+  return p;
+}
+
+Point AnnealingStrategy::neighbor(const Point& x, util::Rng& rng) const {
+  Point p = x;
+  // Move probability / step size shrink with step_scale_ so late proposals
+  // hug the incumbent and the tail iteration cost settles.
+  const double move_prob = 0.45 * step_scale_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Parameter& par = space_.param(i);
+    if (par.is_discrete_kind()) {
+      const double u = rng.uniform();
+      if (u < move_prob) {
+        p[i] = par.neighbor_above(p[i]);
+      } else if (u < 2.0 * move_prob) {
+        p[i] = par.neighbor_below(p[i]);
+      }
+    } else {
+      p[i] +=
+          rng.normal(0.0, opts_.step_fraction * step_scale_ * par.range());
+    }
+  }
+  return project(space_, x, p);
+}
+
+void AnnealingStrategy::observe(std::span<const double> times) {
+  assert(times.size() == proposals_.size());
+  if (first_observation_) {
+    for (std::size_t r = 0; r < times.size(); ++r) {
+      current_value_[r] = times[r];
+      if (r == 0 || times[r] < best_value_) {
+        best_value_ = times[r];
+        best_point_ = current_[r];
+      }
+    }
+    first_observation_ = false;
+  } else {
+    for (std::size_t r = 0; r < times.size(); ++r) {
+      const double delta = times[r] - current_value_[r];
+      const bool accept =
+          delta <= 0.0 ||
+          rngs_[r].uniform() < std::exp(-delta / std::max(1e-12, temperature_ *
+                                                                    best_value_));
+      if (accept) {
+        current_[r] = proposals_[r];
+        current_value_[r] = times[r];
+      }
+      if (times[r] < best_value_) {
+        best_value_ = times[r];
+        best_point_ = proposals_[r];
+      }
+    }
+    temperature_ *= opts_.cooling;
+    step_scale_ *= opts_.step_decay;
+  }
+  ++steps_seen_;
+  if (opts_.migrate_every != 0 && steps_seen_ % opts_.migrate_every == 0) {
+    // Best-of-chains migration: restart every chain from the incumbent.
+    for (std::size_t r = 0; r < current_.size(); ++r) {
+      current_[r] = best_point_;
+      current_value_[r] = best_value_;
+    }
+  }
+  for (std::size_t r = 0; r < current_.size(); ++r) {
+    proposals_[r] = neighbor(current_[r], rngs_[r]);
+  }
+}
+
+}  // namespace protuner::core

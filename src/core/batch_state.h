@@ -1,0 +1,77 @@
+// Shared machinery for evaluating a batch of candidate configurations under
+// the bulk-synchronous step model, with K-sample repetition (§5.2).
+//
+// A batch of M points is measured on R ranks in waves of min(M, R) points.
+// Each wave is re-proposed for enough consecutive time steps to gather K
+// samples per point.  When spare ranks are available and parallel replicas
+// are enabled (§5.2: "if there are 64 parallel processors ... we can set
+// K=10 with no additional cost"), each point is replicated across
+// floor(R / wave) ranks so several samples arrive per step.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/types.h"
+
+namespace protuner::core {
+
+class BatchState {
+ public:
+  struct Options {
+    int samples = 1;                       ///< K
+    EstimatorKind estimator = EstimatorKind::kMin;
+    bool parallel_replicas = false;        ///< use spare ranks for samples
+    /// Racing elimination: after each sampling round, candidates whose
+    /// current minimum already exceeds (1 + racing_margin) times the best
+    /// candidate's minimum stop being re-measured — their estimate is the
+    /// min of the samples they have.  Because the step cost is the max
+    /// over the batch, not re-running clear losers directly lowers T_k.
+    /// Only meaningful with the kMin estimator and K > 1.
+    bool racing = false;
+    double racing_margin = 0.10;
+  };
+
+  BatchState() = default;
+
+  /// Begins measuring `points`; `ranks` is the machine's parallel width.
+  void reset(std::vector<Point> points, std::size_t ranks,
+             const Options& opts);
+
+  bool active() const { return !points_.empty() && !done_; }
+  bool done() const { return done_; }
+
+  /// The configurations to run this step (size <= ranks).  Call once per
+  /// step, then feed() the observed times in the same order.
+  std::vector<Point> next_assignment();
+
+  /// Observed runtimes for the last next_assignment(), same order/length.
+  void feed(std::span<const double> times);
+
+  /// Per-point estimates, valid once done().
+  const std::vector<double>& estimates() const { return estimates_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  void finish_wave();
+  void rebuild_slot_map();
+
+  std::vector<Point> points_;
+  std::vector<std::vector<double>> samples_;
+  std::vector<double> estimates_;
+  std::vector<bool> racing_active_;  ///< still being re-measured (racing)
+  Options opts_;
+  std::size_t ranks_ = 1;
+
+  std::size_t wave_begin_ = 0;
+  std::size_t wave_end_ = 0;
+  std::size_t reps_per_point_ = 1;
+  int steps_needed_ = 0;
+  int steps_done_ = 0;
+  std::vector<std::size_t> slot_map_;  ///< assignment slot -> point index
+  bool done_ = true;
+};
+
+}  // namespace protuner::core

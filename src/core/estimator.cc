@@ -1,0 +1,48 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace protuner::core {
+
+double reduce_samples(EstimatorKind kind, std::span<const double> samples) {
+  assert(!samples.empty());
+  switch (kind) {
+    case EstimatorKind::kMin:
+      return *std::min_element(samples.begin(), samples.end());
+    case EstimatorKind::kMean: {
+      double s = 0.0;
+      for (double x : samples) s += x;
+      return s / static_cast<double>(samples.size());
+    }
+    case EstimatorKind::kMedian: {
+      std::vector<double> v(samples.begin(), samples.end());
+      const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+      std::nth_element(v.begin(), mid, v.end());
+      if (v.size() % 2 == 1) return *mid;
+      const double hi = *mid;
+      const double lo = *std::max_element(v.begin(), mid);
+      return 0.5 * (lo + hi);
+    }
+    case EstimatorKind::kFirst:
+      return samples.front();
+  }
+  return samples.front();
+}
+
+std::string estimator_name(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kMin:
+      return "min";
+    case EstimatorKind::kMean:
+      return "mean";
+    case EstimatorKind::kMedian:
+      return "median";
+    case EstimatorKind::kFirst:
+      return "first";
+  }
+  return "?";
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,27 @@
+// Multi-sample estimators (paper Section 5).
+//
+// Under performance variability a single observation of f(v) is unreliable.
+// The conventional remedy — averaging K samples — fails when the noise is
+// heavy-tailed (infinite variance).  The paper's remedy is the minimum
+// operator: min(y_1..y_K) converges to f(v) + n_min(v), and for Pareto noise
+// the min of K samples is Pareto(K alpha) — light-tailed once K > 1/alpha.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace protuner::core {
+
+enum class EstimatorKind {
+  kMin,     ///< the paper's choice: resilient to heavy tails
+  kMean,    ///< conventional; diverges under infinite variance
+  kMedian,  ///< robust middle ground (not studied in the paper; ablation)
+  kFirst,   ///< single-sample: K forced to 1 behaviourally
+};
+
+/// Reduces K observations of the same configuration to one estimate.
+double reduce_samples(EstimatorKind kind, std::span<const double> samples);
+
+std::string estimator_name(EstimatorKind kind);
+
+}  // namespace protuner::core

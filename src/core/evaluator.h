@@ -1,0 +1,38 @@
+// Machine-side interface of the on-line tuning loop: something that can run
+// one application time step with a given per-rank assignment and report the
+// observed per-rank iteration times.  Implemented by cluster::SimulatedCluster
+// (controlled studies) and harmony::CommEvaluator (live thread substrate).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace protuner::core {
+
+class StepEvaluator {
+ public:
+  virtual ~StepEvaluator() = default;
+
+  /// Runs one application time step: configs[i] executes on rank i.
+  /// Returns the observed iteration time of each config, same order.
+  /// The step's cost under the paper's metric is max over the results
+  /// (Eq. 1: T_k = max_p t_{p,k}).
+  virtual std::vector<double> run_step(std::span<const Point> configs) = 0;
+
+  /// Parallel width available for concurrent evaluation; strategies are
+  /// started with this value by run_session.
+  virtual std::size_t ranks() const { return 1; }
+
+  /// Idle-system throughput rho of the underlying machine, for NTT
+  /// normalisation (Eq. 23).  0 when unknown / noise-free.
+  virtual double rho() const { return 0.0; }
+
+  /// The clean (noise-free) time of a configuration if the machine knows it
+  /// — lets the harness report true-regret curves.  Returns a negative
+  /// value when unavailable.
+  virtual double clean_time(const Point&) const { return -1.0; }
+};
+
+}  // namespace protuner::core

@@ -1,0 +1,49 @@
+// Generational genetic algorithm — the second randomized comparator the
+// paper names as unsuitable for on-line tuning (§2).  Population of `ranks`
+// individuals, evaluated one generation per application time step;
+// tournament selection, uniform crossover, per-axis mutation.
+#pragma once
+
+#include "core/parameter_space.h"
+#include "core/strategy.h"
+
+namespace protuner::core {
+
+struct GeneticOptions {
+  double mutation_rate = 0.15;   ///< per-axis mutation probability
+  double crossover_rate = 0.9;   ///< probability a child mixes two parents
+  std::size_t tournament = 2;    ///< tournament size for parent selection
+  std::size_t elites = 1;        ///< best individuals copied unchanged
+  std::uint64_t seed = 1;
+};
+
+class GeneticStrategy final : public TuningStrategy {
+ public:
+  GeneticStrategy(ParameterSpace space, GeneticOptions opts);
+
+  void start(std::size_t ranks) override;
+  StepProposal propose() override;
+  void observe(std::span<const double> times) override;
+  const Point& best_point() const override { return best_point_; }
+  double best_estimate() const override { return best_value_; }
+  bool converged() const override { return false; }
+  std::string name() const override { return "GeneticAlgorithm"; }
+
+  std::size_t generations() const { return generations_; }
+
+ private:
+  std::size_t select_parent(std::span<const double> fitness);
+  Point mutate(Point x);
+
+  ParameterSpace space_;
+  GeneticOptions opts_;
+
+  std::vector<Point> population_;
+  util::Rng rng_{1};
+  Point best_point_;
+  double best_value_ = 0.0;
+  bool have_best_ = false;
+  std::size_t generations_ = 0;
+};
+
+}  // namespace protuner::core

@@ -1,0 +1,94 @@
+#include "core/grid_search.h"
+
+#include <cassert>
+
+namespace protuner::core {
+
+GridSearchStrategy::GridSearchStrategy(ParameterSpace space,
+                                       GridSearchOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.continuous_levels >= 2);
+  axes_.reserve(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const Parameter& p = space_.param(i);
+    std::vector<double> vals;
+    switch (p.kind()) {
+      case ParamKind::kDiscrete:
+        vals = p.values();
+        break;
+      case ParamKind::kInteger:
+        for (double v = p.lower(); v <= p.upper(); v += 1.0) {
+          vals.push_back(v);
+        }
+        break;
+      case ParamKind::kContinuous:
+        for (std::size_t l = 0; l < opts_.continuous_levels; ++l) {
+          vals.push_back(p.lower() +
+                         p.range() * static_cast<double>(l) /
+                             static_cast<double>(opts_.continuous_levels - 1));
+        }
+        break;
+    }
+    axes_.push_back(std::move(vals));
+  }
+}
+
+std::size_t GridSearchStrategy::sweep_size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes_) n *= axis.size();
+  return n;
+}
+
+Point GridSearchStrategy::point_at(std::size_t flat_index) const {
+  Point p(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    p[i] = axes_[i][flat_index % axes_[i].size()];
+    flat_index /= axes_[i].size();
+  }
+  return p;
+}
+
+void GridSearchStrategy::start(std::size_t ranks) {
+  assert(ranks >= 1);
+  ranks_ = ranks;
+  cursor_ = 0;
+  have_best_ = false;
+  done_ = false;
+  best_point_ = point_at(0);
+}
+
+StepProposal GridSearchStrategy::propose() {
+  StepProposal p;
+  if (done_) {
+    p.configs.assign(ranks_, best_point_);
+    pending_.clear();
+    return p;
+  }
+  pending_.clear();
+  const std::size_t total = sweep_size();
+  for (std::size_t r = 0; r < ranks_ && cursor_ + r < total; ++r) {
+    pending_.push_back(point_at(cursor_ + r));
+  }
+  p.configs = pending_;
+  // Pad the final partial wave with the incumbent so all ranks stay busy.
+  while (p.configs.size() < ranks_) {
+    p.configs.push_back(have_best_ ? best_point_ : pending_.front());
+  }
+  return p;
+}
+
+void GridSearchStrategy::observe(std::span<const double> times) {
+  if (done_ || pending_.empty()) return;
+  assert(times.size() >= pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!have_best_ || times[i] < best_value_) {
+      best_value_ = times[i];
+      best_point_ = pending_[i];
+      have_best_ = true;
+    }
+  }
+  cursor_ += pending_.size();
+  if (cursor_ >= sweep_size()) done_ = true;
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,49 @@
+// Exhaustive grid search — evaluates every admissible configuration once
+// (continuous axes are sampled at a fixed number of levels), then pins the
+// best.  The brute-force upper bound for small spaces, and the honest way
+// to find a space's true optimum in tests and benches.
+#pragma once
+
+#include "core/parameter_space.h"
+#include "core/strategy.h"
+
+namespace protuner::core {
+
+struct GridSearchOptions {
+  /// Levels sampled per continuous axis (discrete/integer axes enumerate
+  /// their admissible values exactly).
+  std::size_t continuous_levels = 9;
+};
+
+class GridSearchStrategy final : public TuningStrategy {
+ public:
+  GridSearchStrategy(ParameterSpace space, GridSearchOptions opts = {});
+
+  void start(std::size_t ranks) override;
+  StepProposal propose() override;
+  void observe(std::span<const double> times) override;
+  const Point& best_point() const override { return best_point_; }
+  double best_estimate() const override { return best_value_; }
+  bool converged() const override { return done_; }
+  std::string name() const override { return "GridSearch"; }
+
+  /// Total points the sweep will evaluate.
+  std::size_t sweep_size() const;
+
+ private:
+  Point point_at(std::size_t flat_index) const;
+
+  ParameterSpace space_;
+  GridSearchOptions opts_;
+  std::size_t ranks_ = 1;
+
+  std::vector<std::vector<double>> axes_;
+  std::size_t cursor_ = 0;       ///< next flat index to evaluate
+  std::vector<Point> pending_;
+  Point best_point_;
+  double best_value_ = 0.0;
+  bool have_best_ = false;
+  bool done_ = false;
+};
+
+}  // namespace protuner::core

@@ -1,0 +1,48 @@
+#include "core/landscape.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace protuner::core {
+
+QuadraticLandscape::QuadraticLandscape(Point minimum, double floor_time,
+                                       double curvature)
+    : minimum_(std::move(minimum)),
+      floor_time_(floor_time),
+      curvature_(curvature) {
+  assert(floor_time > 0.0);
+  assert(curvature > 0.0);
+}
+
+double QuadraticLandscape::clean_time(const Point& x) const {
+  assert(x.size() == minimum_.size());
+  return floor_time_ + curvature_ * distance2(x, minimum_);
+}
+
+MultimodalLandscape::MultimodalLandscape(Point minimum, double floor_time,
+                                         double amplitude, double frequency)
+    : minimum_(std::move(minimum)),
+      floor_time_(floor_time),
+      amplitude_(amplitude),
+      frequency_(frequency) {
+  assert(floor_time > 0.0);
+  assert(amplitude >= 0.0);
+  assert(frequency > 0.0);
+}
+
+double MultimodalLandscape::clean_time(const Point& x) const {
+  assert(x.size() == minimum_.size());
+  // Rastrigin form: quadratic trend + cosine ripples, offset so that the
+  // global minimum value is exactly floor_time.
+  double v = floor_time_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - minimum_[i];
+    v += 0.05 * d * d +
+         amplitude_ *
+             (1.0 - std::cos(2.0 * std::numbers::pi * frequency_ * d));
+  }
+  return v;
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,157 @@
+#include "core/nelder_mead.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace protuner::core {
+
+NelderMeadStrategy::NelderMeadStrategy(ParameterSpace space,
+                                       NelderMeadOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.initial_size > 0.0);
+  assert(opts.samples >= 1);
+}
+
+void NelderMeadStrategy::start(std::size_t ranks) {
+  ranks_ = std::max<std::size_t>(1, ranks);
+  simplex_ = minimal_simplex(space_, opts_.initial_size);  // N+1 vertices
+  phase_ = Phase::kInitEval;
+  frozen_ = false;
+  begin_batch(simplex_.vertices());
+}
+
+void NelderMeadStrategy::begin_batch(std::vector<Point> pts) {
+  BatchState::Options bo;
+  bo.samples = opts_.samples;
+  bo.estimator = opts_.estimator;
+  batch_.reset(std::move(pts), /*ranks=*/1, bo);
+}
+
+StepProposal NelderMeadStrategy::propose() {
+  StepProposal p;
+  if (phase_ == Phase::kDone) {
+    p.configs.assign(ranks_, best_point());
+    active_slots_ = 0;
+    return p;
+  }
+  p.configs = batch_.next_assignment();
+  active_slots_ = p.configs.size();
+  while (p.configs.size() < ranks_) p.configs.push_back(simplex_.vertex(0));
+  return p;
+}
+
+void NelderMeadStrategy::observe(std::span<const double> times) {
+  if (phase_ == Phase::kDone || active_slots_ == 0) return;
+  assert(times.size() >= active_slots_);
+  batch_.feed(times.first(active_slots_));
+  if (batch_.done()) on_batch_done();
+}
+
+Point NelderMeadStrategy::centroid_excluding_worst() const {
+  const std::size_t n = simplex_.size() - 1;
+  Point c(space_.size(), 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < c.size(); ++i) c[i] += simplex_.vertex(j)[i];
+  }
+  for (double& v : c) v /= static_cast<double>(n);
+  return c;
+}
+
+Point NelderMeadStrategy::along(const Point& centroid, double alpha) const {
+  // v_N + alpha (c - v_N), projected with the best vertex as the rounding
+  // centre (the centroid itself is usually off-grid).
+  const Point& worst = simplex_.vertex(simplex_.size() - 1);
+  Point p(space_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = worst[i] + alpha * (centroid[i] - worst[i]);
+  }
+  return project(space_, simplex_.best(), p);
+}
+
+void NelderMeadStrategy::start_iteration() {
+  if (opts_.max_iterations != 0 && iterations_ >= opts_.max_iterations) {
+    phase_ = Phase::kDone;
+    frozen_ = true;
+    return;
+  }
+  ++iterations_;
+  centroid_ = centroid_excluding_worst();
+  phase_ = Phase::kReflect;
+  begin_batch({along(centroid_, 2.0)});
+}
+
+void NelderMeadStrategy::accept_worst_replacement(const Point& p, double v) {
+  simplex_.replace(simplex_.size() - 1, p, v);
+  simplex_.order();
+  start_iteration();
+}
+
+void NelderMeadStrategy::on_batch_done() {
+  switch (phase_) {
+    case Phase::kInitEval: {
+      simplex_.set_values(batch_.estimates());
+      simplex_.order();
+      start_iteration();
+      break;
+    }
+    case Phase::kReflect: {
+      reflect_point_ = batch_.points().front();
+      reflect_value_ = batch_.estimates().front();
+      if (reflect_value_ < simplex_.best_value()) {
+        phase_ = Phase::kExpand;
+        begin_batch({along(centroid_, 3.0)});
+      } else if (reflect_value_ <
+                 simplex_.value(simplex_.size() - 2)) {
+        // Better than the second worst: plain reflection accepted.
+        accept_worst_replacement(reflect_point_, reflect_value_);
+      } else {
+        phase_ = Phase::kContract;
+        begin_batch({along(centroid_, 0.5)});
+      }
+      break;
+    }
+    case Phase::kExpand: {
+      const Point& e = batch_.points().front();
+      const double ev = batch_.estimates().front();
+      if (ev < reflect_value_) {
+        accept_worst_replacement(e, ev);
+      } else {
+        accept_worst_replacement(reflect_point_, reflect_value_);
+      }
+      break;
+    }
+    case Phase::kContract: {
+      const Point& c = batch_.points().front();
+      const double cv = batch_.estimates().front();
+      if (cv < simplex_.value(simplex_.size() - 1)) {
+        accept_worst_replacement(c, cv);
+      } else {
+        // Contraction failed: shrink the whole simplex around the best.
+        phase_ = Phase::kShrinkEval;
+        begin_batch(simplex_.shrinks(space_));
+      }
+      break;
+    }
+    case Phase::kShrinkEval: {
+      const auto& pts = batch_.points();
+      const auto& vals = batch_.estimates();
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        simplex_.replace(j + 1, pts[j], vals[j]);
+      }
+      simplex_.order();
+      start_iteration();
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+}
+
+std::string NelderMeadStrategy::name() const {
+  std::ostringstream ss;
+  ss << "NelderMead(r=" << opts_.initial_size << ", K=" << opts_.samples
+     << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::core

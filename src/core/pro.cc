@@ -1,0 +1,311 @@
+#include "core/pro.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace protuner::core {
+
+ProStrategy::ProStrategy(ParameterSpace space, ProOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.initial_size > 0.0);
+  assert(opts.samples >= 1);
+  assert(opts.max_samples >= opts.samples);
+  assert(!opts.adaptive_samples || opts.refresh_best);
+  assert(opts.adaptive_lambda > 0.0);
+  assert(opts.adaptive_epsilon > 0.0 && opts.adaptive_epsilon < 1.0);
+}
+
+void ProStrategy::start(std::size_t ranks) {
+  assert(ranks >= 1);
+  ranks_ = ranks;
+  simplex_ = initial_override_.has_value()
+                 ? *initial_override_
+                 : (opts_.use_2n_simplex
+                        ? axial_2n_simplex(space_, opts_.initial_size)
+                        : minimal_simplex(space_, opts_.initial_size));
+  phase_ = Phase::kInitEval;
+  converged_ = false;
+  begin_batch(simplex_.vertices());
+}
+
+void ProStrategy::begin_batch(std::vector<Point> pts, bool with_refresh) {
+  batch_has_refresh_ = with_refresh && opts_.refresh_best;
+  if (batch_has_refresh_) {
+    // The incumbent rides along with the candidates: in a live SPMD system
+    // its processor keeps running it anyway, so the measurement is free.
+    pts.push_back(simplex_.best());
+  }
+  BatchState::Options bo;
+  bo.samples = opts_.samples;
+  bo.estimator = opts_.estimator;
+  bo.parallel_replicas = opts_.parallel_replicas;
+  bo.racing = opts_.racing;
+  bo.racing_margin = opts_.racing_margin;
+  batch_.reset(std::move(pts), ranks_, bo);
+}
+
+std::vector<double> ProStrategy::split_refresh(std::vector<double> estimates) {
+  if (batch_has_refresh_) {
+    simplex_.set_value(0, estimates.back());
+    if (opts_.adaptive_samples) update_adaptive_k(estimates.back());
+    estimates.pop_back();
+  }
+  return estimates;
+}
+
+namespace {
+
+/// Fraction of a window lying within (1 + lambda) of its own minimum — the
+/// empirical per-sample floor-hit probability q.
+double floor_hit_fraction(const std::vector<double>& window, double lambda) {
+  const double floor = *std::min_element(window.begin(), window.end());
+  std::size_t hits = 0;
+  for (double y : window) {
+    if (y <= floor * (1.0 + lambda)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(window.size());
+}
+
+}  // namespace
+
+void ProStrategy::update_adaptive_k(double fresh_observation) {
+  // Evidence lives in two layers: raw observations of the *current*
+  // incumbent (comparable against one true floor), and an EWMA of the
+  // per-sample floor-hit probability q folded in whenever the anchor
+  // changes — so the machine-level variability estimate survives anchor
+  // churn without stale-floor bias.
+  if (incumbent_tracked_ != simplex_.best()) {
+    if (incumbent_window_.size() >= 4) {
+      const double q_local =
+          floor_hit_fraction(incumbent_window_, opts_.adaptive_lambda);
+      q_ewma_ = q_ewma_ < 0.0 ? q_local : 0.7 * q_ewma_ + 0.3 * q_local;
+    }
+    incumbent_tracked_ = simplex_.best();
+    incumbent_window_.clear();
+  }
+  incumbent_window_.push_back(fresh_observation);
+  constexpr std::size_t kWindow = 32;
+  if (incumbent_window_.size() > kWindow) {
+    incumbent_window_.erase(incumbent_window_.begin());
+  }
+
+  double q_est = q_ewma_;
+  if (incumbent_window_.size() >= 6) {
+    const double q_local =
+        floor_hit_fraction(incumbent_window_, opts_.adaptive_lambda);
+    q_est = q_est < 0.0 ? q_local : 0.5 * (q_est + q_local);
+  }
+  if (q_est < 0.0) return;  // no usable evidence yet
+
+  // Eq. 11: P[min-of-K misses the floor] = (1 - q)^K, solved at epsilon.
+  const double q = std::clamp(q_est, 0.05, 0.999);
+  const int k = static_cast<int>(
+      std::ceil(std::log(opts_.adaptive_epsilon) / std::log(1.0 - q)));
+  opts_.samples = std::clamp(k, 1, opts_.max_samples);
+}
+
+StepProposal ProStrategy::propose() {
+  // Every processor runs one iteration each time step (paper §2): slots not
+  // occupied by candidates run the incumbent, and the step cost is the max
+  // over *all* of them.  Padding therefore matters for honest accounting.
+  StepProposal p;
+  if (phase_ == Phase::kDone) {
+    p.configs.assign(ranks_, best_point());
+    active_slots_ = 0;
+    return p;
+  }
+  p.configs = batch_.next_assignment();
+  active_slots_ = p.configs.size();
+  while (p.configs.size() < ranks_) p.configs.push_back(simplex_.vertex(0));
+  return p;
+}
+
+void ProStrategy::observe(std::span<const double> times) {
+  if (phase_ == Phase::kDone || active_slots_ == 0) return;
+  assert(times.size() >= active_slots_);
+  batch_.feed(times.first(active_slots_));
+  if (batch_.done()) on_batch_done();
+}
+
+void ProStrategy::adopt_new_vertices(const std::vector<Point>& pts,
+                                     const std::vector<double>& vals) {
+  // New simplex = old best vertex (with its existing estimate) plus the
+  // accepted transformed points (Algorithm 2: v^0 survives, j=1..n replaced).
+  assert(pts.size() == simplex_.size() - 1);
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    simplex_.replace(j + 1, pts[j], vals[j]);
+  }
+  simplex_.order();
+}
+
+void ProStrategy::on_batch_done() {
+  switch (phase_) {
+    case Phase::kInitEval: {
+      simplex_.set_values(batch_.estimates());
+      simplex_.order();
+      phase_ = Phase::kReflect;
+      begin_batch(simplex_.reflections(space_), /*with_refresh=*/true);
+      break;
+    }
+    case Phase::kReflect: {
+      ++iterations_;
+      reflect_values_ = split_refresh(batch_.estimates());
+      reflect_points_ = batch_.points();
+      reflect_points_.resize(reflect_values_.size());
+      best_reflect_ = static_cast<std::size_t>(
+          std::min_element(reflect_values_.begin(), reflect_values_.end()) -
+          reflect_values_.begin());
+      if (reflect_values_[best_reflect_] < simplex_.best_value()) {
+        if (opts_.expansion_check) {
+          // Most promising expansion: of the vertex whose reflection won.
+          const Point& source = simplex_.vertex(best_reflect_ + 1);
+          phase_ = Phase::kExpandCheck;
+          begin_batch({simplex_.expansion_of(space_, source)});
+        } else {
+          phase_ = Phase::kExpandAllDirect;
+          begin_batch(simplex_.expansions(space_), /*with_refresh=*/true);
+        }
+      } else {
+        phase_ = Phase::kShrink;
+        begin_batch(simplex_.shrinks(space_), /*with_refresh=*/true);
+      }
+      break;
+    }
+    case Phase::kExpandCheck: {
+      const double e_val = batch_.estimates().front();
+      if (e_val < reflect_values_[best_reflect_]) {
+        phase_ = Phase::kExpandAll;
+        begin_batch(simplex_.expansions(space_), /*with_refresh=*/true);
+      } else {
+        ++reflections_accepted_;
+        adopt_new_vertices(reflect_points_, reflect_values_);
+        after_accept();
+      }
+      break;
+    }
+    case Phase::kExpandAll: {
+      ++expansions_accepted_;
+      const std::vector<double> vals = split_refresh(batch_.estimates());
+      std::vector<Point> pts = batch_.points();
+      pts.resize(vals.size());
+      adopt_new_vertices(pts, vals);
+      after_accept();
+      break;
+    }
+    case Phase::kExpandAllDirect: {
+      // Ablation path: all n expansions were evaluated without the check.
+      const std::vector<double> e_vals = split_refresh(batch_.estimates());
+      std::vector<Point> pts = batch_.points();
+      pts.resize(e_vals.size());
+      const double e_best = *std::min_element(e_vals.begin(), e_vals.end());
+      if (e_best < reflect_values_[best_reflect_]) {
+        ++expansions_accepted_;
+        adopt_new_vertices(pts, e_vals);
+      } else {
+        ++reflections_accepted_;
+        adopt_new_vertices(reflect_points_, reflect_values_);
+      }
+      after_accept();
+      break;
+    }
+    case Phase::kShrink: {
+      ++shrinks_accepted_;
+      const std::vector<double> vals = split_refresh(batch_.estimates());
+      std::vector<Point> pts = batch_.points();
+      pts.resize(vals.size());
+      adopt_new_vertices(pts, vals);
+      after_accept();
+      break;
+    }
+    case Phase::kProbe: {
+      const std::vector<double> vals = split_refresh(batch_.estimates());
+      const std::size_t l = static_cast<std::size_t>(
+          std::min_element(vals.begin(), vals.end()) - vals.begin());
+      if (vals[l] < simplex_.best_value()) {
+        // Not a local minimum: continue PRO with the generated simplex
+        // (§3.2.2).  In the faithful variant the incumbent is dropped; the
+        // conservative variant appends it so its estimate is never lost.
+        std::vector<Point> vs = pending_probe_;
+        std::vector<double> mv = vals;
+        if (opts_.keep_incumbent_after_probe) {
+          vs.push_back(simplex_.best());
+          mv.push_back(simplex_.best_value());
+        }
+        Simplex fresh(std::move(vs));
+        fresh.set_values(mv);
+        fresh.order();
+        simplex_ = std::move(fresh);
+        phase_ = Phase::kReflect;
+        begin_batch(simplex_.reflections(space_), /*with_refresh=*/true);
+      } else {
+        converged_ = true;
+        phase_ = Phase::kDone;
+      }
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+}
+
+void ProStrategy::after_accept() {
+  if (simplex_.collapsed(space_)) {
+    if (opts_.stop_at_convergence) {
+      pending_probe_ = probe_points();
+      if (pending_probe_.empty()) {
+        converged_ = true;  // best sits in a fully-boundary corner
+        phase_ = Phase::kDone;
+        return;
+      }
+      ++probes_run_;
+      phase_ = Phase::kProbe;
+      begin_batch(pending_probe_, /*with_refresh=*/true);
+    } else {
+      converged_ = true;
+      phase_ = Phase::kDone;
+    }
+    return;
+  }
+  phase_ = Phase::kReflect;
+  begin_batch(simplex_.reflections(space_), /*with_refresh=*/true);
+}
+
+std::vector<Point> ProStrategy::probe_points() const {
+  // §3.2.2: the 2N axial neighbours {v^0 + u_i e_i, v^0 - l_i e_i}.  On a
+  // boundary the corresponding offset is zero and the point is dropped.
+  std::vector<Point> pts;
+  const Point& v0 = simplex_.best();
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const Parameter& par = space_.param(i);
+    const double up = par.neighbor_above(v0[i]);
+    if (up != v0[i]) {
+      Point p = v0;
+      p[i] = up;
+      pts.push_back(std::move(p));
+    }
+    const double dn = par.neighbor_below(v0[i]);
+    if (dn != v0[i]) {
+      Point p = v0;
+      p[i] = dn;
+      pts.push_back(std::move(p));
+    }
+  }
+  return pts;
+}
+
+const Point& ProStrategy::best_point() const { return simplex_.best(); }
+
+double ProStrategy::best_estimate() const { return simplex_.best_value(); }
+
+std::string ProStrategy::name() const {
+  std::ostringstream ss;
+  ss << "PRO(r=" << opts_.initial_size
+     << ", simplex=" << (opts_.use_2n_simplex ? "2N" : "N+1")
+     << ", K=" << opts_.samples << ", est=" << estimator_name(opts_.estimator)
+     << (opts_.expansion_check ? "" : ", no-expcheck") << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,87 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace protuner::core {
+
+namespace {
+
+/// Admissible sweep values around anchor coordinate a on axis i.
+std::vector<double> axis_values(const Parameter& p, double a,
+                                const SensitivityOptions& opt) {
+  std::vector<double> vals;
+  if (p.is_discrete_kind()) {
+    // Walk neighbours outward on both sides.
+    double lo = a;
+    std::vector<double> below;
+    for (std::size_t s = 0; s < opt.steps_per_side; ++s) {
+      const double nxt = p.neighbor_below(lo);
+      if (nxt == lo) break;
+      below.push_back(nxt);
+      lo = nxt;
+    }
+    std::reverse(below.begin(), below.end());
+    vals = std::move(below);
+    vals.push_back(a);
+    double hi = a;
+    for (std::size_t s = 0; s < opt.steps_per_side; ++s) {
+      const double nxt = p.neighbor_above(hi);
+      if (nxt == hi) break;
+      vals.push_back(nxt);
+      hi = nxt;
+    }
+  } else {
+    const double radius = opt.radius_fraction * p.range();
+    const auto per_side = static_cast<double>(opt.steps_per_side);
+    for (double s = -per_side; s <= per_side; s += 1.0) {
+      vals.push_back(
+          std::clamp(a + radius * s / per_side, p.lower(), p.upper()));
+    }
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  }
+  return vals;
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const ParameterSpace& space,
+                                      const Landscape& landscape,
+                                      const Point& anchor,
+                                      const SensitivityOptions& options) {
+  assert(space.admissible(anchor));
+  SensitivityReport report;
+  report.anchor = anchor;
+  report.anchor_time = landscape.clean_time(anchor);
+
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const Parameter& p = space.param(i);
+    AxisSensitivity axis;
+    axis.name = p.name();
+    axis.best_value = anchor[i];
+    axis.values = axis_values(p, anchor[i], options);
+
+    double lo = report.anchor_time, hi = report.anchor_time;
+    double axis_min = report.anchor_time;
+    for (double v : axis.values) {
+      Point x = anchor;
+      x[i] = v;
+      const double t = landscape.clean_time(x);
+      axis.times.push_back(t);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+      axis_min = std::min(axis_min, t);
+    }
+    axis.rel_range = (hi - lo) / report.anchor_time;
+    axis.anchor_is_axis_optimum = report.anchor_time <= axis_min + 1e-12;
+    report.axes.push_back(std::move(axis));
+  }
+
+  std::sort(report.axes.begin(), report.axes.end(),
+            [](const AxisSensitivity& a, const AxisSensitivity& b) {
+              return a.rel_range > b.rel_range;
+            });
+  return report;
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,44 @@
+// Post-tuning sensitivity analysis: after a session settles on a
+// configuration, sweep each parameter one-at-a-time through its admissible
+// neighbourhood and report how sharply the objective reacts.  Tells the
+// user which knobs mattered and whether the optimum sits in a flat basin
+// (robust) or on a knife's edge (re-tune when anything changes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+
+namespace protuner::core {
+
+struct AxisSensitivity {
+  std::string name;              ///< parameter name
+  std::vector<double> values;    ///< swept admissible values
+  std::vector<double> times;     ///< objective at each value
+  double best_value = 0.0;       ///< the anchor coordinate
+  double rel_range = 0.0;        ///< (max - min) / anchor_time
+  bool anchor_is_axis_optimum = false;
+};
+
+struct SensitivityReport {
+  Point anchor;
+  double anchor_time = 0.0;
+  std::vector<AxisSensitivity> axes;  ///< sorted most sensitive first
+};
+
+struct SensitivityOptions {
+  /// Neighbourhood radius in admissible steps per side (discrete axes) or
+  /// sampled points per side within +-radius_fraction*range (continuous).
+  std::size_t steps_per_side = 3;
+  double radius_fraction = 0.15;
+};
+
+/// Sweeps each axis around `anchor` on the given landscape.
+SensitivityReport analyze_sensitivity(const ParameterSpace& space,
+                                      const Landscape& landscape,
+                                      const Point& anchor,
+                                      const SensitivityOptions& options = {});
+
+}  // namespace protuner::core

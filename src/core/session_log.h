@@ -1,0 +1,63 @@
+// Ready-made session observers: a CSV step logger and a best-config change
+// tracker.  Header-only.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "core/session.h"
+#include "util/csv.h"
+
+namespace protuner::core {
+
+/// Streams one CSV row per time step: step index, cost T_k, cumulative
+/// total, and the number of distinct configurations run that step.
+class CsvSessionLogger final : public SessionObserver {
+ public:
+  explicit CsvSessionLogger(std::ostream& out) : csv_(out) {
+    csv_.header({"step", "cost", "cumulative", "distinct_configs"});
+  }
+
+  void on_step(std::size_t step, std::span<const Point> configs,
+               std::span<const double> /*times*/, double cost) override {
+    cumulative_ += cost;
+    std::vector<Point> uniq(configs.begin(), configs.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    csv_.row(step, cost, cumulative_, uniq.size());
+  }
+
+  void on_converged(std::size_t step, const Point& /*best*/) override {
+    converged_at_ = step;
+  }
+
+  double cumulative() const { return cumulative_; }
+  std::size_t converged_at() const { return converged_at_; }
+
+ private:
+  util::CsvWriter csv_;
+  double cumulative_ = 0.0;
+  std::size_t converged_at_ = 0;
+};
+
+/// Records every change of the proposal's first configuration — a cheap
+/// proxy for "what the tuner is currently exploring".
+class ConfigChangeTracker final : public SessionObserver {
+ public:
+  void on_step(std::size_t step, std::span<const Point> configs,
+               std::span<const double> /*times*/, double /*cost*/) override {
+    if (history_.empty() || history_.back().second != configs.front()) {
+      history_.emplace_back(step, configs.front());
+    }
+  }
+
+  const std::vector<std::pair<std::size_t, Point>>& history() const {
+    return history_;
+  }
+
+ private:
+  std::vector<std::pair<std::size_t, Point>> history_;
+};
+
+}  // namespace protuner::core

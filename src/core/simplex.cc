@@ -1,0 +1,188 @@
+#include "core/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace protuner::core {
+
+Simplex::Simplex(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)),
+      values_(vertices_.size(), std::numeric_limits<double>::quiet_NaN()) {
+  assert(!vertices_.empty());
+}
+
+void Simplex::set_values(std::span<const double> vals) {
+  assert(vals.size() == values_.size());
+  std::copy(vals.begin(), vals.end(), values_.begin());
+}
+
+void Simplex::replace(std::size_t j, Point p, double value) {
+  assert(j < vertices_.size());
+  vertices_[j] = std::move(p);
+  values_[j] = value;
+}
+
+void Simplex::order() {
+  std::vector<std::size_t> idx(vertices_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values_[a] < values_[b];
+  });
+  std::vector<Point> vs;
+  std::vector<double> fs;
+  vs.reserve(idx.size());
+  fs.reserve(idx.size());
+  for (std::size_t i : idx) {
+    vs.push_back(std::move(vertices_[i]));
+    fs.push_back(values_[i]);
+  }
+  vertices_ = std::move(vs);
+  values_ = std::move(fs);
+}
+
+std::vector<Point> Simplex::reflections(const ParameterSpace& space) const {
+  std::vector<Point> out;
+  out.reserve(size() - 1);
+  for (std::size_t j = 1; j < size(); ++j) {
+    out.push_back(project(space, best(), affine(2.0, best(), -1.0, vertex(j))));
+  }
+  return out;
+}
+
+std::vector<Point> Simplex::expansions(const ParameterSpace& space) const {
+  std::vector<Point> out;
+  out.reserve(size() - 1);
+  for (std::size_t j = 1; j < size(); ++j) {
+    out.push_back(project(space, best(), affine(3.0, best(), -2.0, vertex(j))));
+  }
+  return out;
+}
+
+std::vector<Point> Simplex::shrinks(const ParameterSpace& space) const {
+  std::vector<Point> out;
+  out.reserve(size() - 1);
+  for (std::size_t j = 1; j < size(); ++j) {
+    out.push_back(project(space, best(), affine(0.5, best(), 0.5, vertex(j))));
+  }
+  return out;
+}
+
+Point Simplex::expansion_of(const ParameterSpace& space,
+                            const Point& target) const {
+  return project(space, best(), affine(3.0, best(), -2.0, target));
+}
+
+bool Simplex::collapsed(const ParameterSpace& space) const {
+  for (std::size_t j = 1; j < size(); ++j) {
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      const double d = std::fabs(vertex(j)[i] - best()[i]);
+      if (space.param(i).is_discrete_kind()) {
+        if (d != 0.0) return false;
+      } else if (d > space.continuous_tolerance(i)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Simplex::diameter() const {
+  double d2 = 0.0;
+  for (std::size_t j = 1; j < size(); ++j) {
+    d2 = std::max(d2, distance2(vertex(0), vertex(j)));
+  }
+  return std::sqrt(d2);
+}
+
+bool Simplex::degenerate(double tol) const {
+  const std::size_t n = dimension();
+  const std::size_t m = size() - 1;  // edge vectors
+  if (m < n) return true;            // cannot span
+  // Row-reduce the m x n edge matrix and count pivots.
+  std::vector<std::vector<double>> a(m, std::vector<double>(n));
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[j][i] = vertices_[j + 1][i] - vertices_[0][i];
+    }
+  }
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < n && rank < m; ++col) {
+    // Partial pivot.
+    std::size_t piv = rank;
+    for (std::size_t rrow = rank + 1; rrow < m; ++rrow) {
+      if (std::fabs(a[rrow][col]) > std::fabs(a[piv][col])) piv = rrow;
+    }
+    if (std::fabs(a[piv][col]) <= tol) continue;
+    std::swap(a[piv], a[rank]);
+    for (std::size_t rrow = rank + 1; rrow < m; ++rrow) {
+      const double factor = a[rrow][col] / a[rank][col];
+      for (std::size_t c = col; c < n; ++c) a[rrow][c] -= factor * a[rank][c];
+    }
+    ++rank;
+  }
+  return rank < n;
+}
+
+namespace {
+
+/// Axial offsets b_i = r (u_i - l_i) / 2.
+std::vector<double> axial_offsets(const ParameterSpace& space, double r) {
+  std::vector<double> b(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    b[i] = 0.5 * r * space.param(i).range();
+  }
+  return b;
+}
+
+}  // namespace
+
+namespace {
+
+/// Projects an axial offset vertex, then enforces the §3.2.3 non-degeneracy
+/// requirement: if centre-directed rounding collapsed axis i back onto the
+/// centre (possible for small r on discrete axes), push it to the adjacent
+/// admissible value instead so the initial simplex still spans axis i.
+Point axial_vertex(const ParameterSpace& space, const Point& c, std::size_t i,
+                   double offset) {
+  Point v = c;
+  v[i] += offset;
+  Point out = project(space, c, v);
+  if (out[i] == c[i]) {
+    out[i] = offset > 0.0 ? space.param(i).neighbor_above(c[i])
+                          : space.param(i).neighbor_below(c[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Simplex minimal_simplex(const ParameterSpace& space, double r) {
+  assert(r > 0.0);
+  const Point c = space.center();
+  const std::vector<double> b = axial_offsets(space, r);
+  std::vector<Point> vs;
+  vs.reserve(space.size() + 1);
+  vs.push_back(c);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    vs.push_back(axial_vertex(space, c, i, b[i]));
+  }
+  return Simplex(std::move(vs));
+}
+
+Simplex axial_2n_simplex(const ParameterSpace& space, double r) {
+  assert(r > 0.0);
+  const Point c = space.center();
+  const std::vector<double> b = axial_offsets(space, r);
+  std::vector<Point> vs;
+  vs.reserve(2 * space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    vs.push_back(axial_vertex(space, c, i, b[i]));
+    vs.push_back(axial_vertex(space, c, i, -b[i]));
+  }
+  return Simplex(std::move(vs));
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,86 @@
+// Simplex container and geometry for the rank-ordering algorithms.
+//
+// Vertices carry their (estimated) function values.  All transformations are
+// taken *around the best vertex* v^0 (paper §3, Fig. 2):
+//   reflection  r^j = 2 v^0 -   v^j
+//   expansion   e^j = 3 v^0 - 2 v^j
+//   shrink      s^j = (v^0 + v^j) / 2
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/parameter_space.h"
+#include "core/projection.h"
+#include "core/types.h"
+
+namespace protuner::core {
+
+/// A set of vertices with function values, kept sorted best-first on demand.
+class Simplex {
+ public:
+  Simplex() = default;
+  explicit Simplex(std::vector<Point> vertices);
+
+  std::size_t size() const { return vertices_.size(); }
+  std::size_t dimension() const {
+    return vertices_.empty() ? 0 : vertices_.front().size();
+  }
+
+  const Point& vertex(std::size_t j) const { return vertices_[j]; }
+  double value(std::size_t j) const { return values_[j]; }
+  const std::vector<Point>& vertices() const { return vertices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  void set_value(std::size_t j, double v) { values_[j] = v; }
+  void set_values(std::span<const double> vals);
+  void replace(std::size_t j, Point p, double value);
+
+  /// Sorts vertices so value(0) <= value(1) <= ... (paper's reorder step).
+  /// Stable, so ties keep their previous relative order.
+  void order();
+
+  /// Best vertex (requires order() since the last mutation).
+  const Point& best() const { return vertices_.front(); }
+  double best_value() const { return values_.front(); }
+
+  /// Candidate transformations of every non-best vertex around the best,
+  /// projected into the admissible region.
+  std::vector<Point> reflections(const ParameterSpace& space) const;
+  std::vector<Point> expansions(const ParameterSpace& space) const;
+  std::vector<Point> shrinks(const ParameterSpace& space) const;
+
+  /// Expansion of a single vertex j (used for the PRO expansion check).
+  Point expansion_of(const ParameterSpace& space, const Point& target) const;
+
+  /// True when all vertices coincide: exact equality on discrete axes,
+  /// within the space tolerance on continuous axes (§3.2.2 trigger).
+  bool collapsed(const ParameterSpace& space) const;
+
+  /// Max vertex-to-best Euclidean distance (diagnostic).
+  double diameter() const;
+
+  /// True when the edge vectors v^j - v^0 do not span R^N — the degenerate
+  /// state the paper criticises Nelder-Mead for (§3.1).  Uses rank via
+  /// Gaussian elimination with partial pivoting on the edge matrix.
+  bool degenerate(double tol = 1e-10) const;
+
+ private:
+  std::vector<Point> vertices_;
+  std::vector<double> values_;
+};
+
+/// Initial-simplex builders (§3.2.3 / §6.1).  `r` is the *relative size*:
+/// the axial offset is b_i = r * (upper_i - lower_i) / 2, so the paper's
+/// b_i = 0.1 (u - l) default corresponds to r = 0.2.
+///
+/// Minimal simplex: the centre c plus N axial points {Pi(c + b_i e_i)} —
+/// N + 1 vertices.
+Simplex minimal_simplex(const ParameterSpace& space, double r);
+
+/// 2N simplex: {Pi(c +- b_i e_i)} — the shape the paper found markedly
+/// better for discrete parameters.
+Simplex axial_2n_simplex(const ParameterSpace& space, double r);
+
+}  // namespace protuner::core

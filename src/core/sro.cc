@@ -1,0 +1,190 @@
+#include "core/sro.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace protuner::core {
+
+SroStrategy::SroStrategy(ParameterSpace space, SroOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.initial_size > 0.0);
+  assert(opts.samples >= 1);
+}
+
+void SroStrategy::start(std::size_t ranks) {
+  // SRO is inherently sequential (§3.1): it evaluates one new point per
+  // time step no matter how many ranks the machine offers.  The remaining
+  // processors still run the incumbent (they are part of the application),
+  // so proposals are padded to full width for honest max-cost accounting.
+  ranks_ = std::max<std::size_t>(1, ranks);
+  simplex_ = opts_.use_2n_simplex
+                 ? axial_2n_simplex(space_, opts_.initial_size)
+                 : minimal_simplex(space_, opts_.initial_size);
+  phase_ = Phase::kInitEval;
+  converged_ = false;
+  begin_batch(simplex_.vertices());
+}
+
+void SroStrategy::begin_batch(std::vector<Point> pts) {
+  BatchState::Options bo;
+  bo.samples = opts_.samples;
+  bo.estimator = opts_.estimator;
+  bo.parallel_replicas = false;
+  batch_.reset(std::move(pts), /*ranks=*/1, bo);
+}
+
+StepProposal SroStrategy::propose() {
+  StepProposal p;
+  if (phase_ == Phase::kDone) {
+    p.configs.assign(ranks_, best_point());
+    active_slots_ = 0;
+    return p;
+  }
+  p.configs = batch_.next_assignment();
+  active_slots_ = p.configs.size();
+  while (p.configs.size() < ranks_) p.configs.push_back(simplex_.vertex(0));
+  return p;
+}
+
+void SroStrategy::observe(std::span<const double> times) {
+  if (phase_ == Phase::kDone || active_slots_ == 0) return;
+  assert(times.size() >= active_slots_);
+  batch_.feed(times.first(active_slots_));
+  if (batch_.done()) on_batch_done();
+}
+
+void SroStrategy::on_batch_done() {
+  switch (phase_) {
+    case Phase::kInitEval: {
+      simplex_.set_values(batch_.estimates());
+      simplex_.order();
+      phase_ = Phase::kReflectCheck;
+      // Reflect the worst vertex through the best (Algorithm 1 line 5).
+      begin_batch({project(
+          space_, simplex_.best(),
+          affine(2.0, simplex_.best(), -1.0,
+                 simplex_.vertex(simplex_.size() - 1)))});
+      break;
+    }
+    case Phase::kReflectCheck: {
+      ++iterations_;
+      reflect_point_ = batch_.points().front();
+      reflect_value_ = batch_.estimates().front();
+      if (reflect_value_ < simplex_.best_value()) {
+        phase_ = Phase::kExpandCheck;
+        begin_batch({project(
+            space_, simplex_.best(),
+            affine(3.0, simplex_.best(), -2.0,
+                   simplex_.vertex(simplex_.size() - 1)))});
+      } else {
+        phase_ = Phase::kApplyShrink;
+        begin_batch(simplex_.shrinks(space_));
+      }
+      break;
+    }
+    case Phase::kExpandCheck: {
+      const double e_val = batch_.estimates().front();
+      if (e_val < reflect_value_) {
+        phase_ = Phase::kApplyExpand;
+        begin_batch(simplex_.expansions(space_));
+      } else {
+        phase_ = Phase::kApplyReflect;
+        begin_batch(simplex_.reflections(space_));
+      }
+      break;
+    }
+    case Phase::kApplyExpand:
+    case Phase::kApplyReflect:
+    case Phase::kApplyShrink: {
+      const auto& pts = batch_.points();
+      const auto& vals = batch_.estimates();
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        simplex_.replace(j + 1, pts[j], vals[j]);
+      }
+      simplex_.order();
+      after_accept();
+      break;
+    }
+    case Phase::kProbe: {
+      const auto& vals = batch_.estimates();
+      const auto l = static_cast<std::size_t>(
+          std::min_element(vals.begin(), vals.end()) - vals.begin());
+      if (vals[l] < simplex_.best_value()) {
+        std::vector<Point> vs = pending_probe_;
+        vs.push_back(simplex_.best());
+        std::vector<double> fv = vals;
+        fv.push_back(simplex_.best_value());
+        Simplex merged(std::move(vs));
+        merged.set_values(fv);
+        merged.order();
+        simplex_ = std::move(merged);
+        phase_ = Phase::kReflectCheck;
+        begin_batch({project(
+            space_, simplex_.best(),
+            affine(2.0, simplex_.best(), -1.0,
+                   simplex_.vertex(simplex_.size() - 1)))});
+      } else {
+        converged_ = true;
+        phase_ = Phase::kDone;
+      }
+      break;
+    }
+    case Phase::kDone:
+      break;
+  }
+}
+
+void SroStrategy::after_accept() {
+  if (simplex_.collapsed(space_)) {
+    if (opts_.stop_at_convergence) {
+      pending_probe_ = probe_points();
+      if (pending_probe_.empty()) {
+        converged_ = true;
+        phase_ = Phase::kDone;
+        return;
+      }
+      phase_ = Phase::kProbe;
+      begin_batch(pending_probe_);
+    } else {
+      converged_ = true;
+      phase_ = Phase::kDone;
+    }
+    return;
+  }
+  phase_ = Phase::kReflectCheck;
+  begin_batch({project(space_, simplex_.best(),
+                       affine(2.0, simplex_.best(), -1.0,
+                              simplex_.vertex(simplex_.size() - 1)))});
+}
+
+std::vector<Point> SroStrategy::probe_points() const {
+  std::vector<Point> pts;
+  const Point& v0 = simplex_.best();
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const Parameter& par = space_.param(i);
+    const double up = par.neighbor_above(v0[i]);
+    if (up != v0[i]) {
+      Point p = v0;
+      p[i] = up;
+      pts.push_back(std::move(p));
+    }
+    const double dn = par.neighbor_below(v0[i]);
+    if (dn != v0[i]) {
+      Point p = v0;
+      p[i] = dn;
+      pts.push_back(std::move(p));
+    }
+  }
+  return pts;
+}
+
+std::string SroStrategy::name() const {
+  std::ostringstream ss;
+  ss << "SRO(r=" << opts_.initial_size
+     << ", simplex=" << (opts_.use_2n_simplex ? "2N" : "N+1")
+     << ", K=" << opts_.samples << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,73 @@
+// SRO — Sequential Rank Ordering (paper Algorithm 1).
+//
+// The sequential ancestor of PRO: one evaluation per application time step.
+// Each iteration reflects only the *worst* vertex through the best as the
+// acceptance test (r = 2 v^0 - v^n); on success it optionally checks the
+// expansion e = 3 v^0 - 2 v^n, then applies the accepted transformation to
+// every non-best vertex, evaluating the transformed vertices one at a time.
+#pragma once
+
+#include "core/batch_state.h"
+#include "core/parameter_space.h"
+#include "core/simplex.h"
+#include "core/strategy.h"
+
+namespace protuner::core {
+
+struct SroOptions {
+  double initial_size = 0.2;
+  bool use_2n_simplex = true;
+  int samples = 1;
+  EstimatorKind estimator = EstimatorKind::kMin;
+  bool stop_at_convergence = true;
+};
+
+class SroStrategy final : public TuningStrategy {
+ public:
+  SroStrategy(ParameterSpace space, SroOptions opts);
+
+  void start(std::size_t ranks) override;
+  StepProposal propose() override;
+  void observe(std::span<const double> times) override;
+  const Point& best_point() const override { return simplex_.best(); }
+  double best_estimate() const override { return simplex_.best_value(); }
+  bool converged() const override { return converged_; }
+  std::string name() const override;
+
+  std::size_t iterations() const { return iterations_; }
+
+ private:
+  enum class Phase {
+    kInitEval,
+    kReflectCheck,
+    kExpandCheck,
+    kApplyExpand,
+    kApplyReflect,
+    kApplyShrink,
+    kProbe,
+    kDone,
+  };
+
+  void begin_batch(std::vector<Point> pts);
+  void on_batch_done();
+  void after_accept();
+  std::vector<Point> probe_points() const;
+
+  ParameterSpace space_;
+  SroOptions opts_;
+
+  Simplex simplex_;
+  Phase phase_ = Phase::kInitEval;
+  BatchState batch_;
+  std::size_t ranks_ = 1;
+  std::size_t active_slots_ = 0;
+
+  Point reflect_point_;
+  double reflect_value_ = 0.0;
+  std::vector<Point> pending_probe_;
+
+  bool converged_ = false;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace protuner::core

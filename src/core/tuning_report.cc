@@ -1,0 +1,75 @@
+#include "core/tuning_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace protuner::core {
+
+std::string format_tuning_report(const ParameterSpace& space,
+                                 const Landscape& landscape,
+                                 const SessionResult& result,
+                                 const TuningReportOptions& options) {
+  std::ostringstream out;
+  char buf[160];
+
+  out << "=== tuning report ===\n";
+  out << "best configuration:";
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "  %s=%g", space.param(i).name().c_str(),
+                  result.best[i]);
+    out << buf;
+  }
+  out << '\n';
+
+  const double f_best = landscape.clean_time(result.best);
+  const double f_default = landscape.clean_time(space.center());
+  std::snprintf(buf, sizeof buf,
+                "clean time: %.4f s/iter (default %.4f, %.1f%% better)\n",
+                f_best, f_default, 100.0 * (1.0 - f_best / f_default));
+  out << buf;
+
+  std::snprintf(buf, sizeof buf,
+                "Total_Time(%zu) = %.2f   NTT = %.2f\n", result.steps,
+                result.total_time, result.ntt);
+  out << buf;
+
+  if (result.convergence_step > 0) {
+    std::snprintf(buf, sizeof buf, "converged (certified) at step %zu\n",
+                  result.convergence_step);
+  } else {
+    std::snprintf(buf, sizeof buf, "did not certify convergence in %zu steps\n",
+                  result.steps);
+  }
+  out << buf;
+
+  if (!result.cumulative.empty() && options.trajectory_points > 1) {
+    out << "trajectory (step: cumulative time):";
+    const std::size_t n = result.cumulative.size();
+    const std::size_t pts = std::min(options.trajectory_points, n);
+    for (std::size_t i = 1; i <= pts; ++i) {
+      const std::size_t k = i * n / pts - 1;
+      std::snprintf(buf, sizeof buf, "  %zu: %.1f", k + 1,
+                    result.cumulative[k]);
+      out << buf;
+    }
+    out << '\n';
+  }
+
+  if (options.include_sensitivity && space.admissible(result.best)) {
+    const SensitivityReport sens =
+        analyze_sensitivity(space, landscape, result.best);
+    out << "sensitivity (most sensitive axis first):\n";
+    for (const auto& axis : sens.axes) {
+      std::snprintf(buf, sizeof buf, "  %-12s rel_range=%6.2f%%  %s\n",
+                    axis.name.c_str(), 100.0 * axis.rel_range,
+                    axis.anchor_is_axis_optimum
+                        ? "locally optimal"
+                        : "NOT locally optimal along this axis");
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace protuner::core

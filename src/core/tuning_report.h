@@ -1,0 +1,28 @@
+// Human-readable summary of a tuning session: improvement over the
+// starting configuration, convergence, phase breakdown and (optionally)
+// the sensitivity of the final configuration.  Used by the examples and
+// handy for ad-hoc diagnosis.
+#pragma once
+
+#include <string>
+
+#include "core/parameter_space.h"
+#include "core/sensitivity.h"
+#include "core/session.h"
+
+namespace protuner::core {
+
+struct TuningReportOptions {
+  bool include_sensitivity = true;
+  std::size_t trajectory_points = 6;  ///< cumulative-time samples to print
+};
+
+/// Formats a completed session as a multi-line text report.  `landscape`
+/// supplies clean times for the improvement figures; pass the same one the
+/// machine used (or the database behind it).
+std::string format_tuning_report(const ParameterSpace& space,
+                                 const Landscape& landscape,
+                                 const SessionResult& result,
+                                 const TuningReportOptions& options = {});
+
+}  // namespace protuner::core

@@ -1,0 +1,192 @@
+#include "gs2/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace protuner::gs2 {
+
+namespace {
+
+/// Admissible values of one parameter, decimated by `stride`.
+std::vector<double> axis_values(const core::Parameter& p, std::size_t stride) {
+  std::vector<double> all;
+  switch (p.kind()) {
+    case core::ParamKind::kDiscrete:
+      all = p.values();
+      break;
+    case core::ParamKind::kInteger:
+      for (double v = p.lower(); v <= p.upper(); v += 1.0) all.push_back(v);
+      break;
+    case core::ParamKind::kContinuous: {
+      // Sample nine evenly spaced levels for continuous axes.
+      constexpr int kLevels = 9;
+      for (int i = 0; i < kLevels; ++i) {
+        all.push_back(p.lower() + p.range() * i / (kLevels - 1));
+      }
+      break;
+    }
+  }
+  std::vector<double> out;
+  for (std::size_t i = 0; i < all.size(); i += stride) out.push_back(all[i]);
+  // Always keep the last value so the grid spans the full range.
+  if (out.back() != all.back()) out.push_back(all.back());
+  return out;
+}
+
+}  // namespace
+
+Database::Database(core::ParameterSpace space, DatabaseOptions options)
+    : space_(std::move(space)),
+      options_(options),
+      cache_(std::make_unique<Cache>()) {
+  assert(options_.interpolation_neighbors >= 1);
+  assert(options_.idw_power > 0.0);
+}
+
+Database Database::measure(const core::ParameterSpace& space,
+                           const core::Landscape& source,
+                           const DatabaseOptions& options,
+                           const varmodel::NoiseModel* noise,
+                           std::uint64_t seed) {
+  Database db(space, options);
+  util::Rng rng(seed);
+
+  std::vector<std::vector<double>> axes;
+  axes.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    axes.push_back(axis_values(space.param(i), options.stride));
+  }
+
+  // Cartesian product over the decimated axes.
+  core::Point x(space.size());
+  std::vector<std::size_t> idx(space.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < space.size(); ++i) x[i] = axes[i][idx[i]];
+    double t = source.clean_time(x);
+    if (noise != nullptr) t += noise->sample(t, rng);
+    db.insert(x, t);
+    // Odometer increment.
+    std::size_t axis = 0;
+    while (axis < space.size() && ++idx[axis] == axes[axis].size()) {
+      idx[axis] = 0;
+      ++axis;
+    }
+    if (axis == space.size()) break;
+  }
+  return db;
+}
+
+void Database::insert(const core::Point& x, double time) {
+  assert(x.size() == space_.size());
+  assert(time > 0.0);
+  table_[x] = time;
+  const std::scoped_lock lock(cache_->mutex);
+  cache_->map.clear();  // interpolated values may all have changed
+}
+
+void Database::save(std::ostream& out) const {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [pt, val] : table_) {
+    for (double c : pt) out << c << ',';
+    out << val << '\n';
+  }
+}
+
+Database Database::load(std::istream& in, core::ParameterSpace space,
+                        DatabaseOptions options) {
+  Database db(std::move(space), options);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::vector<double> fields;
+    std::string cell;
+    while (std::getline(row, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        throw std::runtime_error("database load: bad number at line " +
+                                 std::to_string(lineno));
+      }
+      fields.push_back(v);
+    }
+    if (fields.size() != db.space_.size() + 1) {
+      throw std::runtime_error("database load: arity mismatch at line " +
+                               std::to_string(lineno));
+    }
+    const double time = fields.back();
+    fields.pop_back();
+    db.insert(fields, time);
+  }
+  return db;
+}
+
+std::optional<double> Database::exact(const core::Point& x) const {
+  const auto it = table_.find(x);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Database::normalized_distance2(const core::Point& a,
+                                      const core::Point& b) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / space_.param(i).range();
+    s += d * d;
+  }
+  return s;
+}
+
+double Database::clean_time(const core::Point& x) const {
+  assert(x.size() == space_.size());
+  if (const auto hit = exact(x)) return *hit;
+
+  {
+    const std::scoped_lock lock(cache_->mutex);
+    const auto it = cache_->map.find(x);
+    if (it != cache_->map.end()) return it->second;
+  }
+
+  // k nearest entries by range-normalised distance.
+  const std::size_t k =
+      std::min(options_.interpolation_neighbors, table_.size());
+  assert(k >= 1);
+  std::vector<std::pair<double, double>> nearest;  // (dist2, value)
+  nearest.reserve(table_.size());
+  for (const auto& [pt, val] : table_) {
+    nearest.emplace_back(normalized_distance2(x, pt), val);
+  }
+  std::partial_sort(nearest.begin(), nearest.begin() + static_cast<long>(k),
+                    nearest.end());
+
+  // Inverse-distance weighting (paper: "weighted average of its closest
+  // neighbors performance values").
+  double wsum = 0.0;
+  double vsum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = std::sqrt(nearest[i].first);
+    const double w = 1.0 / std::pow(d + 1e-12, options_.idw_power);
+    wsum += w;
+    vsum += w * nearest[i].second;
+  }
+  const double value = vsum / wsum;
+
+  {
+    const std::scoped_lock lock(cache_->mutex);
+    cache_->map[x] = value;
+  }
+  return value;
+}
+
+}  // namespace protuner::gs2

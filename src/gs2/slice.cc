@@ -1,0 +1,118 @@
+#include "gs2/slice.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace protuner::gs2 {
+
+namespace {
+
+std::vector<double> sweep_values(const core::Parameter& p,
+                                 std::size_t continuous_levels) {
+  std::vector<double> vals;
+  switch (p.kind()) {
+    case core::ParamKind::kDiscrete:
+      vals = p.values();
+      break;
+    case core::ParamKind::kInteger:
+      for (double v = p.lower(); v <= p.upper(); v += 1.0) vals.push_back(v);
+      break;
+    case core::ParamKind::kContinuous:
+      for (std::size_t l = 0; l < continuous_levels; ++l) {
+        vals.push_back(p.lower() +
+                       p.range() * static_cast<double>(l) /
+                           static_cast<double>(continuous_levels - 1));
+      }
+      break;
+  }
+  return vals;
+}
+
+}  // namespace
+
+std::size_t Slice::local_minima() const {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i + 1 < grid.size(); ++i) {
+    for (std::size_t j = 1; j + 1 < grid[i].size(); ++j) {
+      const double v = grid[i][j];
+      if (v < grid[i - 1][j] && v < grid[i + 1][j] && v < grid[i][j - 1] &&
+          v < grid[i][j + 1]) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double Slice::max_neighbor_jump() const {
+  double jump = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t j = 0; j < grid[i].size(); ++j) {
+      if (i + 1 < grid.size()) {
+        jump = std::max(jump, std::fabs(grid[i + 1][j] - grid[i][j]));
+      }
+      if (j + 1 < grid[i].size()) {
+        jump = std::max(jump, std::fabs(grid[i][j + 1] - grid[i][j]));
+      }
+    }
+  }
+  return jump;
+}
+
+std::string Slice::ascii() const {
+  static constexpr std::string_view kShades = ".:-=+*%#";
+  std::ostringstream out;
+  const double span = std::max(1e-12, max_value - min_value);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t j = 0; j < grid[i].size(); ++j) {
+      const double t = (grid[i][j] - min_value) / span;
+      const auto idx = std::min(
+          kShades.size() - 1,
+          static_cast<std::size_t>(t * static_cast<double>(kShades.size())));
+      out << kShades[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Slice take_slice(const core::ParameterSpace& space,
+                 const core::Landscape& landscape, const core::Point& anchor,
+                 std::size_t axis_x, std::size_t axis_y,
+                 std::size_t continuous_levels) {
+  assert(axis_x < space.size());
+  assert(axis_y < space.size());
+  assert(axis_x != axis_y);
+  assert(anchor.size() == space.size());
+
+  Slice s;
+  s.axis_x = axis_x;
+  s.axis_y = axis_y;
+  s.x_values = sweep_values(space.param(axis_x), continuous_levels);
+  s.y_values = sweep_values(space.param(axis_y), continuous_levels);
+
+  s.grid.assign(s.x_values.size(),
+                std::vector<double>(s.y_values.size(), 0.0));
+  bool first = true;
+  core::Point x = anchor;
+  for (std::size_t i = 0; i < s.x_values.size(); ++i) {
+    x[axis_x] = s.x_values[i];
+    for (std::size_t j = 0; j < s.y_values.size(); ++j) {
+      x[axis_y] = s.y_values[j];
+      const double v = landscape.clean_time(x);
+      s.grid[i][j] = v;
+      if (first) {
+        s.min_value = s.max_value = v;
+        first = false;
+      } else {
+        s.min_value = std::min(s.min_value, v);
+        s.max_value = std::max(s.max_value, v);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace protuner::gs2

@@ -1,0 +1,46 @@
+// 2-D slicing of a performance landscape over a parameter space — the
+// library form of the paper's Fig. 8 ("performance plot as a function of
+// two tunable parameters, when the third parameter is fixed"), plus the
+// local-minima census used to quantify "multiple local minimums".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+
+namespace protuner::gs2 {
+
+struct Slice {
+  std::size_t axis_x = 0;           ///< parameter index on the x axis
+  std::size_t axis_y = 0;           ///< parameter index on the y axis
+  std::vector<double> x_values;     ///< admissible values swept on x
+  std::vector<double> y_values;     ///< admissible values swept on y
+  /// grid[i][j] = f at (x_values[i], y_values[j]); fixed axes hold the
+  /// anchor's coordinates.
+  std::vector<std::vector<double>> grid;
+
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// Count of strict interior local minima (4-neighbourhood).
+  std::size_t local_minima() const;
+
+  /// Largest |difference| between 4-neighbour cells — the "non-smoothness"
+  /// of the slice.
+  double max_neighbor_jump() const;
+
+  /// Character map rendering ('.' fast ... '#' slow), one row per x value.
+  std::string ascii() const;
+};
+
+/// Evaluates the landscape over all admissible combinations of parameters
+/// `axis_x` and `axis_y`, holding every other coordinate at `anchor`.
+/// Continuous axes are sampled at `continuous_levels` points.
+Slice take_slice(const core::ParameterSpace& space,
+                 const core::Landscape& landscape, const core::Point& anchor,
+                 std::size_t axis_x, std::size_t axis_y,
+                 std::size_t continuous_levels = 9);
+
+}  // namespace protuner::gs2

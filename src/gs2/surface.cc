@@ -1,0 +1,61 @@
+#include "gs2/surface.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace protuner::gs2 {
+
+core::ParameterSpace gs2_space() {
+  std::vector<double> ntheta_values;
+  for (int v = 16; v <= 128; v += 2) ntheta_values.push_back(v);
+  std::vector<double> nodes_values;
+  for (int v = 4; v <= 128; v += 4) nodes_values.push_back(v);
+  return core::ParameterSpace({
+      core::Parameter::discrete("ntheta", std::move(ntheta_values)),
+      core::Parameter::integer("negrid", 8, 64),
+      core::Parameter::discrete("nodes", std::move(nodes_values)),
+  });
+}
+
+Gs2Surface::Gs2Surface(SurfaceConfig config) : config_(config) {}
+
+double Gs2Surface::clean_time(const core::Point& x) const {
+  assert(x.size() == 3);
+  const double ntheta = x[kNtheta];
+  const double negrid = x[kNegrid];
+  const double nodes = x[kNodes];
+  assert(ntheta > 0.0 && negrid > 0.0 && nodes > 0.0);
+
+  // Work: a spectral sweep over ntheta * negrid grid cells, distributed as
+  // indivisible blocks of 32 cells ((theta, energy) panels).  Per-iteration
+  // compute time is governed by the *slowest* node, which processes
+  // ceil(blocks / nodes) blocks — this is the classic load-imbalance
+  // staircase and the source of the cliffs between adjacent node counts
+  // that the paper's Fig. 8 shows on the measured surface.
+  const double work_units = ntheta * negrid;
+  const double blocks = std::ceil(work_units / 32.0);
+  const double per_node_blocks = std::ceil(blocks / nodes);
+  const double compute = config_.work_scale * 32.0 * per_node_blocks;
+
+  // Communication: log-depth collectives per iteration plus linear per-node
+  // message handling on the root.
+  const double comm = config_.alltoall_cost * std::log2(nodes) +
+                      config_.pernode_cost * nodes;
+
+  // Cache/blocking/layout modulation: two incommensurate interference
+  // patterns over the parameter axes carve the surface into a field of
+  // basins of varying depth — the rugged "multiple local minimums"
+  // character of the measured surface in Fig. 8.  Multiplicative, so basin
+  // depth scales with the runtime.
+  const double s1 = std::sin(2.0 * std::numbers::pi * ntheta / 12.0) *
+                    std::sin(2.0 * std::numbers::pi * negrid / 5.0);
+  const double s2 = std::sin(2.0 * std::numbers::pi * ntheta / 34.0 + 1.0) *
+                    std::sin(2.0 * std::numbers::pi * nodes / 28.0 + 0.5);
+  const double ripple = 1.0 + config_.ripple * s1 + 0.6 * config_.ripple * s2;
+
+  return (config_.base_time + compute + comm) * ripple;
+}
+
+}  // namespace protuner::gs2

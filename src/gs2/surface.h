@@ -1,0 +1,56 @@
+// Synthetic GS2 performance surface.
+//
+// GS2 is a gyrokinetic plasma turbulence code; the paper tunes three of its
+// parameters: ntheta (grid points per 2*pi field-line segment), negrid
+// (energy grid size) and nodes (processor count).  We cannot run GS2 here,
+// so this surface reproduces the *structure* the paper reports (Fig. 8):
+// a non-smooth landscape with multiple local minima.
+//
+// The model is mechanistic rather than arbitrary, so its shape is the kind
+// a real SPMD spectral code produces:
+//   * per-iteration work grows with ntheta * negrid;
+//   * compute time divides across nodes, but only up to the *load balance*
+//     the domain decomposition allows: ceil(units/nodes)/(units/nodes)
+//     creates the jagged divisibility ridges;
+//   * communication adds a log2(nodes) all-reduce term plus a linear
+//     per-node message overhead, so more nodes stops paying at some point;
+//   * a mild oscillatory cache/blocking term adds extra local minima.
+#pragma once
+
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+
+namespace protuner::gs2 {
+
+/// Parameter order used throughout the gs2 module.
+enum : std::size_t { kNtheta = 0, kNegrid = 1, kNodes = 2 };
+
+struct SurfaceConfig {
+  double work_scale = 6e-3;    ///< seconds per work-unit on one node
+  double alltoall_cost = 0.03; ///< seconds per log2(nodes) collective stage
+  double pernode_cost = 0.004; ///< seconds of per-node message overhead
+  double ripple = 0.25;        ///< relative basin-depth modulation
+  double base_time = 0.05;     ///< fixed per-iteration serial fraction
+};
+
+/// The admissible region of the study: ntheta in even values 16..128,
+/// negrid integer 8..64, nodes in multiples of 4 from 4..128.  Wide enough
+/// that the descent from the centre takes a substantial fraction of a
+/// 100-step tuning run — the regime the paper's §6 experiments operate in.
+core::ParameterSpace gs2_space();
+
+/// Analytic clean-time surface over (ntheta, negrid, nodes).
+class Gs2Surface final : public core::Landscape {
+ public:
+  explicit Gs2Surface(SurfaceConfig config = {});
+
+  double clean_time(const core::Point& x) const override;
+  std::string name() const override { return "GS2Surface"; }
+
+  const SurfaceConfig& config() const { return config_; }
+
+ private:
+  SurfaceConfig config_;
+};
+
+}  // namespace protuner::gs2

@@ -1,0 +1,50 @@
+#include "gs2/trace.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace protuner::gs2 {
+
+std::vector<std::vector<double>> generate_trace(
+    const core::Landscape& landscape, const core::Point& config_point,
+    const TraceConfig& config) {
+  const double clean = landscape.clean_time(config_point);
+  assert(clean > 0.0);
+  varmodel::ShockTraceGenerator gen(config.shocks, config.ranks, config.seed);
+  return gen.generate(clean, config.iterations);
+}
+
+std::vector<double> flatten(const std::vector<std::vector<double>>& trace) {
+  std::vector<double> out;
+  std::size_t total = 0;
+  for (const auto& row : trace) total += row.size();
+  out.reserve(total);
+  for (const auto& row : trace) out.insert(out.end(), row.begin(), row.end());
+  return out;
+}
+
+double rank_correlation(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace protuner::gs2

@@ -1,0 +1,37 @@
+// GS2 runtime-trace generation (Fig. 3 substrate): fixed-parameter
+// per-iteration runtimes on P ranks with the big/small spike structure and
+// cross-rank correlation the paper measured on its 64-node cluster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/landscape.h"
+#include "core/types.h"
+#include "varmodel/shock_model.h"
+
+namespace protuner::gs2 {
+
+struct TraceConfig {
+  std::size_t ranks = 64;
+  std::size_t iterations = 800;
+  std::uint64_t seed = 7;
+  varmodel::ShockConfig shocks;  ///< spike process (defaults match Fig. 3 shape)
+};
+
+/// result[p][k] = iteration time of rank p at step k, for the fixed
+/// configuration `config_point` evaluated on `landscape`.
+std::vector<std::vector<double>> generate_trace(
+    const core::Landscape& landscape, const core::Point& config_point,
+    const TraceConfig& config);
+
+/// Flattens a per-rank trace into one sample vector (the paper's "pdf of
+/// all 64 processors performance data").
+std::vector<double> flatten(const std::vector<std::vector<double>>& trace);
+
+/// Pearson correlation between two ranks' iteration-time series — used to
+/// verify the cross-processor similarity Fig. 3 shows.
+double rank_correlation(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace protuner::gs2

@@ -1,0 +1,102 @@
+#include "harmony/api.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/nelder_mead.h"
+#include "core/pro.h"
+#include "core/sro.h"
+
+namespace protuner::harmony {
+
+SessionBuilder& SessionBuilder::add_int(std::string name, long lo, long hi) {
+  params_.push_back(core::Parameter::integer(std::move(name), lo, hi));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::add_continuous(std::string name, double lo,
+                                               double hi) {
+  params_.push_back(core::Parameter::continuous(std::move(name), lo, hi));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::add_discrete(std::string name,
+                                             std::vector<double> values) {
+  params_.push_back(
+      core::Parameter::discrete(std::move(name), std::move(values)));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::algorithm(Algorithm algo) {
+  algo_ = algo;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::samples(int k) {
+  assert(k >= 1);
+  samples_ = k;
+  adaptive_ = false;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::adaptive_samples(int max_k) {
+  assert(max_k >= 1);
+  adaptive_ = true;
+  max_samples_ = max_k;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::initial_simplex_size(double r) {
+  assert(r > 0.0);
+  initial_size_ = r;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::clients(std::size_t n) {
+  assert(n >= 1);
+  clients_ = n;
+  return *this;
+}
+
+core::ParameterSpace SessionBuilder::space() const {
+  assert(!params_.empty());
+  return core::ParameterSpace(params_);
+}
+
+std::unique_ptr<Server> SessionBuilder::build() const {
+  assert(!params_.empty());
+  const core::ParameterSpace sp = space();
+  core::TuningStrategyPtr strategy;
+  switch (algo_) {
+    case Algorithm::kPro: {
+      core::ProOptions o;
+      o.initial_size = initial_size_;
+      o.samples = samples_;
+      o.max_samples = std::max(o.max_samples, samples_);
+      if (adaptive_) {
+        o.adaptive_samples = true;
+        o.max_samples = max_samples_;
+        o.refresh_best = true;
+      }
+      strategy = std::make_unique<core::ProStrategy>(sp, o);
+      break;
+    }
+    case Algorithm::kSro: {
+      core::SroOptions o;
+      o.initial_size = initial_size_;
+      o.samples = samples_;
+      strategy = std::make_unique<core::SroStrategy>(sp, o);
+      break;
+    }
+    case Algorithm::kNelderMead: {
+      core::NelderMeadOptions o;
+      o.initial_size = initial_size_;
+      o.samples = samples_;
+      strategy = std::make_unique<core::NelderMeadStrategy>(sp, o);
+      break;
+    }
+  }
+  return std::make_unique<Server>(std::move(strategy), clients_);
+}
+
+}  // namespace protuner::harmony

@@ -1,0 +1,67 @@
+// The application-facing facade, mirroring the Active Harmony workflow the
+// paper describes in §1: "The user provides Active Harmony with a list of
+// the tunable parameters, and their type and range" — then the system
+// iteratively runs the program, monitors its running time, and tunes.
+//
+//   harmony::SessionBuilder builder;
+//   builder.add_int("negrid", 8, 64)
+//          .add_discrete("nodes", {4, 8, 16, 32, 64})
+//          .algorithm(harmony::Algorithm::kPro)
+//          .samples(3)
+//          .clients(8);
+//   harmony::Server server = builder.build();
+//
+// The returned Server speaks the fetch/report protocol (see server.h) from
+// any number of concurrent ranks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parameter_space.h"
+#include "harmony/server.h"
+
+namespace protuner::harmony {
+
+enum class Algorithm {
+  kPro,         ///< Parallel Rank Ordering (the paper's algorithm; default)
+  kSro,         ///< Sequential Rank Ordering
+  kNelderMead,  ///< the original Active Harmony optimizer
+};
+
+class SessionBuilder {
+ public:
+  /// Tunable declarations (chainable).
+  SessionBuilder& add_int(std::string name, long lo, long hi);
+  SessionBuilder& add_continuous(std::string name, double lo, double hi);
+  SessionBuilder& add_discrete(std::string name, std::vector<double> values);
+
+  /// Optimizer selection and knobs.
+  SessionBuilder& algorithm(Algorithm algo);
+  SessionBuilder& samples(int k);            ///< min-of-K sampling (§5.2)
+  SessionBuilder& adaptive_samples(int max_k);  ///< future-work adaptive K
+  SessionBuilder& initial_simplex_size(double r);
+  SessionBuilder& clients(std::size_t n);    ///< ranks that will fetch/report
+
+  /// Number of parameters declared so far.
+  std::size_t parameter_count() const { return params_.size(); }
+
+  /// Builds the tuning server.  Requires at least one parameter and one
+  /// client.
+  std::unique_ptr<Server> build() const;
+
+  /// The declared admissible region (useful for validation and tests).
+  core::ParameterSpace space() const;
+
+ private:
+  std::vector<core::Parameter> params_;
+  Algorithm algo_ = Algorithm::kPro;
+  int samples_ = 1;
+  bool adaptive_ = false;
+  int max_samples_ = 8;
+  double initial_size_ = 0.2;
+  std::size_t clients_ = 1;
+};
+
+}  // namespace protuner::harmony

@@ -1,0 +1,136 @@
+#include "harmony/message_protocol.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace protuner::harmony {
+
+namespace {
+
+/// Maps a client's global rank to its dense client index (the server rank
+/// is excluded from the client numbering).
+std::size_t client_index(std::size_t rank, std::size_t server_rank) {
+  return rank < server_rank ? rank : rank - 1;
+}
+
+}  // namespace
+
+MessageServerResult run_message_server(comm::Communicator& comm,
+                                       core::TuningStrategyPtr strategy,
+                                       std::size_t clients) {
+  assert(strategy != nullptr);
+  assert(clients >= 1);
+  assert(clients + 1 <= comm.size());
+
+  strategy->start(clients);
+
+  std::vector<core::Point> assignment;
+  std::size_t proposal_size = 0;
+  const auto publish = [&] {
+    const core::StepProposal proposal = strategy->propose();
+    assert(!proposal.configs.empty());
+    assert(proposal.configs.size() <= clients);
+    proposal_size = proposal.configs.size();
+    assignment = proposal.configs;
+    while (assignment.size() < clients) {
+      assignment.push_back(strategy->best_point());
+    }
+  };
+  publish();
+
+  MessageServerResult result;
+  std::vector<double> times(clients, 0.0);
+  std::vector<bool> waiting(clients, false);
+  std::vector<bool> reported(clients, false);
+  std::size_t reports = 0;
+  std::size_t byes = 0;
+
+  const auto reply_config = [&](std::size_t client) {
+    std::vector<double> msg;
+    msg.reserve(1 + assignment[client].size());
+    msg.push_back(static_cast<double>(kConfig));
+    for (double v : assignment[client]) msg.push_back(v);
+    // The client's global rank reverses the dense index mapping.
+    const std::size_t rank =
+        client < comm.rank() ? client : client + 1;
+    comm.send(rank, std::move(msg));
+  };
+
+  while (byes < clients) {
+    const std::vector<double> msg = comm.recv();
+    assert(msg.size() >= 2);
+    const auto tag = static_cast<MessageTag>(static_cast<int>(msg[0]));
+    const std::size_t client =
+        client_index(static_cast<std::size_t>(msg[1]), comm.rank());
+    assert(client < clients);
+
+    switch (tag) {
+      case kFetch:
+        if (!reported[client]) {
+          // The client is fetching for the round currently open.
+          reply_config(client);
+        } else {
+          // The client already reported and is ahead of the slowest rank;
+          // its fetch is answered when the round closes.
+          waiting[client] = true;
+        }
+        break;
+      case kReport: {
+        assert(msg.size() == 3);
+        assert(!reported[client]);
+        times[client] = msg[2];
+        reported[client] = true;
+        ++reports;
+        if (reports == clients) {
+          const double cost =
+              *std::max_element(times.begin(), times.end());
+          result.total_time += cost;
+          ++result.rounds;
+          strategy->observe(
+              std::span<const double>(times.data(), proposal_size));
+          publish();
+          reports = 0;
+          std::fill(reported.begin(), reported.end(), false);
+          for (std::size_t c = 0; c < clients; ++c) {
+            if (waiting[c]) {
+              waiting[c] = false;
+              reply_config(c);
+            }
+          }
+        }
+        break;
+      }
+      case kBye:
+        ++byes;
+        break;
+      case kConfig:
+        assert(false && "server received a kConfig message");
+        break;
+    }
+  }
+
+  result.best = strategy->best_point();
+  result.converged = strategy->converged();
+  return result;
+}
+
+core::Point MessageClient::fetch() {
+  comm_.send(server_rank_, {static_cast<double>(kFetch),
+                            static_cast<double>(comm_.rank())});
+  const std::vector<double> msg = comm_.recv();
+  assert(!msg.empty());
+  assert(static_cast<int>(msg[0]) == kConfig);
+  return core::Point(msg.begin() + 1, msg.end());
+}
+
+void MessageClient::report(double time) {
+  comm_.send(server_rank_, {static_cast<double>(kReport),
+                            static_cast<double>(comm_.rank()), time});
+}
+
+void MessageClient::goodbye() {
+  comm_.send(server_rank_, {static_cast<double>(kBye),
+                            static_cast<double>(comm_.rank())});
+}
+
+}  // namespace protuner::harmony

@@ -1,0 +1,68 @@
+// Message-passing variant of the Harmony protocol: a dedicated server rank
+// owns the tuning strategy and application ranks talk to it exclusively
+// through comm::Communicator::send/recv — the in-process analogue of
+// Active Harmony's socket protocol, and the integration shape for a real
+// MPI port (replace send/recv with MPI_Send/MPI_Recv).
+//
+// Wire format (vector<double>):
+//   client -> server:  {kFetch,  client_rank}
+//   server -> client:  {kConfig, x_0 ... x_{N-1}}
+//   client -> server:  {kReport, client_rank, observed_time}
+//   client -> server:  {kBye,    client_rank}
+//
+// The server runs rounds bulk-synchronously: it answers fetches from the
+// current round's assignment and advances the strategy when every client
+// has reported.  It returns when every client has said goodbye.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/spmd.h"
+#include "core/strategy.h"
+
+namespace protuner::harmony {
+
+enum MessageTag : int {
+  kFetch = 1,
+  kConfig = 2,
+  kReport = 3,
+  kBye = 4,
+};
+
+/// Result of a completed server loop.
+struct MessageServerResult {
+  double total_time = 0.0;
+  std::size_t rounds = 0;
+  core::Point best;
+  bool converged = false;
+};
+
+/// Runs the tuning server on the calling rank until every client rank has
+/// sent kBye.  `clients` is the number of application ranks (the server
+/// rank itself is not one of them).
+MessageServerResult run_message_server(comm::Communicator& comm,
+                                       core::TuningStrategyPtr strategy,
+                                       std::size_t clients);
+
+/// Client-side helper bound to the server's rank.
+class MessageClient {
+ public:
+  MessageClient(comm::Communicator& comm, std::size_t server_rank)
+      : comm_(comm), server_rank_(server_rank) {}
+
+  /// Requests and returns this rank's configuration for the current round.
+  core::Point fetch();
+
+  /// Reports the observed iteration time for the fetched configuration.
+  void report(double time);
+
+  /// Tells the server this client is done.
+  void goodbye();
+
+ private:
+  comm::Communicator& comm_;
+  std::size_t server_rank_;
+};
+
+}  // namespace protuner::harmony

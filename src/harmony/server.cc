@@ -1,0 +1,92 @@
+#include "harmony/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace protuner::harmony {
+
+Server::Server(core::TuningStrategyPtr strategy, std::size_t clients)
+    : strategy_(std::move(strategy)), clients_(clients) {
+  assert(strategy_ != nullptr);
+  assert(clients_ >= 1);
+  strategy_->start(clients_);
+  times_.assign(clients_, 0.0);
+  reported_.assign(clients_, false);
+  client_round_.assign(clients_, 0);
+  const std::scoped_lock lock(mutex_);
+  publish_round_locked();
+}
+
+void Server::publish_round_locked() {
+  const core::StepProposal proposal = strategy_->propose();
+  assert(!proposal.configs.empty());
+  assert(proposal.configs.size() <= clients_);
+  proposal_size_ = proposal.configs.size();
+  assignment_ = proposal.configs;
+  // Ranks beyond the proposal keep running the strategy's best known
+  // configuration (they must run *something* each step; this is the useful
+  // choice).  Their times count toward the step cost but are not fed back.
+  while (assignment_.size() < clients_) {
+    assignment_.push_back(strategy_->best_point());
+  }
+  std::fill(reported_.begin(), reported_.end(), false);
+  reports_ = 0;
+}
+
+core::Point Server::fetch(std::size_t rank) {
+  assert(rank < clients_);
+  std::unique_lock lock(mutex_);
+  // A rank may only fetch for the round it is in; it advances its round on
+  // report.  The server's round counter trails the slowest rank.
+  round_ready_.wait(lock, [&] { return client_round_[rank] == round_; });
+  return assignment_[rank];
+}
+
+void Server::report(std::size_t rank, double time) {
+  assert(rank < clients_);
+  std::unique_lock lock(mutex_);
+  assert(client_round_[rank] == round_);
+  assert(!reported_[rank]);
+  reported_[rank] = true;
+  times_[rank] = time;
+  ++client_round_[rank];
+  ++reports_;
+  if (reports_ == clients_) {
+    const double cost = *std::max_element(times_.begin(), times_.end());
+    total_time_ += cost;
+    step_costs_.push_back(cost);
+    strategy_->observe(
+        std::span<const double>(times_.data(), proposal_size_));
+    ++round_;
+    publish_round_locked();
+    lock.unlock();
+    round_ready_.notify_all();
+  }
+}
+
+double Server::total_time() const {
+  const std::scoped_lock lock(mutex_);
+  return total_time_;
+}
+
+std::size_t Server::rounds_completed() const {
+  const std::scoped_lock lock(mutex_);
+  return round_;
+}
+
+core::Point Server::best_point() const {
+  const std::scoped_lock lock(mutex_);
+  return strategy_->best_point();
+}
+
+bool Server::converged() const {
+  const std::scoped_lock lock(mutex_);
+  return strategy_->converged();
+}
+
+std::vector<double> Server::step_costs() const {
+  const std::scoped_lock lock(mutex_);
+  return step_costs_;
+}
+
+}  // namespace protuner::harmony

@@ -1,0 +1,86 @@
+// Active-Harmony-style tuning server (paper §1: applications register their
+// tunable parameters; the server iteratively monitors performance and tunes).
+//
+// The server owns a TuningStrategy and exposes the bulk-synchronous client
+// protocol:
+//   * each rank calls fetch() to receive its configuration for the current
+//     application time step;
+//   * after running one iteration it calls report(time);
+//   * when the last rank reports, the server accounts T_k = max over ranks,
+//     feeds the strategy, and opens the next round.
+//
+// Thread-safe: designed to be driven by comm::spmd_run ranks concurrently
+// (the in-process stand-in for Active Harmony's socket protocol), and works
+// equally from a sequential loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/parameter_space.h"
+#include "core/strategy.h"
+
+namespace protuner::harmony {
+
+class Server {
+ public:
+  /// `clients` ranks will call fetch/report each round.  The strategy is
+  /// started with that width.
+  Server(core::TuningStrategyPtr strategy, std::size_t clients);
+
+  /// Blocks until the current round's assignment is available, returns the
+  /// configuration rank `rank` must run.  Each rank must alternate
+  /// fetch/report strictly.
+  core::Point fetch(std::size_t rank);
+
+  /// Reports the observed iteration time for the configuration most
+  /// recently fetched by `rank`.  The final report of a round advances the
+  /// tuning strategy and publishes the next round.
+  void report(std::size_t rank, double time);
+
+  /// Accounting (safe to read between rounds; exact after all clients have
+  /// finished their loops).
+  double total_time() const;
+  std::size_t rounds_completed() const;
+  core::Point best_point() const;
+  bool converged() const;
+  std::vector<double> step_costs() const;
+
+ private:
+  void publish_round_locked();
+
+  core::TuningStrategyPtr strategy_;
+  const std::size_t clients_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable round_ready_;
+
+  std::size_t round_ = 0;                  ///< current round index
+  std::vector<core::Point> assignment_;    ///< per-rank configs (padded)
+  std::size_t proposal_size_ = 0;          ///< configs the strategy proposed
+  std::vector<double> times_;              ///< per-rank reported times
+  std::vector<bool> reported_;
+  std::size_t reports_ = 0;
+  std::vector<std::size_t> client_round_;  ///< round each rank is in
+
+  double total_time_ = 0.0;
+  std::vector<double> step_costs_;
+};
+
+/// Per-rank convenience handle.
+class Client {
+ public:
+  Client(Server& server, std::size_t rank) : server_(server), rank_(rank) {}
+
+  core::Point fetch() { return server_.fetch(rank_); }
+  void report(double time) { server_.report(rank_, time); }
+  std::size_t rank() const { return rank_; }
+
+ private:
+  Server& server_;
+  std::size_t rank_;
+};
+
+}  // namespace protuner::harmony

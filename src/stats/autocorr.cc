@@ -1,0 +1,35 @@
+#include "stats/autocorr.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace protuner::stats {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  assert(lag < xs.size());
+  const auto n = xs.size();
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  if (var == 0.0) return lag == 0 ? 1.0 : 0.0;
+
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  assert(max_lag < xs.size());
+  std::vector<double> out(max_lag + 1);
+  for (std::size_t l = 0; l <= max_lag; ++l) {
+    out[l] = autocorrelation(xs, l);
+  }
+  return out;
+}
+
+}  // namespace protuner::stats

@@ -1,0 +1,17 @@
+// Autocorrelation of a time series — used to characterise measured runtime
+// traces: i.i.d. noise (the paper's Fig. 10 assumption, footnote 3) shows
+// near-zero lag correlation, bursty disruptions show positive lag-1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace protuner::stats {
+
+/// Sample autocorrelation at one lag (0 <= lag < xs.size()).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Autocorrelation function for lags 0..max_lag (inclusive).
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag);
+
+}  // namespace protuner::stats

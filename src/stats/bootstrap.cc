@@ -1,0 +1,60 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/summary.h"
+
+namespace protuner::stats {
+
+namespace {
+
+template <typename Statistic>
+BootstrapCi bootstrap_ci(std::span<const double> xs, double confidence,
+                         int resamples, util::Rng& rng,
+                         const Statistic& stat) {
+  assert(!xs.empty());
+  assert(confidence > 0.0 && confidence < 1.0);
+  assert(resamples >= 10);
+
+  BootstrapCi ci;
+  ci.point = stat(xs);
+
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(xs.size());
+  for (auto& s : stats) {
+    for (auto& v : resample) {
+      v = xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long>(xs.size()) - 1))];
+    }
+    s = stat(std::span<const double>(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(stats.size() - 1));
+    return stats[idx];
+  };
+  ci.lo = at(alpha);
+  ci.hi = at(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                              int resamples, util::Rng& rng) {
+  return bootstrap_ci(xs, confidence, resamples, rng,
+                      [](std::span<const double> v) { return util::mean(v); });
+}
+
+BootstrapCi bootstrap_median_ci(std::span<const double> xs, double confidence,
+                                int resamples, util::Rng& rng) {
+  return bootstrap_ci(xs, confidence, resamples, rng, [](std::span<const double> v) {
+    return util::median(v);
+  });
+}
+
+}  // namespace protuner::stats

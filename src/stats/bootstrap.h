@@ -1,0 +1,27 @@
+// Bootstrap confidence intervals for the bench harnesses: under
+// heavy-tailed data a normal-approximation CI on the mean is unreliable,
+// so the experiment tables report percentile-bootstrap intervals instead.
+#pragma once
+
+#include <span>
+
+#include "util/rng.h"
+
+namespace protuner::stats {
+
+struct BootstrapCi {
+  double point = 0.0;  ///< statistic on the full sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+};
+
+/// Percentile bootstrap CI for the mean.  `confidence` in (0,1),
+/// e.g. 0.95.  Deterministic given the rng state.
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                              int resamples, util::Rng& rng);
+
+/// Percentile bootstrap CI for the median.
+BootstrapCi bootstrap_median_ci(std::span<const double> xs, double confidence,
+                                int resamples, util::Rng& rng);
+
+}  // namespace protuner::stats

@@ -1,0 +1,215 @@
+#include "stats/common_distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace protuner::stats {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}
+
+double std_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double std_normal_quantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's inverse-normal approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) { assert(rate > 0.0); }
+
+double Exponential::sample(util::Rng& rng) const {
+  return rng.exponential() / rate_;
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  assert(p >= 0.0 && p < 1.0);
+  return -std::log1p(-p) / rate_;
+}
+
+std::string Exponential::name() const {
+  std::ostringstream ss;
+  ss << "Exponential(rate=" << rate_ << ")";
+  return ss.str();
+}
+
+// --------------------------------------------------------------------- Normal
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+double Normal::sample(util::Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+double Normal::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return kInvSqrt2Pi / sigma_ * std::exp(-0.5 * z * z);
+}
+
+double Normal::cdf(double x) const {
+  return std_normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * std_normal_quantile(p);
+}
+
+std::string Normal::name() const {
+  std::ostringstream ss;
+  ss << "Normal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return ss.str();
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+double LogNormal::sample(util::Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return kInvSqrt2Pi / (sigma_ * x) * std::exp(-0.5 * z * z);
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return std_normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * std_normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormal::name() const {
+  std::ostringstream ss;
+  ss << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return ss.str();
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  assert(shape > 0.0);
+  assert(scale > 0.0);
+}
+
+double Weibull::sample(util::Rng& rng) const {
+  return scale_ * std::pow(rng.exponential(), 1.0 / shape_);
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const double z = x / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  assert(p >= 0.0 && p < 1.0);
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream ss;
+  ss << "Weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return ss.str();
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) { assert(hi > lo); }
+
+double Uniform::sample(util::Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x < lo_) return 0.0;
+  if (x > hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  return lo_ + p * (hi_ - lo_);
+}
+
+std::string Uniform::name() const {
+  std::ostringstream ss;
+  ss << "Uniform(" << lo_ << ", " << hi_ << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::stats

@@ -1,0 +1,118 @@
+// Light-tailed comparison distributions: exponential, normal, lognormal,
+// Weibull, uniform.  The paper contrasts heavy-tailed (hyperbolic) decay
+// against these exponential-decay families (Section 4.2); the estimator
+// ablations sweep over them.
+#pragma once
+
+#include "stats/distribution.h"
+
+namespace protuner::stats {
+
+/// Exponential(rate):  F(x) = 1 - exp(-rate x), x >= 0.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Normal(mu, sigma).
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// LogNormal(mu, sigma) — log X ~ Normal(mu, sigma).  All moments finite
+/// but sub-exponential: a useful "almost heavy" stress case.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Weibull(shape k, scale lambda):  F(x) = 1 - exp(-(x/lambda)^k).
+/// Sub-exponential for k < 1 yet all moments finite.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Uniform(lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    return (hi_ - lo_) * (hi_ - lo_) / 12.0;
+  }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Standard-normal cdf (shared helper).
+double std_normal_cdf(double z);
+
+/// Standard-normal quantile via Acklam's rational approximation
+/// (|error| < 1.15e-9 everywhere).
+double std_normal_quantile(double p);
+
+}  // namespace protuner::stats

@@ -1,0 +1,49 @@
+// Probability distributions used to model performance variability.
+//
+// One abstract interface so noise models, estimator studies, and the
+// two-priority-queue simulator can be parameterized over tail behaviour
+// (heavy-tailed Pareto vs light-tailed exponential / normal / ...).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace protuner::stats {
+
+/// A univariate continuous distribution: sampling plus analytic
+/// pdf / cdf / quantile / moments where they exist.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using the supplied generator.
+  virtual double sample(util::Rng& rng) const = 0;
+
+  /// Probability density at x.
+  virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution function P[X <= x].
+  virtual double cdf(double x) const = 0;
+
+  /// Inverse cdf: smallest x with cdf(x) >= p, p in (0,1).
+  virtual double quantile(double p) const = 0;
+
+  /// E[X].  Returns +inf when the mean does not exist.
+  virtual double mean() const = 0;
+
+  /// Var[X].  Returns +inf when the variance does not exist.
+  virtual double variance() const = 0;
+
+  /// True if P[X > x] decays hyperbolically with tail index < 2 (infinite
+  /// variance) — the paper's definition, Eq. (8).
+  virtual bool heavy_tailed() const = 0;
+
+  /// Human-readable name for bench output ("Pareto(alpha=1.7, beta=0.3)").
+  virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace protuner::stats

@@ -1,0 +1,63 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace protuner::stats {
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  assert(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+Ecdf::TailPoints Ecdf::tail_points() const {
+  TailPoints tp;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    // Skip duplicates: keep the last occurrence so Q is right-continuous.
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    const double q = (n - static_cast<double>(i + 1)) / n;
+    if (q <= 0.0) continue;  // the max has Q = 0: unplottable on log axes
+    tp.x.push_back(sorted_[i]);
+    tp.q.push_back(q);
+  }
+  return tp;
+}
+
+Ecdf::TailPoints Ecdf::log_log_tail() const {
+  TailPoints raw = tail_points();
+  TailPoints out;
+  for (std::size_t i = 0; i < raw.x.size(); ++i) {
+    if (raw.x[i] <= 0.0) continue;
+    out.x.push_back(std::log10(raw.x[i]));
+    out.q.push_back(std::log10(raw.q[i]));
+  }
+  return out;
+}
+
+std::vector<double> truncate_above(std::span<const double> xs, double cut) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x <= cut) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace protuner::stats

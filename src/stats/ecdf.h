@@ -1,0 +1,51 @@
+// Empirical CDF and complementary-CDF (1-cdf) views.  The paper's heavy-tail
+// diagnostic plots P[X > x] on log-log axes (Figures 5 and 7): a heavy tail
+// shows up as an approximately linear trailing segment with slope -alpha.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace protuner::stats {
+
+/// Empirical distribution of a sample, sorted at construction.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> xs);
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// F_n(x) = (#samples <= x) / n.
+  double cdf(double x) const;
+
+  /// Complementary cdf Q_n(x) = P[X > x] = 1 - F_n(x).
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+
+  /// Empirical quantile, q in [0,1].
+  double quantile(double q) const;
+
+  /// Point set {(x_i, P[X > x_i])} suitable for a log-log tail plot.
+  /// Uses Q(x_(i)) = (n - i) / n over the sorted unique values and drops the
+  /// final point where Q = 0 (it has no log).
+  struct TailPoints {
+    std::vector<double> x;
+    std::vector<double> q;  ///< survival probability at x
+  };
+  TailPoints tail_points() const;
+
+  /// Same points in log10 space: {(log10 x_i, log10 Q_i)} with non-positive
+  /// x dropped — exactly what Figures 5/7 plot.
+  TailPoints log_log_tail() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Removes all samples greater than `cut` — the paper's truncation step used
+/// to show the *small* spikes are also heavy-tailed (Figures 6/7).
+std::vector<double> truncate_above(std::span<const double> xs, double cut);
+
+}  // namespace protuner::stats

@@ -1,0 +1,80 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace protuner::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+Histogram Histogram::fit(std::span<const double> xs, std::size_t bins) {
+  assert(!xs.empty());
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;  // degenerate data: single-value span
+  // Nudge the top edge so the maximum lands inside the last bin.
+  hi = std::nextafter(hi, hi + 1.0);
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp round-up at the edge
+  counts_[idx] += 1.0;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::vector<double> Histogram::edges() const {
+  std::vector<double> e(counts_.size() + 1);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    e[i] = lo_ + static_cast<double>(i) * width_;
+  }
+  return e;
+}
+
+std::vector<double> Histogram::centers() const {
+  std::vector<double> c(counts_.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = lo_ + (static_cast<double>(i) + 0.5) * width_;
+  }
+  return c;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = counts_[i] * norm;
+  return d;
+}
+
+std::vector<double> Histogram::frequency() const {
+  std::vector<double> f(counts_.size(), 0.0);
+  if (total_ == 0) return f;
+  const double norm = 1.0 / static_cast<double>(total_);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = counts_[i] * norm;
+  return f;
+}
+
+}  // namespace protuner::stats

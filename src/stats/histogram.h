@@ -1,0 +1,62 @@
+// Fixed-width histogram used to reproduce the paper's pdf plots
+// (Figures 4 and 6) and their truncated variants.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace protuner::stats {
+
+/// A fixed-bin-width histogram over [lo, hi] with out-of-range counters.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram sized to the data: range [min, max], `bins` bins,
+  /// then inserts every sample.
+  static Histogram fit(std::span<const double> xs, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Raw count in bin i.
+  double count(std::size_t i) const { return counts_[i]; }
+
+  /// All counts.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Bin edges (bin_count() + 1 values).
+  std::vector<double> edges() const;
+
+  /// Bin centres.
+  std::vector<double> centers() const;
+
+  /// Empirical pdf estimate: count / (total * bin_width).  Integrates to 1
+  /// over the covered range when nothing fell outside.
+  std::vector<double> density() const;
+
+  /// Counts normalised to relative frequency (sum = 1 including overflow).
+  std::vector<double> frequency() const;
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bin_width() const { return width_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace protuner::stats

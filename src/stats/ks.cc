@@ -1,0 +1,65 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace protuner::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double q = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        sign * std::exp(-2.0 * k * k * lambda * lambda);
+    q += term;
+    sign = -sign;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  return std::clamp(2.0 * q, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs, const Distribution& dist) {
+  assert(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<double>(v.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double cdf = dist.cdf(v[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(cdf - lo), std::fabs(hi - cdf)});
+  }
+  KsResult r;
+  r.statistic = d;
+  // Asymptotic with the standard finite-sample correction.
+  const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+  r.p_value = kolmogorov_q(lambda);
+  return r;
+}
+
+double ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  assert(!a.empty());
+  assert(!b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace protuner::stats

@@ -1,0 +1,28 @@
+// Kolmogorov-Smirnov goodness-of-fit: distance between an empirical sample
+// and an analytic distribution, with the asymptotic p-value.  Used by the
+// test suite to validate every sampler against its own cdf, and available
+// to users for checking which noise model fits their measured traces.
+#pragma once
+
+#include <span>
+
+#include "stats/distribution.h"
+
+namespace protuner::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// Two-sided one-sample KS test of `xs` against `dist`.
+KsResult ks_test(std::span<const double> xs, const Distribution& dist);
+
+/// Two-sample KS statistic between two empirical samples.
+double ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic Kolmogorov survival function Q(lambda) = P[K > lambda]
+/// (the series 2 sum (-1)^{k-1} exp(-2 k^2 lambda^2)).
+double kolmogorov_q(double lambda);
+
+}  // namespace protuner::stats

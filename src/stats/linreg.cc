@@ -1,0 +1,39 @@
+#include "stats/linreg.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace protuner::stats {
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LineFit fit;
+  fit.n = xs.size();
+  if (fit.n < 2) return fit;
+
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace protuner::stats

@@ -1,0 +1,21 @@
+// Ordinary least-squares line fit.  Used to measure the slope of the
+// log-log survival plot's tail — the paper's "approximately linear tail"
+// heavy-tail diagnostic (Figures 5/7).
+#pragma once
+
+#include <span>
+
+namespace protuner::stats {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;        ///< coefficient of determination
+  std::size_t n = 0;      ///< points used
+};
+
+/// Fits y = slope * x + intercept by least squares.  Requires >= 2 points
+/// with non-zero x variance; otherwise returns a zero-slope fit with n set.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace protuner::stats

@@ -1,0 +1,48 @@
+#include "stats/order_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace protuner::stats {
+
+double min_survival(const Distribution& d, int k, double x) {
+  assert(k >= 1);
+  const double q = 1.0 - d.cdf(x);
+  return std::pow(q, k);
+}
+
+double min_excess_probability(const Distribution& d, int k, double x_min,
+                              double eps) {
+  assert(eps > 0.0);
+  return min_survival(d, k, x_min + eps);
+}
+
+double sample_min(const Distribution& d, int k, util::Rng& rng) {
+  assert(k >= 1);
+  double m = d.sample(rng);
+  for (int i = 1; i < k; ++i) m = std::min(m, d.sample(rng));
+  return m;
+}
+
+double sample_mean(const Distribution& d, int k, util::Rng& rng) {
+  assert(k >= 1);
+  double s = 0.0;
+  for (int i = 0; i < k; ++i) s += d.sample(rng);
+  return s / k;
+}
+
+double sample_median(const Distribution& d, int k, util::Rng& rng) {
+  assert(k >= 1);
+  std::vector<double> v(static_cast<std::size_t>(k));
+  for (auto& x : v) x = d.sample(rng);
+  const auto mid = v.begin() + k / 2;
+  std::nth_element(v.begin(), mid, v.end());
+  if (k % 2 == 1) return *mid;
+  const double hi = *mid;
+  const double lo = *std::max_element(v.begin(), mid);
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace protuner::stats

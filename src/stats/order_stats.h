@@ -1,0 +1,31 @@
+// Order-statistics utilities around the paper's minimum operator
+// (Section 5): survival function of min(x_1..x_k), convergence bound
+// Eq. (14)/(20), and empirical helpers.
+#pragma once
+
+#include <span>
+
+#include "stats/distribution.h"
+
+namespace protuner::stats {
+
+/// P[min(X_1..X_k) > x] = Q(x)^k for iid samples — paper Eq. (11).
+double min_survival(const Distribution& d, int k, double x);
+
+/// P[min over K samples exceeds (x_min + eps)] for the given distribution —
+/// the convergence bound of paper Eq. (14)/(20).  x_min is the distribution's
+/// essential minimum (quantile(0) limit); for Pareto it is beta.
+double min_excess_probability(const Distribution& d, int k, double x_min,
+                              double eps);
+
+/// Draws the minimum of k iid samples.
+double sample_min(const Distribution& d, int k, util::Rng& rng);
+
+/// Draws the mean of k iid samples (the conventional estimator the paper
+/// argues against under heavy tails).
+double sample_mean(const Distribution& d, int k, util::Rng& rng);
+
+/// Draws the median of k iid samples.
+double sample_median(const Distribution& d, int k, util::Rng& rng);
+
+}  // namespace protuner::stats

@@ -1,0 +1,58 @@
+#include "stats/pareto.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace protuner::stats {
+
+Pareto::Pareto(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  assert(alpha > 0.0);
+  assert(beta > 0.0);
+}
+
+double Pareto::sample(util::Rng& rng) const {
+  // Inverse-cdf sampling: x = beta * (1-U)^(-1/alpha), U ~ Uniform[0,1).
+  const double u = rng.uniform();
+  return beta_ * std::pow(1.0 - u, -1.0 / alpha_);
+}
+
+double Pareto::pdf(double x) const {
+  if (x < beta_) return 0.0;
+  return alpha_ * std::pow(beta_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < beta_) return 0.0;
+  return 1.0 - std::pow(beta_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  assert(p >= 0.0 && p < 1.0);
+  return beta_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * beta_ / (alpha_ - 1.0);  // paper Eq. (16)
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return beta_ * beta_ * alpha_ /
+         ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+std::string Pareto::name() const {
+  std::ostringstream ss;
+  ss << "Pareto(alpha=" << alpha_ << ", beta=" << beta_ << ")";
+  return ss.str();
+}
+
+Pareto Pareto::min_of(int k) const {
+  assert(k >= 1);
+  return Pareto(alpha_ * k, beta_);
+}
+
+}  // namespace protuner::stats

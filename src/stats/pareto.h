@@ -1,0 +1,40 @@
+// Pareto distribution — the paper's model for heavy-tailed performance
+// variability (Section 4.2, Eq. 9).
+#pragma once
+
+#include "stats/distribution.h"
+
+namespace protuner::stats {
+
+/// Pareto(alpha, beta):  F(x) = 1 - (beta/x)^alpha for x >= beta.
+/// beta is the smallest value the variable can take; alpha is the tail
+/// index.  For 1 < alpha < 2 the mean is finite and the variance infinite;
+/// for 0 < alpha <= 1 both are infinite (paper, Section 4.2).
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double beta);
+
+  double sample(util::Rng& rng) const override;
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  bool heavy_tailed() const override { return alpha_ < 2.0; }
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Distribution of min(X_1..X_k) for iid Pareto(alpha, beta) samples:
+  /// Pareto(k * alpha, beta) — the paper's Eq. (19).  This is the key
+  /// property that makes the min operator converge even when samples have
+  /// infinite mean and variance.
+  Pareto min_of(int k) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace protuner::stats

@@ -1,0 +1,73 @@
+#include "stats/tail.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.h"
+
+namespace protuner::stats {
+
+double hill_estimator(std::span<const double> xs, std::size_t k) {
+  assert(k >= 1);
+  assert(k < xs.size());
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end(), std::greater<>());
+  const double x_k1 = v[k];  // (k+1)-th largest: the threshold
+  assert(x_k1 > 0.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    assert(v[i] > 0.0);
+    s += std::log(v[i] / x_k1);
+  }
+  return static_cast<double>(k) / s;
+}
+
+HillSweep hill_sweep(std::span<const double> xs, std::size_t k_min,
+                     std::size_t k_max, std::size_t step) {
+  assert(k_min >= 1);
+  assert(k_max < xs.size());
+  assert(step >= 1);
+  HillSweep sweep;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end(), std::greater<>());
+  for (std::size_t k = k_min; k <= k_max; k += step) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += std::log(v[i] / v[k]);
+    sweep.k.push_back(k);
+    sweep.alpha.push_back(static_cast<double>(k) / s);
+  }
+  return sweep;
+}
+
+LineFit tail_slope(std::span<const double> xs, double tail_fraction) {
+  assert(tail_fraction > 0.0 && tail_fraction <= 1.0);
+  const Ecdf ecdf(xs);
+  const auto tail = ecdf.log_log_tail();
+  const std::size_t n = tail.x.size();
+  if (n < 3) return LineFit{};
+  auto keep = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n) * tail_fraction));
+  keep = std::clamp<std::size_t>(keep, 2, n);
+  const std::size_t start = n - keep;
+  return fit_line(std::span(tail.x).subspan(start),
+                  std::span(tail.q).subspan(start));
+}
+
+TailReport diagnose_tail(std::span<const double> xs) {
+  TailReport report;
+  if (xs.size() < 50) return report;  // too little data for a tail verdict
+  const auto k = std::max<std::size_t>(5, xs.size() / 20);
+  report.hill_alpha = hill_estimator(xs, k);
+  const LineFit fit = tail_slope(xs, 0.10);
+  report.slope_alpha = -fit.slope;
+  report.tail_r2 = fit.r2;
+  // Heavy verdict: both estimators agree alpha is below 2 and the log-log
+  // tail is close to linear.  The thresholds are diagnostic, not exact.
+  report.heavy = report.hill_alpha > 0.0 && report.hill_alpha < 2.0 &&
+                 report.slope_alpha < 2.5 && report.tail_r2 > 0.8;
+  return report;
+}
+
+}  // namespace protuner::stats

@@ -1,0 +1,47 @@
+// Heavy-tail diagnostics: the Hill estimator for the tail index alpha, the
+// log-log survival-slope estimator, and a composite heavy-tail verdict.
+//
+// A distribution is heavy-tailed (paper Eq. 8) when P[X > x] ~ x^-alpha with
+// 0 < alpha < 2.  On a log-log survival plot this is a straight tail with
+// slope -alpha; on data it is also measurable by the Hill estimator over the
+// top-k order statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/linreg.h"
+
+namespace protuner::stats {
+
+/// Hill estimator of the tail index alpha from the largest k order
+/// statistics: 1 / mean(log(x_(n-i+1) / x_(n-k))).  Requires all of the
+/// top-(k+1) samples to be positive.  k must satisfy 1 <= k < n.
+double hill_estimator(std::span<const double> xs, std::size_t k);
+
+/// Sweeps the Hill estimator over a range of k and returns the estimate at
+/// each.  A stable plateau across k is evidence of a genuine power-law tail.
+struct HillSweep {
+  std::vector<std::size_t> k;
+  std::vector<double> alpha;
+};
+HillSweep hill_sweep(std::span<const double> xs, std::size_t k_min,
+                     std::size_t k_max, std::size_t step);
+
+/// Fits a line to the top `tail_fraction` of the log-log survival plot and
+/// returns the fit; -slope estimates alpha.
+LineFit tail_slope(std::span<const double> xs, double tail_fraction);
+
+/// Composite verdict used by the bench harness: both estimators computed on
+/// the data plus a boolean heavy-tail call (alpha < 2 with an acceptably
+/// linear tail).
+struct TailReport {
+  double hill_alpha = 0.0;       ///< Hill estimate at k = 5% of n
+  double slope_alpha = 0.0;      ///< -slope of the fitted tail line
+  double tail_r2 = 0.0;          ///< linearity of the log-log tail
+  bool heavy = false;            ///< verdict: hyperbolic tail with alpha < 2
+};
+TailReport diagnose_tail(std::span<const double> xs);
+
+}  // namespace protuner::stats

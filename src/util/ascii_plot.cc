@@ -1,0 +1,155 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace protuner::util {
+namespace {
+
+constexpr std::string_view kGlyphs = "*o+x#@%&";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+bool usable(double v, bool log_scale) {
+  if (!std::isfinite(v)) return false;
+  return !log_scale || v > 0.0;
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%9.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%9.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string line_plot(std::span<const Series> series, const PlotOptions& opts) {
+  const int w = std::max(opts.width, 16);
+  const int h = std::max(opts.height, 6);
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (usable(s.xs[i], opts.log_x) && usable(s.ys[i], opts.log_y)) {
+        xr.include(transform(s.xs[i], opts.log_x));
+        yr.include(transform(s.ys[i], opts.log_y));
+      }
+    }
+  }
+
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  if (!xr.valid() || !yr.valid()) {
+    out << "(no plottable points)\n";
+    return out.str();
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % kGlyphs.size()];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.xs[i], opts.log_x) || !usable(s.ys[i], opts.log_y)) continue;
+      const double tx = transform(s.xs[i], opts.log_x);
+      const double ty = transform(s.ys[i], opts.log_y);
+      const int col = static_cast<int>(
+          std::lround((tx - xr.lo) / xr.span() * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((ty - yr.lo) / yr.span() * (h - 1)));
+      const auto r = static_cast<std::size_t>(h - 1 - row);
+      grid[r][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  const auto ylab = [&](int row) {
+    const double frac =
+        static_cast<double>(h - 1 - row) / static_cast<double>(h - 1);
+    double v = yr.lo + frac * yr.span();
+    if (opts.log_y) v = std::pow(10.0, v);
+    return format_tick(v);
+  };
+
+  for (int r = 0; r < h; ++r) {
+    const bool labelled = r == 0 || r == h - 1 || r == h / 2;
+    out << (labelled ? ylab(r) : std::string(9, ' ')) << " |"
+        << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  double xlo = xr.lo, xhi = xr.hi;
+  if (opts.log_x) {
+    xlo = std::pow(10.0, xlo);
+    xhi = std::pow(10.0, xhi);
+  }
+  out << std::string(10, ' ') << format_tick(xlo)
+      << std::string(static_cast<std::size_t>(std::max(1, w - 18)), ' ')
+      << format_tick(xhi) << '\n';
+
+  out << "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  [" << kGlyphs[si % kGlyphs.size()] << "] " << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string line_plot(std::string_view name, std::span<const double> xs,
+                      std::span<const double> ys, const PlotOptions& opts) {
+  Series s{std::string(name),
+           std::vector<double>(xs.begin(), xs.end()),
+           std::vector<double>(ys.begin(), ys.end())};
+  return line_plot(std::span<const Series>(&s, 1), opts);
+}
+
+std::string histogram_plot(std::span<const double> bin_edges,
+                           std::span<const double> counts,
+                           const PlotOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  if (counts.empty() || bin_edges.size() != counts.size() + 1) {
+    out << "(empty histogram)\n";
+    return out.str();
+  }
+  const int w = std::max(opts.width, 16);
+  double peak = 0.0;
+  for (double c : counts) {
+    const double v = opts.log_y ? std::log10(1.0 + c) : c;
+    peak = std::max(peak, v);
+  }
+  if (peak <= 0.0) peak = 1.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double v = opts.log_y ? std::log10(1.0 + counts[i]) : counts[i];
+    const int len = static_cast<int>(std::lround(v / peak * w));
+    out << format_tick(bin_edges[i]) << ".." << format_tick(bin_edges[i + 1])
+        << " |" << std::string(static_cast<std::size_t>(std::max(0, len)), '#');
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %.6g", counts[i]);
+    out << buf << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace protuner::util

@@ -1,0 +1,43 @@
+// ASCII rendering of line charts and histograms.  The bench binaries use
+// these to show the *shape* of each reproduced figure directly in the
+// terminal, alongside the CSV data.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protuner::util {
+
+struct PlotOptions {
+  int width = 72;       ///< plot area width in characters
+  int height = 18;      ///< plot area height in characters
+  bool log_y = false;   ///< log10-scale the y axis
+  bool log_x = false;   ///< log10-scale the x axis
+  std::string title;
+};
+
+/// One named series for a line plot.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders one or more series as an ASCII scatter/line chart.  Each series
+/// gets its own glyph; a legend is appended.  NaN/inf points are skipped, as
+/// are non-positive points on log-scaled axes.
+std::string line_plot(std::span<const Series> series, const PlotOptions& opts);
+
+/// Convenience overload for a single series.
+std::string line_plot(std::string_view name, std::span<const double> xs,
+                      std::span<const double> ys, const PlotOptions& opts);
+
+/// Renders a horizontal-bar histogram: one row per bin with a bar whose
+/// length is proportional to the bin count (or its log when log_y is set).
+std::string histogram_plot(std::span<const double> bin_edges,
+                           std::span<const double> counts,
+                           const PlotOptions& opts);
+
+}  // namespace protuner::util

@@ -1,0 +1,71 @@
+// Minimal CSV table writer used by the bench harnesses to emit
+// figure-reproduction series in a machine-readable form.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protuner::util {
+
+/// Streams rows of a CSV table.  Quotes fields containing separators.
+/// Usage:
+///   CsvWriter csv(std::cout);
+///   csv.header({"rho", "samples", "ntt"});
+///   csv.row(0.1, 3, 128.5);
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  void header(std::initializer_list<std::string_view> names) {
+    bool first = true;
+    for (auto n : names) {
+      if (!first) out_ << sep_;
+      write_field(std::string(n));
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  /// Writes one row from heterogeneous values (anything streamable).
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    bool first = true;
+    (write_cell(vals, first), ...);
+    out_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  void write_cell(const T& v, bool& first) {
+    if (!first) out_ << sep_;
+    first = false;
+    std::ostringstream ss;
+    ss << v;
+    write_field(ss.str());
+  }
+
+  void write_field(const std::string& s) {
+    const bool needs_quote = s.find(sep_) != std::string::npos ||
+                             s.find('"') != std::string::npos ||
+                             s.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out_ << s;
+      return;
+    }
+    out_ << '"';
+    for (char c : s) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace protuner::util

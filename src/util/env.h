@@ -1,0 +1,31 @@
+// Environment-variable helpers for the bench harnesses: repetition counts
+// default to laptop-friendly values and can be raised to the paper's full
+// scale via REPRO_REPS etc.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace protuner::util {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable.
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Reads a double environment variable, returning `fallback` when unset or
+/// unparsable.
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace protuner::util

@@ -1,0 +1,58 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace protuner::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `range` below 2^64, which removes modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v = (*this)();
+  while (v >= limit) v = (*this)();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::normal() {
+  // Marsaglia polar method; discard the second variate for call-site
+  // reproducibility (a cached spare would make output depend on call order).
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential() {
+  // -log(1 - U) with U in [0,1) keeps the argument strictly positive.
+  return -std::log1p(-uniform());
+}
+
+void Rng::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+Rng Rng::split(unsigned n) const {
+  Rng out = *this;
+  for (unsigned i = 0; i <= n; ++i) out.jump();
+  return out;
+}
+
+}  // namespace protuner::util

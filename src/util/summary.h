@@ -1,0 +1,79 @@
+// Small numeric summaries over spans of doubles: mean, variance, quantiles.
+// These back the statistics modules and the bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace protuner::util {
+
+/// Arithmetic mean.  Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator).  Returns 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Minimum value; requires a non-empty span.
+double min(std::span<const double> xs);
+
+/// Maximum value; requires a non-empty span.
+double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1].  Copies and partially sorts.
+/// Requires a non-empty span.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Running (streaming) mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-plus summary used by the bench harnesses.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the full Summary in one pass over a copy of the data.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace protuner::util

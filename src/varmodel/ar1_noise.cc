@@ -1,0 +1,55 @@
+#include "varmodel/ar1_noise.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace protuner::varmodel {
+
+Ar1Noise::Ar1Noise(Ar1Config config) : config_(config), level_rng_(config.seed) {
+  assert(config.rho >= 0.0 && config.rho < 1.0);
+  assert(config.phi >= 0.0 && config.phi < 1.0);
+  assert(config.level_share >= 0.0 && config.level_share <= 1.0);
+  assert(config.alpha > 1.0);
+}
+
+double Ar1Noise::sample(double clean_time, util::Rng& rng) const {
+  assert(clean_time > 0.0);
+  if (config_.rho == 0.0) return 0.0;
+
+  // Hidden load level: AR(1) with stationary mean 1, clipped at 0.
+  // x_{t} = phi x_{t-1} + (1 - phi) (1 + e), e ~ N(0, 1).
+  if (!initialized_) {
+    level_ = 1.0;
+    initialized_ = true;
+  }
+  level_ = config_.phi * level_ +
+           (1.0 - config_.phi) * (1.0 + level_rng_.normal());
+  const double level = std::max(0.0, level_);
+
+  const double mean = expected(clean_time);
+  const double level_part = config_.level_share * mean * level;
+
+  // Innovation spikes carry the residual share of the mean; they fire
+  // sparsely, so each event is large (event mean = share / fire prob).
+  constexpr double kFireProb = 0.2;
+  const double spike_mean = (1.0 - config_.level_share) * mean;
+  double spike = 0.0;
+  if (spike_mean > 0.0 && rng.bernoulli(kFireProb)) {
+    const double event_mean = spike_mean / kFireProb;
+    const stats::Pareto p(config_.alpha,
+                          event_mean * (config_.alpha - 1.0) / config_.alpha);
+    spike = p.sample(rng);
+  }
+  return level_part + spike;
+}
+
+std::string Ar1Noise::name() const {
+  std::ostringstream ss;
+  ss << "Ar1Noise(rho=" << config_.rho << ", phi=" << config_.phi
+     << ", alpha=" << config_.alpha << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,45 @@
+// Temporally-correlated noise: the machine's background load follows an
+// AR(1) process, so consecutive observations share a slowly-moving level
+// plus heavy-tailed innovations.  Complements BurstNoise (on/off episodes)
+// and the cross-rank ShockTraceGenerator: this is the *within-rank,
+// across-time* correlation axis, the third way real machines violate the
+// i.i.d. assumption of the paper's Fig. 10 analysis.
+#pragma once
+
+#include "stats/pareto.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+struct Ar1Config {
+  double rho = 0.2;         ///< long-run Eq. 7 mean target
+  double phi = 0.9;         ///< AR(1) persistence of the load level, [0,1)
+  double level_share = 0.6; ///< fraction of the mean carried by the level
+  double alpha = 1.7;       ///< tail of the innovation spikes
+  std::uint64_t seed = 1;   ///< level-process stream
+};
+
+class Ar1Noise final : public NoiseModel {
+ public:
+  explicit Ar1Noise(Ar1Config config);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double) const override { return 0.0; }
+  double expected(double clean_time) const override {
+    return config_.rho / (1.0 - config_.rho) * clean_time;
+  }
+  double rho() const override { return config_.rho; }
+  bool heavy_tailed() const override { return config_.alpha < 2.0; }
+  std::string name() const override;
+
+  /// Current level of the hidden load process (diagnostic).
+  double level() const { return level_; }
+
+ private:
+  Ar1Config config_;
+  mutable util::Rng level_rng_;
+  mutable double level_ = 0.0;  ///< stationary-mean-1 AR(1) level
+  mutable bool initialized_ = false;
+};
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,50 @@
+#include "varmodel/burst_noise.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace protuner::varmodel {
+
+BurstNoise::BurstNoise(BurstConfig config)
+    : config_(config), episode_rng_(config.seed) {
+  assert(config.rho >= 0.0 && config.rho < 1.0);
+  assert(config.alpha > 1.0);
+  assert(config.p_enter > 0.0 && config.p_enter <= 1.0);
+  assert(config.p_exit > 0.0 && config.p_exit <= 1.0);
+}
+
+double BurstNoise::duty_cycle() const {
+  return config_.p_enter / (config_.p_enter + config_.p_exit);
+}
+
+double BurstNoise::expected(double clean_time) const {
+  return config_.rho / (1.0 - config_.rho) * clean_time;  // Eq. 7 target
+}
+
+double BurstNoise::sample(double clean_time, util::Rng& rng) const {
+  assert(clean_time > 0.0);
+  if (config_.rho == 0.0) return 0.0;
+  // Advance the episode chain.
+  if (disturbed_) {
+    if (episode_rng_.bernoulli(config_.p_exit)) disturbed_ = false;
+  } else {
+    if (episode_rng_.bernoulli(config_.p_enter)) disturbed_ = true;
+  }
+  if (!disturbed_) return 0.0;
+
+  // In-burst shock sized so the *long-run* mean matches Eq. 7:
+  // duty_cycle * E[shock] = rho/(1-rho) f  =>  mean_shock = expected / duty.
+  const double mean_shock = expected(clean_time) / duty_cycle();
+  const double beta = mean_shock * (config_.alpha - 1.0) / config_.alpha;
+  const stats::Pareto p(config_.alpha, beta);
+  return p.sample(rng);
+}
+
+std::string BurstNoise::name() const {
+  std::ostringstream ss;
+  ss << "BurstNoise(rho=" << config_.rho << ", alpha=" << config_.alpha
+     << ", duty=" << duty_cycle() << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,48 @@
+// Bursty (Markov-modulated) noise: disruptions arrive in episodes rather
+// than i.i.d. per step.  A two-state Markov chain (quiet / disturbed)
+// gates a heavy-tailed Pareto shock.  The paper assumes i.i.d. noise for
+// its Fig. 10 analysis (footnote 3) — this model is the stress test for
+// that assumption, used by the robustness tests and available as an
+// ablation axis.
+//
+// Unlike the memoryless models, a single BurstNoise instance carries state
+// across sample() calls (the episode process), so one instance models one
+// processor's environment.
+#pragma once
+
+#include "stats/pareto.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+struct BurstConfig {
+  double rho = 0.2;          ///< long-run idle throughput target
+  double alpha = 1.7;        ///< Pareto tail index of in-burst shocks
+  double p_enter = 0.05;     ///< P[quiet -> disturbed] per observation
+  double p_exit = 0.25;      ///< P[disturbed -> quiet] per observation
+  std::uint64_t seed = 1;    ///< episode-process stream
+};
+
+class BurstNoise final : public NoiseModel {
+ public:
+  explicit BurstNoise(BurstConfig config);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double) const override { return 0.0; }  // quiet state: no noise
+  double expected(double clean_time) const override;
+  double rho() const override { return config_.rho; }
+  bool heavy_tailed() const override { return config_.alpha < 2.0; }
+  std::string name() const override;
+
+  /// Long-run fraction of observations taken in the disturbed state.
+  double duty_cycle() const;
+
+  bool disturbed() const { return disturbed_; }
+
+ private:
+  BurstConfig config_;
+  mutable util::Rng episode_rng_;
+  mutable bool disturbed_ = false;
+};
+
+}  // namespace protuner::varmodel

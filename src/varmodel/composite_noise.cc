@@ -1,0 +1,44 @@
+#include "varmodel/composite_noise.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace protuner::varmodel {
+
+CompositeNoise::CompositeNoise(std::shared_ptr<const NoiseModel> a,
+                               std::shared_ptr<const NoiseModel> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  assert(a_ != nullptr);
+  assert(b_ != nullptr);
+}
+
+double CompositeNoise::sample(double clean_time, util::Rng& rng) const {
+  return a_->sample(clean_time, rng) + b_->sample(clean_time, rng);
+}
+
+double CompositeNoise::n_min(double clean_time) const {
+  return a_->n_min(clean_time) + b_->n_min(clean_time);
+}
+
+double CompositeNoise::expected(double clean_time) const {
+  return a_->expected(clean_time) + b_->expected(clean_time);
+}
+
+double CompositeNoise::rho() const {
+  // Derived from Eq. 7 at unit clean time: rho = E[n] / (1 + E[n]).
+  const double mean = expected(1.0);
+  return mean / (1.0 + mean);
+}
+
+bool CompositeNoise::heavy_tailed() const {
+  // The heavier component dominates the tail of a sum.
+  return a_->heavy_tailed() || b_->heavy_tailed();
+}
+
+std::string CompositeNoise::name() const {
+  std::ostringstream ss;
+  ss << "Composite(" << a_->name() << " + " << b_->name() << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::varmodel

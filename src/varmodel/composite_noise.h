@@ -1,0 +1,32 @@
+// Composite noise: the sum of two independent noise components.  The
+// natural model for the paper's Fig. 3 structure — frequent mild jitter
+// plus rare heavy-tailed spikes — expressed as a NoiseModel so the whole
+// optimizer/estimator stack can run against it.
+#pragma once
+
+#include <memory>
+
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+class CompositeNoise final : public NoiseModel {
+ public:
+  CompositeNoise(std::shared_ptr<const NoiseModel> a,
+                 std::shared_ptr<const NoiseModel> b);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double clean_time) const override;
+  double expected(double clean_time) const override;
+  /// Effective rho consistent with Eq. 7 applied to the combined mean:
+  /// E[n] = rho/(1-rho) f  =>  rho = E[n] / (f + E[n]).
+  double rho() const override;
+  bool heavy_tailed() const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const NoiseModel> a_;
+  std::shared_ptr<const NoiseModel> b_;
+};
+
+}  // namespace protuner::varmodel

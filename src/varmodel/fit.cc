@@ -1,0 +1,58 @@
+#include "varmodel/fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "stats/tail.h"
+#include "util/summary.h"
+
+namespace protuner::varmodel {
+
+NoiseFit fit_noise(std::span<const double> observations) {
+  assert(observations.size() >= 20);
+  NoiseFit fit;
+
+  // Floor estimate: the smallest observation.  Under any of our noise
+  // models min(y) -> f + n_min >= f, so this is a (slightly biased up)
+  // clean-time estimate; the bias shrinks with the sample count exactly as
+  // the paper's min-operator analysis says (Eq. 14).
+  fit.clean_time = util::min(observations);
+  assert(fit.clean_time > 0.0);
+
+  // Eq. 6: E[y] = f / (1 - rho), with the floor standing in for f.  Exact
+  // when the noise can be zero (queue-style, n_min = 0); biased low under
+  // Eq. 17 noise whose floor already contains beta — rho_eq17 corrects
+  // that once alpha is known.
+  const double mean = util::mean(observations);
+  fit.rho = std::clamp(1.0 - fit.clean_time / mean, 0.0, 0.95);
+
+  // Tail index of the excesses above the floor.
+  std::vector<double> excess;
+  excess.reserve(observations.size());
+  for (double y : observations) {
+    const double e = y - fit.clean_time;
+    if (e > 1e-9 * fit.clean_time) excess.push_back(e);
+  }
+  fit.excesses = excess.size();
+  if (excess.size() >= 50) {
+    const auto report = stats::diagnose_tail(excess);
+    fit.alpha = report.hill_alpha;
+    fit.heavy = report.heavy;
+  }
+  // Eq. 17 correction: the observable floor is f (1 + beta_rel) and
+  // (1 - rho)(1 + beta_rel) = 1 - rho/alpha, so E[y]/floor = 1/(1 - rho/alpha).
+  const double alpha_eff = fit.alpha > 1.05 ? fit.alpha : 1.7;
+  fit.rho_eq17 =
+      std::clamp(alpha_eff * (1.0 - fit.clean_time / mean), 0.0, 0.95);
+  return fit;
+}
+
+ParetoNoise to_pareto_noise(const NoiseFit& fit) {
+  const double alpha =
+      fit.alpha > 1.05 ? fit.alpha : 1.7;  // paper default when unresolved
+  // The Eq. 17 model owns a non-zero floor, so its corrected rho applies.
+  return ParetoNoise(std::clamp(fit.rho_eq17, 0.0, 0.95), alpha);
+}
+
+}  // namespace protuner::varmodel

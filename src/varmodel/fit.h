@@ -1,0 +1,37 @@
+// Calibration: fit the paper's noise model to measured runtimes.
+//
+// Given repeated observations y_1..y_n of one fixed configuration, recover
+// the model parameters of Section 4:
+//   f_hat   — the clean time, estimated by the observed floor (the min
+//             converges to f + n_min; for queue-style noise n_min = 0, for
+//             Eq. 17 Pareto noise the floor is f (1 + beta_rel)),
+//   rho     — from Eq. 6/7:  E[y] = f / (1 - rho)  =>  rho = 1 - f / E[y],
+//   alpha   — Hill estimate on the positive excesses y - f_hat.
+// The result can be fed straight into ParetoNoise to simulate "more of the
+// same machine" — the measure -> fit -> simulate workflow.
+#pragma once
+
+#include <span>
+
+#include "varmodel/pareto_noise.h"
+
+namespace protuner::varmodel {
+
+struct NoiseFit {
+  double clean_time = 0.0;  ///< observed floor (f_hat; see note below)
+  double rho = 0.0;         ///< Eq. 6 estimate assuming floor == f (queue-style noise, n_min = 0)
+  double rho_eq17 = 0.0;    ///< corrected estimate assuming Eq. 17 noise, whose floor is f (1 + beta_rel): E[y]/floor = 1/(1 - rho/alpha)  =>  rho = alpha (1 - floor/mean)
+  double alpha = 0.0;       ///< tail index of the excess distribution
+  bool heavy = false;       ///< alpha < 2 with enough tail evidence
+  std::size_t excesses = 0; ///< samples that exceeded the floor materially
+};
+
+/// Fits the two-job/Pareto noise model to repeated observations of one
+/// configuration.  Requires n >= 20 strictly positive samples.
+NoiseFit fit_noise(std::span<const double> observations);
+
+/// Builds the Eq. 17 ParetoNoise implied by a fit (alpha clamped to > 1 so
+/// the model's mean exists; rho clamped to [0, 0.95]).
+ParetoNoise to_pareto_noise(const NoiseFit& fit);
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,62 @@
+// Performance-variability noise models (paper Section 4).
+//
+// Observed runtime for a configuration with clean (idle-system) time f(v) is
+//   y = f(v) + n(v)                                   (Eq. 5)
+// where n(v) is the time the machine spent on higher-priority work while the
+// application was resident.  Under the paper's two-job model the *expected*
+// noise scales linearly with f(v):
+//   E[n(v)] = rho / (1 - rho) * f(v)                  (Eq. 7)
+// with rho the idle-system throughput (fraction of capacity consumed by the
+// first-priority stream).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace protuner::varmodel {
+
+/// Generates the additive noise term n(v) given the clean runtime f(v).
+class NoiseModel {
+ public:
+  virtual ~NoiseModel() = default;
+
+  /// Draws one noise sample n >= n_min(clean_time).
+  virtual double sample(double clean_time, util::Rng& rng) const = 0;
+
+  /// The essential minimum of the noise for this clean time — the value the
+  /// min-of-K estimator converges to (paper Eq. 14/15: L_y -> f + n_min).
+  /// Must be a non-decreasing function of clean_time for rank-ordering by
+  /// min-of-K to be valid (paper Section 5.1).
+  virtual double n_min(double clean_time) const = 0;
+
+  /// Expected noise E[n(v)]; +inf if the mean does not exist.
+  virtual double expected(double clean_time) const = 0;
+
+  /// Idle-system throughput rho behind this model (0 when not applicable).
+  virtual double rho() const = 0;
+
+  virtual bool heavy_tailed() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Convenience: observed runtime y = f + n.
+  double observe(double clean_time, util::Rng& rng) const {
+    return clean_time + sample(clean_time, rng);
+  }
+};
+
+using NoiseModelPtr = std::unique_ptr<NoiseModel>;
+
+/// The noiseless baseline (rho = 0): y = f(v) exactly.
+class NoNoise final : public NoiseModel {
+ public:
+  double sample(double, util::Rng&) const override { return 0.0; }
+  double n_min(double) const override { return 0.0; }
+  double expected(double) const override { return 0.0; }
+  double rho() const override { return 0.0; }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override { return "NoNoise"; }
+};
+
+}  // namespace protuner::varmodel

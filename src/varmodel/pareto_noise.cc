@@ -1,0 +1,35 @@
+#include "varmodel/pareto_noise.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace protuner::varmodel {
+
+ParetoNoise::ParetoNoise(double rho, double alpha) : rho_(rho), alpha_(alpha) {
+  assert(rho >= 0.0 && rho < 1.0);
+  assert(alpha > 1.0);  // Eq. 17 needs a finite mean
+}
+
+double ParetoNoise::beta(double clean_time) const {
+  return (alpha_ - 1.0) * rho_ / ((1.0 - rho_) * alpha_) * clean_time;
+}
+
+double ParetoNoise::sample(double clean_time, util::Rng& rng) const {
+  assert(clean_time > 0.0);
+  if (rho_ == 0.0) return 0.0;
+  const stats::Pareto p(alpha_, beta(clean_time));
+  return p.sample(rng);
+}
+
+double ParetoNoise::expected(double clean_time) const {
+  return rho_ / (1.0 - rho_) * clean_time;  // Eq. 7
+}
+
+std::string ParetoNoise::name() const {
+  std::ostringstream ss;
+  ss << "ParetoNoise(rho=" << rho_ << ", alpha=" << alpha_ << ")";
+  return ss.str();
+}
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,36 @@
+// Heavy-tailed Pareto noise — the model used in the paper's Fig. 10
+// experiments: n(v) ~ Pareto(alpha, beta(f)) with
+//   beta(f) = (alpha - 1) rho / ((1 - rho) alpha) * f        (Eq. 17)
+// which makes E[n] = rho/(1-rho) f (Eq. 7) and n_min = beta linear in f.
+#pragma once
+
+#include "stats/pareto.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+class ParetoNoise final : public NoiseModel {
+ public:
+  /// rho in [0, 1): idle-system throughput.  alpha > 1 so that the mean
+  /// exists and Eq. 17 is well defined (the paper uses alpha = 1.7: finite
+  /// mean, infinite variance).
+  ParetoNoise(double rho, double alpha);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double clean_time) const override { return beta(clean_time); }
+  double expected(double clean_time) const override;
+  double rho() const override { return rho_; }
+  bool heavy_tailed() const override { return alpha_ < 2.0; }
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+  /// beta(f) from Eq. 17.
+  double beta(double clean_time) const;
+
+ private:
+  double rho_;
+  double alpha_;
+};
+
+}  // namespace protuner::varmodel

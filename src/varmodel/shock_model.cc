@@ -1,0 +1,62 @@
+#include "varmodel/shock_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace protuner::varmodel {
+
+ShockTraceGenerator::ShockTraceGenerator(ShockConfig config, std::size_t ranks,
+                                         std::uint64_t seed)
+    : config_(config),
+      ranks_(ranks),
+      shared_rng_(seed),
+      big_(config.big_alpha, config.big_scale),
+      small_(config.small_alpha, config.small_scale) {
+  assert(ranks > 0);
+  assert(config.big_prob >= 0.0 && config.big_prob <= 1.0);
+  assert(config.small_prob >= 0.0 && config.small_prob <= 1.0);
+  assert(config.correlation >= 0.0 && config.correlation <= 1.0);
+  rank_rng_.reserve(ranks);
+  util::Rng base(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t p = 0; p < ranks; ++p) {
+    rank_rng_.push_back(base.split(static_cast<unsigned>(p)));
+  }
+}
+
+std::vector<double> ShockTraceGenerator::step(double clean_time) {
+  assert(clean_time > 0.0);
+  std::vector<double> t(ranks_, clean_time);
+
+  // System-wide shock: one draw per iteration, felt (with the configured
+  // correlation) by all ranks — this makes the per-rank curves move together
+  // exactly as the paper's Fig. 3 shows.
+  double shared = 0.0;
+  if (shared_rng_.bernoulli(config_.big_prob)) {
+    shared = big_.sample(shared_rng_);
+  }
+
+  for (std::size_t p = 0; p < ranks_; ++p) {
+    auto& rng = rank_rng_[p];
+    // Mild always-on jitter.
+    t[p] += clean_time * config_.jitter_cv * std::abs(rng.normal());
+    // Shared (big) spike — applied to a `correlation` fraction of ranks.
+    if (shared > 0.0 && rng.uniform() < config_.correlation) t[p] += shared;
+    // Idiosyncratic (small) spike.
+    if (rng.bernoulli(config_.small_prob)) t[p] += small_.sample(rng);
+  }
+  return t;
+}
+
+std::vector<std::vector<double>> ShockTraceGenerator::generate(
+    double clean_time, std::size_t iterations) {
+  std::vector<std::vector<double>> trace(
+      ranks_, std::vector<double>(iterations, 0.0));
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const std::vector<double> t = step(clean_time);
+    for (std::size_t p = 0; p < ranks_; ++p) trace[p][k] = t[p];
+  }
+  return trace;
+}
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,62 @@
+// Cross-rank correlated shock process for regenerating Fig. 3-style traces.
+//
+// The paper's measured GS2 traces show two distinct spike populations (big
+// and small) and strong similarity *across processors* within the same
+// iteration — consistent with system-wide disruptions (parallel filesystem,
+// network, batch-system housekeeping) rather than independent per-node
+// noise.  We model per-iteration, per-rank runtime as
+//
+//   t_{p,k} = f * (1 + small_p,k) + Shared_k + Idio_{p,k}
+//
+// where Shared_k is a system-wide shock felt by every rank in iteration k
+// (heavy-tailed, rare, "big spikes"), small_p,k is frequent mild relative
+// jitter, and Idio is rare per-rank heavy-tailed noise ("small spikes" that
+// differ between ranks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/pareto.h"
+#include "util/rng.h"
+
+namespace protuner::varmodel {
+
+struct ShockConfig {
+  double jitter_cv = 0.01;        ///< per-rank mild Gaussian jitter (relative)
+  double big_prob = 0.01;         ///< P[system-wide shock in an iteration]
+  double big_alpha = 1.3;         ///< tail index of the shared shock
+  double big_scale = 5.0;         ///< beta of the shared shock (absolute time)
+  double small_prob = 0.05;       ///< P[per-rank shock in an iteration]
+  double small_alpha = 1.7;       ///< tail index of the per-rank shock
+  double small_scale = 0.3;       ///< beta of the per-rank shock
+  double correlation = 1.0;       ///< fraction of ranks hit by a shared shock
+};
+
+/// Generates correlated per-rank iteration-time traces.
+class ShockTraceGenerator {
+ public:
+  ShockTraceGenerator(ShockConfig config, std::size_t ranks,
+                      std::uint64_t seed);
+
+  /// Advances one iteration and returns the runtime of every rank, given the
+  /// clean per-iteration time f.
+  std::vector<double> step(double clean_time);
+
+  /// Generates a full trace: result[p][k] is rank p's k-th iteration time.
+  std::vector<std::vector<double>> generate(double clean_time,
+                                            std::size_t iterations);
+
+  const ShockConfig& config() const { return config_; }
+  std::size_t ranks() const { return ranks_; }
+
+ private:
+  ShockConfig config_;
+  std::size_t ranks_;
+  util::Rng shared_rng_;             ///< drives system-wide events
+  std::vector<util::Rng> rank_rng_;  ///< one independent stream per rank
+  stats::Pareto big_;
+  stats::Pareto small_;
+};
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,72 @@
+// Light-tailed noise models for the estimator ablations: Gaussian and
+// exponential noise with the same Eq. 7 mean scaling as the Pareto model,
+// plus replayed-trace noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+/// Exponential noise with E[n] = rho/(1-rho) f — light-tailed counterpart of
+/// ParetoNoise (same mean, exponential decay, n_min = 0).
+class ExponentialNoise final : public NoiseModel {
+ public:
+  explicit ExponentialNoise(double rho);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double) const override { return 0.0; }
+  double expected(double clean_time) const override {
+    return rho_ / (1.0 - rho_) * clean_time;
+  }
+  double rho() const override { return rho_; }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double rho_;
+};
+
+/// Truncated-Gaussian noise: n = max(0, N(mu(f), cv*mu(f))) with
+/// mu(f) = rho/(1-rho) f.  `cv` is the coefficient of variation.
+class GaussianNoise final : public NoiseModel {
+ public:
+  GaussianNoise(double rho, double cv);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double) const override { return 0.0; }
+  double expected(double clean_time) const override;
+  double rho() const override { return rho_; }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override;
+
+ private:
+  double rho_;
+  double cv_;
+};
+
+/// Replays a recorded noise trace (e.g. residuals extracted from measured
+/// runs), cycling when exhausted.  The trace is interpreted as *relative*
+/// noise: n = trace[i] * f.  Sampling advances an internal cursor, so a
+/// single instance shared across evaluations reproduces trace order.
+class TraceNoise final : public NoiseModel {
+ public:
+  explicit TraceNoise(std::vector<double> relative_trace);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  double n_min(double clean_time) const override;
+  double expected(double clean_time) const override;
+  double rho() const override { return 0.0; }
+  bool heavy_tailed() const override { return false; }
+  std::string name() const override { return "TraceNoise"; }
+
+ private:
+  std::vector<double> trace_;
+  mutable std::size_t cursor_ = 0;
+  double min_rel_ = 0.0;
+  double mean_rel_ = 0.0;
+};
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,75 @@
+// Event-driven simulation of the paper's two-job machine model
+// (Section 4.1): a single server with strict preemptive-resume priority.
+// First-priority jobs (OS housekeeping, daemons, transient disruptions)
+// arrive as a Poisson stream; the tunable application is the second-priority
+// job and is served only when no first-priority work is present.
+//
+// With arrival rate lambda and first-priority service distribution S, the
+// idle-system throughput is rho = lambda * E[S], and the application's
+// completion time y satisfies E[y] = f / (1 - rho) when it starts at an idle
+// instant (Eq. 6) — the server grants the application exactly the leftover
+// capacity 1 - rho on average.
+//
+// Making S heavy-tailed (Pareto) makes the observed noise n = y - f heavy
+// tailed, which is how we regenerate Fig. 3-style traces without the
+// original cluster.
+#pragma once
+
+#include <memory>
+
+#include "stats/distribution.h"
+#include "util/rng.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+struct TwoJobConfig {
+  double arrival_rate = 0.1;  ///< lambda: first-priority arrivals per time unit
+  /// First-priority service-time distribution; E[S] * lambda must be < 1.
+  std::shared_ptr<const stats::Distribution> service;
+  /// Warm-up horizon simulated before the application is admitted, so that
+  /// the first-priority backlog approaches stationarity.  Set to 0 to admit
+  /// the application into an idle system (the Eq. 6 regime).
+  double warmup_time = 0.0;
+};
+
+/// Runs one application job of size `clean_time` through the priority queue
+/// and returns its completion (wall) time y >= clean_time.
+class TwoJobSimulator {
+ public:
+  explicit TwoJobSimulator(TwoJobConfig config);
+
+  /// Simulates one run; deterministic given rng state.
+  double run_application(double clean_time, util::Rng& rng) const;
+
+  /// Idle-system throughput rho = lambda * E[S].
+  double rho() const;
+
+  const TwoJobConfig& config() const { return config_; }
+
+ private:
+  TwoJobConfig config_;
+};
+
+/// Adapts the queue simulator to the NoiseModel interface so optimizers can
+/// run against the mechanistic model instead of a closed-form distribution.
+class QueueNoise final : public NoiseModel {
+ public:
+  explicit QueueNoise(TwoJobConfig config);
+
+  double sample(double clean_time, util::Rng& rng) const override;
+  /// The queue can leave the application completely undisturbed, so the
+  /// essential minimum of the noise is 0.
+  double n_min(double) const override { return 0.0; }
+  double expected(double clean_time) const override;
+  double rho() const override { return sim_.rho(); }
+  bool heavy_tailed() const override {
+    return sim_.config().service->heavy_tailed();
+  }
+  std::string name() const override;
+
+ private:
+  TwoJobSimulator sim_;
+};
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,81 @@
+// Tests for the live blocked-matmul kernel substrate.
+#include <gtest/gtest.h>
+
+#include "apps/blocked_matmul.h"
+#include "core/pro.h"
+#include "core/session.h"
+
+namespace protuner::apps {
+namespace {
+
+TEST(BlockedMatmul, BlockedMatchesReferenceForManyBlockings) {
+  BlockedMatmul mm(32);
+  mm.run_reference();
+  for (std::size_t bi : {1u, 4u, 8u, 32u}) {
+    for (std::size_t bk : {2u, 16u, 32u}) {
+      (void)mm.run(bi, 8, bk);
+      EXPECT_LT(mm.max_error(), 1e-9)
+          << "bi=" << bi << " bk=" << bk;
+    }
+  }
+}
+
+TEST(BlockedMatmul, ChecksumStableAcrossBlockings) {
+  BlockedMatmul mm(24);
+  (void)mm.run(4, 4, 4);
+  const double c1 = mm.checksum();
+  (void)mm.run(24, 24, 24);
+  EXPECT_NEAR(mm.checksum(), c1, 1e-9);
+}
+
+TEST(BlockedMatmul, RunReturnsPositiveTime) {
+  BlockedMatmul mm(32);
+  EXPECT_GT(mm.run(8, 8, 8), 0.0);
+}
+
+TEST(BlockedMatmul, BlockSizesClamped) {
+  BlockedMatmul mm(16);
+  mm.run_reference();
+  (void)mm.run(0, 999, 3);  // clamped to [1, n]
+  EXPECT_LT(mm.max_error(), 1e-9);
+}
+
+TEST(BlockedMatmul, TuningSpaceShape) {
+  const auto space = BlockedMatmul::tuning_space(64);
+  ASSERT_EQ(space.size(), 3u);
+  // 4, 8, 16, 32, 64.
+  EXPECT_EQ(space.param(0).values().size(), 5u);
+  EXPECT_TRUE(space.admissible(core::Point{4.0, 64.0, 16.0}));
+  EXPECT_FALSE(space.admissible(core::Point{5.0, 64.0, 16.0}));
+}
+
+TEST(BlockedMatmul, TuningSpaceIncludesFullSizeForNonPowerOfTwo) {
+  const auto space = BlockedMatmul::tuning_space(48);
+  const auto& vals = space.param(0).values();
+  EXPECT_DOUBLE_EQ(vals.back(), 48.0);
+}
+
+TEST(MatmulEvaluator, RunsAssignmentsAndTimesThem) {
+  MatmulEvaluator machine(24, 3);
+  const std::vector<core::Point> cfgs{
+      {8.0, 8.0, 8.0}, {24.0, 24.0, 24.0}, {4.0, 4.0, 4.0}};
+  const auto times = machine.run_step(cfgs);
+  ASSERT_EQ(times.size(), 3u);
+  for (double t : times) EXPECT_GT(t, 0.0);
+}
+
+TEST(MatmulEvaluator, EndToEndTuningSessionCompletes) {
+  // Small matrices keep this test fast; the point is the full pipeline on
+  // real measurements.
+  MatmulEvaluator machine(24, 4);
+  const auto space = BlockedMatmul::tuning_space(24);
+  core::ProStrategy pro(space, {});
+  const core::SessionResult r =
+      core::run_session(pro, machine, {.steps = 30});
+  EXPECT_TRUE(space.admissible(r.best));
+  EXPECT_GT(r.total_time, 0.0);
+  EXPECT_EQ(r.step_costs.size(), 30u);
+}
+
+}  // namespace
+}  // namespace protuner::apps

@@ -1,0 +1,223 @@
+// Tests for the distribution library: analytic identities plus
+// parameterized sample-vs-analytic property sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <memory>
+#include <vector>
+
+#include "stats/common_distributions.h"
+#include "stats/pareto.h"
+#include "util/rng.h"
+#include "util/summary.h"
+
+namespace protuner::stats {
+namespace {
+
+// ------------------------------------------------------------------- Pareto
+
+TEST(Pareto, CdfMatchesClosedForm) {
+  const Pareto p(1.7, 2.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.0), 0.0);          // below beta
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.0);          // at beta
+  EXPECT_NEAR(p.cdf(4.0), 1.0 - std::pow(0.5, 1.7), 1e-12);
+}
+
+TEST(Pareto, QuantileInvertsCdf) {
+  const Pareto p(1.7, 0.5);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(p.cdf(p.quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Pareto, MeanClosedForm) {
+  const Pareto p(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 6.0);  // alpha*beta/(alpha-1)
+}
+
+TEST(Pareto, InfiniteMeanBelowAlphaOne) {
+  const Pareto p(0.8, 1.0);
+  EXPECT_TRUE(std::isinf(p.mean()));
+  EXPECT_TRUE(std::isinf(p.variance()));
+}
+
+TEST(Pareto, InfiniteVarianceBelowAlphaTwo) {
+  const Pareto p(1.7, 1.0);
+  EXPECT_FALSE(std::isinf(p.mean()));
+  EXPECT_TRUE(std::isinf(p.variance()));
+  EXPECT_TRUE(p.heavy_tailed());
+}
+
+TEST(Pareto, FiniteVarianceAboveAlphaTwo) {
+  const Pareto p(3.0, 1.0);
+  // Var = beta^2 alpha / ((alpha-1)^2 (alpha-2)) = 3/4.
+  EXPECT_NEAR(p.variance(), 0.75, 1e-12);
+  EXPECT_FALSE(p.heavy_tailed());
+}
+
+TEST(Pareto, SamplesAboveBeta) {
+  const Pareto p(1.5, 2.5);
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(p.sample(rng), 2.5);
+}
+
+TEST(Pareto, SampleMeanConvergesWhenFinite) {
+  const Pareto p(3.0, 1.0);
+  util::Rng rng(7);
+  double s = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) s += p.sample(rng);
+  EXPECT_NEAR(s / kN, p.mean(), 0.02);
+}
+
+TEST(Pareto, MinOfKIsParetoKAlpha) {
+  // Paper Eq. 19: empirical min-of-K survival matches Pareto(K alpha).
+  const Pareto p(0.9, 1.0);  // infinite mean on its own
+  const Pareto min_dist = p.min_of(5);
+  EXPECT_DOUBLE_EQ(min_dist.alpha(), 4.5);
+  EXPECT_DOUBLE_EQ(min_dist.beta(), 1.0);
+
+  util::Rng rng(3);
+  constexpr int kReps = 20000;
+  int exceed = 0;
+  const double z = 1.5;
+  for (int r = 0; r < kReps; ++r) {
+    double m = p.sample(rng);
+    for (int k = 1; k < 5; ++k) m = std::min(m, p.sample(rng));
+    exceed += (m > z);
+  }
+  const double analytic = std::pow(1.0 / z, 4.5);
+  EXPECT_NEAR(static_cast<double>(exceed) / kReps, analytic, 0.01);
+}
+
+// -------------------------------------------------------------- Exponential
+
+TEST(Exponential, CdfAndQuantile) {
+  const Exponential e(2.0);
+  EXPECT_NEAR(e.cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(e.quantile(e.cdf(0.7)), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.25);
+  EXPECT_FALSE(e.heavy_tailed());
+}
+
+// ------------------------------------------------------------------- Normal
+
+TEST(Normal, CdfSymmetry) {
+  const Normal n(0.0, 1.0);
+  EXPECT_NEAR(n.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.cdf(1.0) + n.cdf(-1.0), 1.0, 1e-9);
+}
+
+TEST(Normal, QuantileInverts) {
+  const Normal n(5.0, 2.0);
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(n.cdf(n.quantile(q)), q, 1e-6);
+  }
+}
+
+TEST(Normal, PdfPeakAtMean) {
+  const Normal n(1.0, 0.5);
+  EXPECT_GT(n.pdf(1.0), n.pdf(1.4));
+  EXPECT_NEAR(n.pdf(1.0), 1.0 / (0.5 * std::sqrt(2.0 * std::numbers::pi)), 1e-9);
+}
+
+// ---------------------------------------------------------------- LogNormal
+
+TEST(LogNormal, MeanVariance) {
+  const LogNormal ln(0.0, 1.0);
+  EXPECT_NEAR(ln.mean(), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(ln.variance(), (std::exp(1.0) - 1.0) * std::exp(1.0), 1e-9);
+}
+
+TEST(LogNormal, CdfQuantileRoundTrip) {
+  const LogNormal ln(0.5, 0.8);
+  for (double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(ln.cdf(ln.quantile(q)), q, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------------ Weibull
+
+TEST(Weibull, ReducesToExponentialAtShapeOne) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (double x : {0.1, 1.0, 3.0}) EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+}
+
+TEST(Weibull, MeanMatchesGamma) {
+  const Weibull w(2.0, 1.0);
+  EXPECT_NEAR(w.mean(), std::sqrt(std::numbers::pi) / 2.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ Uniform
+
+TEST(Uniform, Basics) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+  EXPECT_NEAR(u.variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.quantile(0.25), 3.0);
+}
+
+// --------------------------------------- property sweep over distributions
+
+struct DistCase {
+  const char* label;
+  std::shared_ptr<Distribution> dist;
+};
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, SampleQuantilesMatchAnalytic) {
+  const auto& d = *GetParam().dist;
+  util::Rng rng(11);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = d.sample(rng);
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double empirical = xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    const double analytic = d.quantile(q);
+    // Relative tolerance: 5% plus a small absolute floor.
+    EXPECT_NEAR(empirical, analytic, 0.05 * std::fabs(analytic) + 0.01)
+        << GetParam().label << " at q=" << q;
+  }
+}
+
+TEST_P(DistributionProperty, CdfIsMonotone) {
+  const auto& d = *GetParam().dist;
+  double prev = -1.0;
+  for (double x = 0.05; x < 20.0; x += 0.35) {
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev) << GetParam().label;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionProperty, PdfNonNegative) {
+  const auto& d = *GetParam().dist;
+  for (double x = 0.05; x < 20.0; x += 0.35) {
+    EXPECT_GE(d.pdf(x), 0.0) << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionProperty,
+    ::testing::Values(
+        DistCase{"pareto17", std::make_shared<Pareto>(1.7, 1.0)},
+        DistCase{"pareto30", std::make_shared<Pareto>(3.0, 0.5)},
+        DistCase{"exponential", std::make_shared<Exponential>(1.5)},
+        DistCase{"normal", std::make_shared<Normal>(5.0, 1.0)},
+        DistCase{"lognormal", std::make_shared<LogNormal>(0.0, 0.7)},
+        DistCase{"weibull", std::make_shared<Weibull>(1.5, 2.0)},
+        DistCase{"uniform", std::make_shared<Uniform>(1.0, 9.0)}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace protuner::stats

@@ -1,0 +1,166 @@
+// Tests for noise-model calibration (measure -> fit -> simulate) and the
+// post-tuning sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/landscape.h"
+#include "core/sensitivity.h"
+#include "util/rng.h"
+#include "varmodel/fit.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/two_job_sim.h"
+#include "stats/pareto.h"
+
+namespace protuner {
+namespace {
+
+// ---------------------------------------------------------------- noise fit
+
+TEST(NoiseFit, RecoversParametersFromEq17Noise) {
+  const double true_rho = 0.25, true_alpha = 1.7, f = 4.0;
+  const varmodel::ParetoNoise noise(true_rho, true_alpha);
+  util::Rng rng(1);
+  std::vector<double> ys(20000);
+  for (auto& y : ys) y = noise.observe(f, rng);
+
+  const varmodel::NoiseFit fit = varmodel::fit_noise(ys);
+  // Floor = f (1 + beta_rel); beta_rel = 0.7*0.25/(0.75*1.7) ~ 0.137.
+  EXPECT_NEAR(fit.clean_time, f * (1.0 + noise.beta(1.0)), 0.05);
+  // Raw Eq. 6 rho is biased low under Eq. 17 noise (the floor hides beta);
+  // the alpha-corrected estimate recovers the truth.
+  EXPECT_LT(fit.rho, true_rho);
+  EXPECT_NEAR(fit.rho_eq17, true_rho, 0.07);
+  EXPECT_NEAR(fit.alpha, true_alpha, 0.4);
+  EXPECT_TRUE(fit.heavy);
+}
+
+TEST(NoiseFit, CleanMachineYieldsNearZeroRho) {
+  // Tiny jitter only.
+  util::Rng rng(2);
+  std::vector<double> ys(500);
+  for (auto& y : ys) y = 3.0 + 0.001 * rng.uniform();
+  const varmodel::NoiseFit fit = varmodel::fit_noise(ys);
+  EXPECT_LT(fit.rho, 0.01);
+  EXPECT_NEAR(fit.clean_time, 3.0, 0.01);
+}
+
+TEST(NoiseFit, QueueNoiseGivesConsistentRho) {
+  varmodel::TwoJobConfig cfg;
+  cfg.arrival_rate = 0.3;
+  cfg.service = std::make_shared<stats::Pareto>(1.7, 0.7 / 1.7);
+  const varmodel::TwoJobSimulator sim(cfg);
+  util::Rng rng(3);
+  std::vector<double> ys(8000);
+  for (auto& y : ys) y = sim.run_application(5.0, rng);
+  const varmodel::NoiseFit fit = varmodel::fit_noise(ys);
+  EXPECT_NEAR(fit.rho, sim.rho(), 0.08);
+  EXPECT_NEAR(fit.clean_time, 5.0, 0.15);
+}
+
+TEST(NoiseFit, ToParetoNoiseRoundTripsMean) {
+  const varmodel::ParetoNoise truth(0.2, 1.8);
+  util::Rng rng(4);
+  std::vector<double> ys(20000);
+  for (auto& y : ys) y = truth.observe(2.0, rng);
+  const varmodel::ParetoNoise refit =
+      varmodel::to_pareto_noise(varmodel::fit_noise(ys));
+  // The refit model's Eq. 7 mean should be close to the truth's.
+  EXPECT_NEAR(refit.expected(2.0), truth.expected(2.0),
+              0.35 * truth.expected(2.0));
+}
+
+TEST(NoiseFit, UnresolvedTailFallsBackToPaperAlpha) {
+  // Light noise with too few excess samples for a tail estimate.
+  util::Rng rng(5);
+  std::vector<double> ys(30);
+  for (auto& y : ys) y = 1.0 + 0.01 * rng.uniform();
+  const varmodel::NoiseFit fit = varmodel::fit_noise(ys);
+  const varmodel::ParetoNoise model = varmodel::to_pareto_noise(fit);
+  EXPECT_DOUBLE_EQ(model.alpha(), 1.7);
+}
+
+// ------------------------------------------------------------- sensitivity
+
+core::ParameterSpace aniso_space() {
+  return core::ParameterSpace({
+      core::Parameter::integer("steep", 0, 20),
+      core::Parameter::integer("flat", 0, 20),
+  });
+}
+
+TEST(Sensitivity, RanksSteepAxisFirst) {
+  const auto space = aniso_space();
+  const core::FunctionLandscape land("aniso", [](const core::Point& x) {
+    return 1.0 + 0.5 * (x[0] - 10.0) * (x[0] - 10.0) +
+           0.001 * (x[1] - 10.0) * (x[1] - 10.0);
+  });
+  const auto report = core::analyze_sensitivity(
+      space, land, core::Point{10.0, 10.0});
+  ASSERT_EQ(report.axes.size(), 2u);
+  EXPECT_EQ(report.axes[0].name, "steep");
+  EXPECT_GT(report.axes[0].rel_range, report.axes[1].rel_range);
+  EXPECT_TRUE(report.axes[0].anchor_is_axis_optimum);
+  EXPECT_TRUE(report.axes[1].anchor_is_axis_optimum);
+}
+
+TEST(Sensitivity, DetectsNonOptimalAnchor) {
+  const auto space = aniso_space();
+  const core::FunctionLandscape land("slope", [](const core::Point& x) {
+    return 30.0 - x[0] + 0.0 * x[1] + 1.0;
+  });
+  const auto report =
+      core::analyze_sensitivity(space, land, core::Point{10.0, 10.0});
+  // The anchor is not the axis optimum along "steep" (larger is better).
+  bool steep_flagged = false;
+  for (const auto& axis : report.axes) {
+    if (axis.name == "steep") steep_flagged = !axis.anchor_is_axis_optimum;
+  }
+  EXPECT_TRUE(steep_flagged);
+}
+
+TEST(Sensitivity, RespectsBoundaries) {
+  const auto space = aniso_space();
+  const core::FunctionLandscape land("bowl", [](const core::Point& x) {
+    return 1.0 + x[0] + x[1];
+  });
+  // Anchor at the lower corner: sweeps must stay admissible.
+  const auto report =
+      core::analyze_sensitivity(space, land, core::Point{0.0, 0.0});
+  for (const auto& axis : report.axes) {
+    for (double v : axis.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 20.0);
+    }
+  }
+}
+
+TEST(Sensitivity, ContinuousAxisSweepsWithinRadius) {
+  const core::ParameterSpace space(
+      {core::Parameter::continuous("c", 0.0, 10.0)});
+  const core::FunctionLandscape land(
+      "lin", [](const core::Point& x) { return 1.0 + x[0]; });
+  core::SensitivityOptions opt;
+  opt.radius_fraction = 0.1;  // radius 1.0
+  const auto report =
+      core::analyze_sensitivity(space, land, core::Point{5.0}, opt);
+  for (double v : report.axes[0].values) {
+    EXPECT_GE(v, 4.0 - 1e-9);
+    EXPECT_LE(v, 6.0 + 1e-9);
+  }
+}
+
+TEST(Sensitivity, StepsPerSideControlsSweepSize) {
+  const auto space = aniso_space();
+  const core::FunctionLandscape land(
+      "flat", [](const core::Point&) { return 1.0; });
+  core::SensitivityOptions opt;
+  opt.steps_per_side = 2;
+  const auto report = core::analyze_sensitivity(
+      space, land, core::Point{10.0, 10.0}, opt);
+  EXPECT_EQ(report.axes[0].values.size(), 5u);  // 2 below + anchor + 2 above
+}
+
+}  // namespace
+}  // namespace protuner

@@ -1,0 +1,156 @@
+// Tests for the histogram / ecdf diagnostics behind Figures 4-7.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "stats/pareto.h"
+#include "util/rng.h"
+
+namespace protuner::stats {
+namespace {
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);  // bins [0,2) [2,4) [4,6) [6,8) [8,10)
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.9);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TracksOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  util::Rng rng(5);
+  Histogram h(0.0, 1.0, 20);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform());
+  double integral = 0.0;
+  for (double d : h.density()) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, FrequencySumsToCoveredFraction) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.9);
+  h.add(2.0);  // overflow
+  double sum = 0.0;
+  for (double f : h.frequency()) sum += f;
+  EXPECT_NEAR(sum, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, FitCoversDataRange) {
+  const std::vector<double> xs{3.0, 7.0, 5.0, 9.0, 1.0};
+  const Histogram h = Histogram::fit(xs, 4);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), xs.size());
+}
+
+TEST(Histogram, FitSingleValueData) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const Histogram h = Histogram::fit(xs, 3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, EdgesAndCentersConsistent) {
+  Histogram h(0.0, 3.0, 3);
+  const auto e = h.edges();
+  const auto c = h.centers();
+  ASSERT_EQ(e.size(), 4u);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[3], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.5);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Ecdf e(xs);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.ccdf(2.5), 0.5);
+}
+
+TEST(Ecdf, QuantileMatchesSortedData) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  const Ecdf e(xs);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+}
+
+TEST(Ecdf, TailPointsDropZeroSurvival) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto tp = Ecdf(xs).tail_points();
+  ASSERT_EQ(tp.x.size(), 2u);  // max dropped (Q=0)
+  EXPECT_DOUBLE_EQ(tp.x[0], 1.0);
+  EXPECT_NEAR(tp.q[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(tp.q[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Ecdf, TailPointsMergeDuplicates) {
+  const std::vector<double> xs{1.0, 1.0, 2.0, 3.0};
+  const auto tp = Ecdf(xs).tail_points();
+  // x=1 appears once with Q = P[X > 1] = 0.5.
+  ASSERT_GE(tp.x.size(), 1u);
+  EXPECT_DOUBLE_EQ(tp.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(tp.q[0], 0.5);
+}
+
+TEST(Ecdf, LogLogTailIsLinearForPareto) {
+  // The core Fig. 5 diagnostic: Pareto data yields a straight log-log tail
+  // with slope -alpha.
+  const Pareto p(1.7, 1.0);
+  util::Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = p.sample(rng);
+  const auto tail = Ecdf(xs).log_log_tail();
+  // Fit a line over the central segment (avoid the noisy extreme tail).
+  const std::size_t n = tail.x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t cnt = 0;
+  for (std::size_t i = n / 4; i < 3 * n / 4; ++i) {
+    sx += tail.x[i];
+    sy += tail.q[i];
+    sxx += tail.x[i] * tail.x[i];
+    sxy += tail.x[i] * tail.q[i];
+    ++cnt;
+  }
+  const double m = (static_cast<double>(cnt) * sxy - sx * sy) /
+                   (static_cast<double>(cnt) * sxx - sx * sx);
+  EXPECT_NEAR(m, -1.7, 0.15);
+}
+
+TEST(TruncateAbove, RemovesLargeSamples) {
+  const std::vector<double> xs{1.0, 6.0, 2.0, 5.0, 10.0};
+  const auto t = truncate_above(xs, 5.0);
+  ASSERT_EQ(t.size(), 3u);
+  for (double v : t) EXPECT_LE(v, 5.0);
+}
+
+TEST(TruncateAbove, KeepsAllWhenCutAboveMax) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(truncate_above(xs, 10.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace protuner::stats

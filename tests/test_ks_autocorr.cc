@@ -1,0 +1,142 @@
+// Tests for the Kolmogorov-Smirnov fit tests and autocorrelation — and,
+// through them, a goodness-of-fit validation of every sampler in the
+// distribution library.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stats/autocorr.h"
+#include "stats/common_distributions.h"
+#include "stats/ks.h"
+#include "stats/pareto.h"
+#include "util/rng.h"
+
+namespace protuner::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(KolmogorovQ, Endpoints) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-12);
+  // Known value: Q(1.0) ~ 0.27.
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.27, 0.01);
+}
+
+TEST(KsTest, AcceptsOwnSamples) {
+  const Exponential e(1.5);
+  const auto xs = draw(e, 5000, 11);
+  const KsResult r = ks_test(xs, e);
+  EXPECT_LT(r.statistic, 0.03);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  const Exponential e(1.5);
+  const Normal n(2.0, 1.0);
+  const auto xs = draw(e, 5000, 12);
+  const KsResult r = ks_test(xs, n);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsWrongParameter) {
+  const Pareto right(1.7, 1.0);
+  const Pareto wrong(1.2, 1.0);
+  const auto xs = draw(right, 8000, 13);
+  EXPECT_GT(ks_test(xs, right).p_value, 0.01);
+  EXPECT_LT(ks_test(xs, wrong).p_value, 1e-4);
+}
+
+struct FitCase {
+  const char* label;
+  std::shared_ptr<Distribution> dist;
+};
+
+class SamplerFit : public ::testing::TestWithParam<FitCase> {};
+
+TEST_P(SamplerFit, KsAcceptsSampler) {
+  const auto& d = *GetParam().dist;
+  const auto xs = draw(d, 8000, 29);
+  const KsResult r = ks_test(xs, d);
+  EXPECT_GT(r.p_value, 0.005) << GetParam().label
+                              << " statistic=" << r.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplers, SamplerFit,
+    ::testing::Values(
+        FitCase{"pareto", std::make_shared<Pareto>(1.7, 2.0)},
+        FitCase{"pareto_small_alpha", std::make_shared<Pareto>(0.8, 1.0)},
+        FitCase{"exponential", std::make_shared<Exponential>(0.7)},
+        FitCase{"normal", std::make_shared<Normal>(3.0, 2.0)},
+        FitCase{"lognormal", std::make_shared<LogNormal>(0.2, 0.9)},
+        FitCase{"weibull", std::make_shared<Weibull>(2.2, 1.5)},
+        FitCase{"uniform", std::make_shared<Uniform>(-1.0, 4.0)}),
+    [](const ::testing::TestParamInfo<FitCase>& info) {
+      return info.param.label;
+    });
+
+TEST(KsTwoSample, SameSourceSmallDistance) {
+  const Normal n(0.0, 1.0);
+  const auto a = draw(n, 4000, 31);
+  const auto b = draw(n, 4000, 32);
+  EXPECT_LT(ks_two_sample(a, b), 0.04);
+}
+
+TEST(KsTwoSample, DifferentSourcesLargeDistance) {
+  const Normal n(0.0, 1.0);
+  const Normal shifted(1.0, 1.0);
+  const auto a = draw(n, 4000, 33);
+  const auto b = draw(shifted, 4000, 34);
+  EXPECT_GT(ks_two_sample(a, b), 0.3);
+}
+
+TEST(Autocorr, LagZeroIsOne) {
+  const std::vector<double> xs{1.0, 3.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorr, IidNoiseNearZero) {
+  util::Rng rng(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.03);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.03);
+}
+
+TEST(Autocorr, PersistentSeriesPositiveLag1) {
+  // AR(1) with coefficient 0.8.
+  util::Rng rng(6);
+  std::vector<double> xs(20000);
+  double prev = 0.0;
+  for (auto& x : xs) {
+    prev = 0.8 * prev + rng.normal();
+    x = prev;
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.8, 0.05);
+}
+
+TEST(Autocorr, ConstantSeriesConvention) {
+  const std::vector<double> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Autocorr, AcfShape) {
+  util::Rng rng(7);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.uniform();
+  const auto a = acf(xs, 10);
+  ASSERT_EQ(a.size(), 11u);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+}  // namespace
+}  // namespace protuner::stats

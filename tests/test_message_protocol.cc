@@ -1,0 +1,116 @@
+// Tests for the message-passing Harmony protocol (dedicated server rank,
+// point-to-point fetch/report).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comm/spmd.h"
+#include "core/fixed.h"
+#include "core/landscape.h"
+#include "core/pro.h"
+#include "harmony/message_protocol.h"
+
+namespace protuner {
+namespace {
+
+core::ParameterSpace int_box() {
+  return core::ParameterSpace({core::Parameter::integer("a", 0, 20),
+                               core::Parameter::integer("b", 0, 20)});
+}
+
+TEST(MessageProtocol, TunesQuadraticEndToEnd) {
+  const auto space = int_box();
+  const core::QuadraticLandscape land(core::Point{6.0, 14.0}, 1.0, 0.2);
+  harmony::MessageServerResult result;
+
+  comm::spmd_run(5, [&](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      result = harmony::run_message_server(
+          comm, std::make_unique<core::ProStrategy>(space, core::ProOptions{}),
+          4);
+    } else {
+      harmony::MessageClient client(comm, 0);
+      for (int step = 0; step < 200; ++step) {
+        const core::Point cfg = client.fetch();
+        client.report(land.clean_time(cfg));
+      }
+      client.goodbye();
+    }
+  });
+
+  EXPECT_EQ(result.rounds, 200u);
+  EXPECT_EQ(result.best, (core::Point{6.0, 14.0}));
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.total_time, 0.0);
+}
+
+TEST(MessageProtocol, SingleClientWorks) {
+  const auto space = int_box();
+  const core::QuadraticLandscape land(core::Point{4.0, 4.0}, 1.0, 0.2);
+  harmony::MessageServerResult result;
+
+  comm::spmd_run(2, [&](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      result = harmony::run_message_server(
+          comm, std::make_unique<core::ProStrategy>(space, core::ProOptions{}),
+          1);
+    } else {
+      harmony::MessageClient client(comm, 0);
+      for (int step = 0; step < 100; ++step) {
+        const core::Point cfg = client.fetch();
+        EXPECT_TRUE(space.admissible(cfg));
+        client.report(land.clean_time(cfg));
+      }
+      client.goodbye();
+    }
+  });
+  EXPECT_EQ(result.rounds, 100u);
+}
+
+TEST(MessageProtocol, ServerOnNonZeroRank) {
+  const auto space = int_box();
+  const core::QuadraticLandscape land(core::Point{10.0, 2.0}, 1.0, 0.3);
+  harmony::MessageServerResult result;
+  constexpr std::size_t kServer = 2;
+
+  comm::spmd_run(4, [&](comm::Communicator& comm) {
+    if (comm.rank() == kServer) {
+      result = harmony::run_message_server(
+          comm, std::make_unique<core::ProStrategy>(space, core::ProOptions{}),
+          3);
+    } else {
+      harmony::MessageClient client(comm, kServer);
+      for (int step = 0; step < 150; ++step) {
+        const core::Point cfg = client.fetch();
+        client.report(land.clean_time(cfg));
+      }
+      client.goodbye();
+    }
+  });
+  EXPECT_EQ(result.rounds, 150u);
+  EXPECT_EQ(result.best, (core::Point{10.0, 2.0}));
+}
+
+TEST(MessageProtocol, FixedStrategyDistributesSameConfig) {
+  harmony::MessageServerResult result;
+  comm::spmd_run(3, [&](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      result = harmony::run_message_server(
+          comm, std::make_unique<core::FixedStrategy>(core::Point{3.0, 4.0}),
+          2);
+    } else {
+      harmony::MessageClient client(comm, 0);
+      for (int step = 0; step < 10; ++step) {
+        const core::Point cfg = client.fetch();
+        EXPECT_EQ(cfg, (core::Point{3.0, 4.0}));
+        client.report(1.0);
+      }
+      client.goodbye();
+    }
+  });
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_DOUBLE_EQ(result.total_time, 10.0);
+}
+
+}  // namespace
+}  // namespace protuner

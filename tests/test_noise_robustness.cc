@@ -1,0 +1,118 @@
+// Property sweep: PRO with the min-of-K estimator must behave sanely under
+// EVERY noise model in the library — the §5 resilience claim as a
+// parameterized test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cluster/simulated_cluster.h"
+#include "core/landscape.h"
+#include "core/pro.h"
+#include "core/session.h"
+#include "stats/pareto.h"
+#include "varmodel/ar1_noise.h"
+#include "varmodel/burst_noise.h"
+#include "varmodel/composite_noise.h"
+#include "varmodel/noise_model.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/simple_noise.h"
+#include "varmodel/two_job_sim.h"
+
+namespace protuner {
+namespace {
+
+struct NoiseCase {
+  const char* label;
+  std::shared_ptr<const varmodel::NoiseModel> noise;
+};
+
+std::vector<NoiseCase> all_noises() {
+  varmodel::TwoJobConfig q;
+  q.arrival_rate = 0.25;
+  q.service = std::make_shared<stats::Pareto>(1.7, 0.7 / 1.7);
+
+  varmodel::BurstConfig b;
+  b.rho = 0.25;
+
+  varmodel::Ar1Config a1;
+  a1.rho = 0.25;
+
+  return {
+      {"ar1", std::make_shared<varmodel::Ar1Noise>(a1)},
+      {"none", std::make_shared<varmodel::NoNoise>()},
+      {"pareto17", std::make_shared<varmodel::ParetoNoise>(0.25, 1.7)},
+      {"pareto12", std::make_shared<varmodel::ParetoNoise>(0.25, 1.2)},
+      {"exponential", std::make_shared<varmodel::ExponentialNoise>(0.25)},
+      {"gaussian", std::make_shared<varmodel::GaussianNoise>(0.25, 0.5)},
+      {"queue", std::make_shared<varmodel::QueueNoise>(q)},
+      {"burst", std::make_shared<varmodel::BurstNoise>(b)},
+      {"composite",
+       std::make_shared<varmodel::CompositeNoise>(
+           std::make_shared<varmodel::GaussianNoise>(0.05, 0.3),
+           std::make_shared<varmodel::ParetoNoise>(0.15, 1.7))},
+  };
+}
+
+class NoiseRobustness : public ::testing::TestWithParam<NoiseCase> {};
+
+core::ParameterSpace int_box() {
+  return core::ParameterSpace({core::Parameter::integer("a", 0, 20),
+                               core::Parameter::integer("b", 0, 20)});
+}
+
+TEST_P(NoiseRobustness, ProK3FindsGoodConfiguration) {
+  const auto space = int_box();
+  auto land = std::make_shared<core::QuadraticLandscape>(
+      core::Point{5.0, 15.0}, 1.0, 0.3);
+  const double center_time = land->clean_time(space.center());
+
+  // Averaged over a few repetitions: the tuned configuration must beat the
+  // default under every noise model.
+  double acc = 0.0;
+  constexpr int kReps = 8;
+  for (int rep = 0; rep < kReps; ++rep) {
+    cluster::SimulatedCluster machine(
+        land, GetParam().noise,
+        {.ranks = 8, .seed = static_cast<std::uint64_t>(300 + rep)});
+    core::ProOptions opts;
+    opts.samples = 3;
+    core::ProStrategy pro(space, opts);
+    acc += core::run_session(pro, machine,
+                             {.steps = 250, .record_series = false})
+               .best_clean;
+  }
+  EXPECT_LT(acc / kReps, center_time) << GetParam().label;
+}
+
+TEST_P(NoiseRobustness, ObservationsRespectTheModelFloor) {
+  const auto& noise = *GetParam().noise;
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double y = noise.observe(3.0, rng);
+    EXPECT_GE(y, 3.0 + noise.n_min(3.0) - 1e-12) << GetParam().label;
+  }
+}
+
+TEST_P(NoiseRobustness, NttNormalisationStaysFinite) {
+  const auto space = int_box();
+  auto land = std::make_shared<core::QuadraticLandscape>(
+      core::Point{10.0, 10.0}, 1.0, 0.2);
+  cluster::SimulatedCluster machine(land, GetParam().noise,
+                                    {.ranks = 6, .seed = 5});
+  core::ProStrategy pro(space, {});
+  const auto r =
+      core::run_session(pro, machine, {.steps = 60, .record_series = false});
+  EXPECT_TRUE(std::isfinite(r.total_time)) << GetParam().label;
+  EXPECT_TRUE(std::isfinite(r.ntt)) << GetParam().label;
+  EXPECT_GT(r.ntt, 0.0) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNoiseModels, NoiseRobustness, ::testing::ValuesIn(all_noises()),
+    [](const ::testing::TestParamInfo<NoiseCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace protuner

@@ -1,0 +1,128 @@
+// Tests for parameter declarations and the admissible region.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parameter_space.h"
+#include "util/rng.h"
+
+namespace protuner::core {
+namespace {
+
+TEST(Parameter, ContinuousAdmissibility) {
+  const auto p = Parameter::continuous("x", 0.0, 10.0);
+  EXPECT_TRUE(p.admissible(0.0));
+  EXPECT_TRUE(p.admissible(3.7));
+  EXPECT_TRUE(p.admissible(10.0));
+  EXPECT_FALSE(p.admissible(-0.1));
+  EXPECT_FALSE(p.admissible(10.1));
+}
+
+TEST(Parameter, IntegerAdmissibility) {
+  const auto p = Parameter::integer("n", 2, 8);
+  EXPECT_TRUE(p.admissible(2.0));
+  EXPECT_TRUE(p.admissible(5.0));
+  EXPECT_FALSE(p.admissible(5.5));
+  EXPECT_FALSE(p.admissible(9.0));
+}
+
+TEST(Parameter, DiscreteSetSortedAndDeduplicated) {
+  const auto p = Parameter::discrete("d", {8.0, 2.0, 4.0, 4.0});
+  EXPECT_EQ(p.values(), (std::vector<double>{2.0, 4.0, 8.0}));
+  EXPECT_DOUBLE_EQ(p.lower(), 2.0);
+  EXPECT_DOUBLE_EQ(p.upper(), 8.0);
+  EXPECT_TRUE(p.admissible(4.0));
+  EXPECT_FALSE(p.admissible(3.0));
+}
+
+TEST(Parameter, FloorCeilOnIntegerGrid) {
+  const auto p = Parameter::integer("n", 0, 10);
+  EXPECT_DOUBLE_EQ(p.floor_value(3.7), 3.0);
+  EXPECT_DOUBLE_EQ(p.ceil_value(3.2), 4.0);
+  EXPECT_DOUBLE_EQ(p.floor_value(-5.0), 0.0);   // clamps
+  EXPECT_DOUBLE_EQ(p.ceil_value(99.0), 10.0);   // clamps
+}
+
+TEST(Parameter, FloorCeilOnDiscreteSet) {
+  const auto p = Parameter::discrete("d", {2.0, 4.0, 8.0, 16.0});
+  EXPECT_DOUBLE_EQ(p.floor_value(7.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.ceil_value(7.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.floor_value(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.ceil_value(4.0), 4.0);
+}
+
+TEST(Parameter, NeighborsOnIntegerGrid) {
+  const auto p = Parameter::integer("n", 0, 5);
+  EXPECT_DOUBLE_EQ(p.neighbor_above(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.neighbor_below(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.neighbor_above(5.0), 5.0);  // boundary: itself
+  EXPECT_DOUBLE_EQ(p.neighbor_below(0.0), 0.0);
+}
+
+TEST(Parameter, NeighborsOnDiscreteSet) {
+  const auto p = Parameter::discrete("d", {1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(p.neighbor_above(10.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.neighbor_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.neighbor_above(100.0), 100.0);
+}
+
+TEST(Parameter, NearestPicksCloserSide) {
+  const auto p = Parameter::discrete("d", {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(p.nearest(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.nearest(6.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.nearest(5.0), 0.0);  // tie goes low
+}
+
+TEST(ParameterSpace, CenterIsAdmissible) {
+  const ParameterSpace space({
+      Parameter::continuous("c", 0.0, 1.0),
+      Parameter::integer("i", 0, 9),
+      Parameter::discrete("d", {1.0, 2.0, 7.0}),
+  });
+  const Point c = space.center();
+  EXPECT_TRUE(space.admissible(c));
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  // Integer mid of [0,9] is 4.5 -> snapped to 4 or 5.
+  EXPECT_TRUE(c[1] == 4.0 || c[1] == 5.0);
+  // Discrete mid of [1,7] is 4 -> nearest in {1,2,7} is 2.
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(ParameterSpace, AdmissibleRejectsWrongArityAndValues) {
+  const ParameterSpace space({Parameter::integer("i", 0, 5)});
+  EXPECT_FALSE(space.admissible(Point{1.0, 2.0}));
+  EXPECT_FALSE(space.admissible(Point{1.5}));
+  EXPECT_TRUE(space.admissible(Point{1.0}));
+}
+
+TEST(ParameterSpace, SnapNearestProducesAdmissible) {
+  const ParameterSpace space({
+      Parameter::integer("i", 0, 9),
+      Parameter::discrete("d", {4.0, 8.0, 16.0}),
+  });
+  const Point snapped = space.snap_nearest(Point{3.6, 11.0});
+  EXPECT_TRUE(space.admissible(snapped));
+  EXPECT_DOUBLE_EQ(snapped[0], 4.0);
+  EXPECT_DOUBLE_EQ(snapped[1], 8.0);
+}
+
+TEST(ParameterSpace, RandomPointsAreAdmissibleAndCoverAxes) {
+  const ParameterSpace space({
+      Parameter::continuous("c", -1.0, 1.0),
+      Parameter::integer("i", 0, 3),
+      Parameter::discrete("d", {1.0, 2.0}),
+  });
+  util::Rng rng(17);
+  bool saw_low_d = false, saw_high_d = false;
+  for (int i = 0; i < 500; ++i) {
+    const Point x = space.random_point(rng);
+    ASSERT_TRUE(space.admissible(x));
+    saw_low_d |= (x[2] == 1.0);
+    saw_high_d |= (x[2] == 2.0);
+  }
+  EXPECT_TRUE(saw_low_d);
+  EXPECT_TRUE(saw_high_d);
+}
+
+}  // namespace
+}  // namespace protuner::core

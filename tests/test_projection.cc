@@ -1,0 +1,115 @@
+// Tests for the centre-directed projection operator Pi (§3.2.1), including
+// the property the stopping criterion relies on: repeated shrinks drive
+// every discrete coordinate onto the transformation centre in finitely many
+// steps.
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+
+namespace protuner::core {
+namespace {
+
+ParameterSpace int_space() {
+  return ParameterSpace({Parameter::integer("a", 0, 10),
+                         Parameter::integer("b", 0, 10)});
+}
+
+TEST(Projection, AdmissiblePointUnchanged) {
+  const auto space = int_space();
+  const Point x{3.0, 7.0};
+  EXPECT_EQ(project(space, Point{5.0, 5.0}, x), x);
+}
+
+TEST(Projection, ClampsToBounds) {
+  const auto space = int_space();
+  const Point x{-4.0, 15.0};
+  const Point p = project(space, Point{5.0, 5.0}, x);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 10.0);
+}
+
+TEST(Projection, RoundsTowardCenterBelow) {
+  // centre < x: round down (toward the centre).
+  const auto space = int_space();
+  const Point p = project(space, Point{2.0, 2.0}, Point{5.5, 5.1});
+  EXPECT_DOUBLE_EQ(p[0], 5.0);
+  EXPECT_DOUBLE_EQ(p[1], 5.0);
+}
+
+TEST(Projection, RoundsTowardCenterAbove) {
+  // centre > x: round up (toward the centre).
+  const auto space = int_space();
+  const Point p = project(space, Point{9.0, 9.0}, Point{5.5, 5.9});
+  EXPECT_DOUBLE_EQ(p[0], 6.0);
+  EXPECT_DOUBLE_EQ(p[1], 6.0);
+}
+
+TEST(Projection, MixedDirectionsPerAxis) {
+  const auto space = int_space();
+  const Point p = project(space, Point{2.0, 9.0}, Point{5.5, 5.5});
+  EXPECT_DOUBLE_EQ(p[0], 5.0);  // centre below -> floor
+  EXPECT_DOUBLE_EQ(p[1], 6.0);  // centre above -> ceil
+}
+
+TEST(Projection, DiscreteSetRounding) {
+  const ParameterSpace space(
+      {Parameter::discrete("d", {1.0, 4.0, 16.0, 64.0})});
+  EXPECT_DOUBLE_EQ(project(space, Point{1.0}, Point{10.0})[0], 4.0);
+  EXPECT_DOUBLE_EQ(project(space, Point{64.0}, Point{10.0})[0], 16.0);
+}
+
+TEST(Projection, ContinuousOnlyClamps) {
+  const ParameterSpace space({Parameter::continuous("c", 0.0, 1.0)});
+  EXPECT_DOUBLE_EQ(project(space, Point{0.5}, Point{0.3})[0], 0.3);
+  EXPECT_DOUBLE_EQ(project(space, Point{0.5}, Point{1.7})[0], 1.0);
+}
+
+TEST(Projection, ShrinkConvergesToCenterInFiniteSteps) {
+  // The §3.2.1 design property: x <- Pi(0.5 (v0 + x)) reaches v0 exactly.
+  const auto space = int_space();
+  const Point v0{4.0, 6.0};
+  Point x{10.0, 0.0};
+  int steps = 0;
+  while (x != v0 && steps < 50) {
+    x = project(space, v0, affine(0.5, v0, 0.5, x));
+    ++steps;
+  }
+  EXPECT_EQ(x, v0);
+  EXPECT_LE(steps, 10);
+}
+
+TEST(Projection, ShrinkConvergesOnCoarseDiscreteSet) {
+  const ParameterSpace space(
+      {Parameter::discrete("d", {4.0, 8.0, 16.0, 32.0, 64.0})});
+  const Point v0{16.0};
+  Point x{64.0};
+  int steps = 0;
+  while (x != v0 && steps < 50) {
+    x = project(space, v0, affine(0.5, v0, 0.5, x));
+    ++steps;
+  }
+  EXPECT_EQ(x, v0);
+}
+
+TEST(Projection, CenterEqualToValueFallsBackToNearest) {
+  // Pathological case: centre itself sits off-grid (e.g. supplied by a
+  // user); projection still produces an admissible point.
+  const auto space = int_space();
+  const Point p = project(space, Point{5.5, 5.5}, Point{5.5, 5.5});
+  EXPECT_TRUE(space.admissible(p));
+}
+
+TEST(Projection, ReflectionStaysAdmissibleOnGs2LikeSpace) {
+  const ParameterSpace space({
+      Parameter::discrete("ntheta", {16.0, 18.0, 20.0, 22.0, 24.0}),
+      Parameter::integer("negrid", 8, 32),
+      Parameter::discrete("nodes", {4.0, 8.0, 12.0, 16.0}),
+  });
+  const Point best{20.0, 16.0, 8.0};
+  const Point worst{24.0, 31.0, 16.0};
+  const Point refl = project(space, best, affine(2.0, best, -1.0, worst));
+  EXPECT_TRUE(space.admissible(refl));
+}
+
+}  // namespace
+}  // namespace protuner::core

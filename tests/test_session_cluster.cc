@@ -1,0 +1,144 @@
+// Tests for the session driver's metric accounting (Eq. 1-2, Eq. 23) and
+// the simulated cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "cluster/simulated_cluster.h"
+#include "core/fixed.h"
+#include "core/landscape.h"
+#include "core/session.h"
+#include "varmodel/pareto_noise.h"
+
+namespace protuner::core {
+namespace {
+
+LandscapePtr flat(double value) {
+  return std::make_shared<FunctionLandscape>(
+      "flat", [value](const Point&) { return value; });
+}
+
+TEST(Session, TotalTimeIsSumOfStepMaxima) {
+  // A deterministic two-rank machine with different per-rank times: the
+  // step cost must be the max (Eq. 1), the total the sum (Eq. 2).
+  class TwoRank final : public StepEvaluator {
+   public:
+    std::vector<double> run_step(std::span<const Point> cfg) override {
+      std::vector<double> t(cfg.size());
+      for (std::size_t i = 0; i < cfg.size(); ++i) {
+        t[i] = (i == 0) ? 2.0 : 5.0;
+      }
+      return t;
+    }
+    std::size_t ranks() const override { return 2; }
+  } machine;
+  FixedStrategy fx(Point{0.0});
+  const SessionResult res = run_session(fx, machine, {.steps = 10});
+  EXPECT_DOUBLE_EQ(res.total_time, 50.0);
+  ASSERT_EQ(res.step_costs.size(), 10u);
+  for (double c : res.step_costs) EXPECT_DOUBLE_EQ(c, 5.0);
+  EXPECT_DOUBLE_EQ(res.cumulative.back(), 50.0);
+}
+
+TEST(Session, CumulativeIsPrefixSum) {
+  auto land = flat(3.0);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 2, .seed = 1});
+  FixedStrategy fx(Point{0.0});
+  const SessionResult res = run_session(fx, machine, {.steps = 7});
+  double acc = 0.0;
+  for (std::size_t k = 0; k < res.step_costs.size(); ++k) {
+    acc += res.step_costs[k];
+    EXPECT_DOUBLE_EQ(res.cumulative[k], acc);
+  }
+}
+
+TEST(Session, NttAppliesRhoNormalization) {
+  auto land = flat(2.0);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.25, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 4, .seed = 2});
+  FixedStrategy fx(Point{0.0});
+  const SessionResult res = run_session(fx, machine, {.steps = 50});
+  EXPECT_NEAR(res.ntt, 0.75 * res.total_time, 1e-9);
+}
+
+TEST(Session, RecordSeriesOffKeepsTotals) {
+  auto land = flat(1.0);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 1, .seed = 3});
+  FixedStrategy fx(Point{0.0});
+  const SessionResult res =
+      run_session(fx, machine, {.steps = 9, .record_series = false});
+  EXPECT_DOUBLE_EQ(res.total_time, 9.0);
+  EXPECT_TRUE(res.step_costs.empty());
+}
+
+TEST(Cluster, NoiseFreeTimesEqualLandscape) {
+  auto land = std::make_shared<QuadraticLandscape>(Point{1.0}, 2.0, 1.0);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 3, .seed = 4});
+  const Point a{1.0}, b{3.0};
+  const auto t = machine.run_step(std::vector<Point>{a, b, a});
+  EXPECT_DOUBLE_EQ(t[0], 2.0);
+  EXPECT_DOUBLE_EQ(t[1], 6.0);
+  EXPECT_DOUBLE_EQ(t[2], 2.0);
+}
+
+TEST(Cluster, NoisyTimesExceedCleanByNMin) {
+  auto land = flat(4.0);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 8, .seed = 5});
+  for (int s = 0; s < 20; ++s) {
+    const auto t =
+        machine.run_step(std::vector<Point>(8, Point{0.0}));
+    for (double x : t) EXPECT_GE(x, 4.0 + noise->n_min(4.0) - 1e-12);
+  }
+}
+
+TEST(Cluster, RanksHaveIndependentStreams) {
+  auto land = flat(4.0);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 2, .seed = 6});
+  int identical = 0;
+  for (int s = 0; s < 100; ++s) {
+    const auto t = machine.run_step(std::vector<Point>(2, Point{0.0}));
+    identical += (t[0] == t[1]);
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(Cluster, ReseedReproducesRun) {
+  auto land = flat(4.0);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 2, .seed = 7});
+  const auto t1 = machine.run_step(std::vector<Point>(2, Point{0.0}));
+  machine.reseed(7);
+  const auto t2 = machine.run_step(std::vector<Point>(2, Point{0.0}));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Cluster, StepsRunCounts) {
+  auto land = flat(1.0);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 2, .seed = 8});
+  EXPECT_EQ(machine.steps_run(), 0u);
+  (void)machine.run_step(std::vector<Point>{Point{0.0}});
+  (void)machine.run_step(std::vector<Point>{Point{0.0}});
+  EXPECT_EQ(machine.steps_run(), 2u);
+}
+
+TEST(Cluster, CleanTimePassthrough) {
+  auto land = std::make_shared<QuadraticLandscape>(Point{0.0}, 1.0, 1.0);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 1, .seed = 9});
+  EXPECT_DOUBLE_EQ(machine.clean_time(Point{2.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace protuner::core

@@ -1,0 +1,163 @@
+// Tests for simplex geometry, ordering, degeneracy detection and the
+// initial-simplex builders (§3.2.3).
+#include <gtest/gtest.h>
+
+#include "core/simplex.h"
+
+namespace protuner::core {
+namespace {
+
+ParameterSpace box2d() {
+  return ParameterSpace({Parameter::continuous("x", -10.0, 10.0),
+                         Parameter::continuous("y", -10.0, 10.0)});
+}
+
+TEST(Simplex, OrderSortsByValue) {
+  Simplex s({Point{0.0, 0.0}, Point{1.0, 0.0}, Point{0.0, 1.0}});
+  s.set_values(std::vector<double>{3.0, 1.0, 2.0});
+  s.order();
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 3.0);
+  EXPECT_EQ(s.best(), (Point{1.0, 0.0}));
+}
+
+TEST(Simplex, ReflectionGeometryMatchesFig2) {
+  // r^j = 2 v0 - v^j around the best vertex.
+  const auto space = box2d();
+  Simplex s({Point{0.0, 0.0}, Point{2.0, 0.0}, Point{0.0, 2.0}});
+  s.set_values(std::vector<double>{1.0, 2.0, 3.0});
+  s.order();
+  const auto r = s.reflections(space);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (Point{-2.0, 0.0}));
+  EXPECT_EQ(r[1], (Point{0.0, -2.0}));
+}
+
+TEST(Simplex, ExpansionGeometry) {
+  const auto space = box2d();
+  Simplex s({Point{0.0, 0.0}, Point{2.0, 0.0}});
+  s.set_values(std::vector<double>{1.0, 2.0});
+  s.order();
+  const auto e = s.expansions(space);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], (Point{-4.0, 0.0}));  // 3*0 - 2*2
+}
+
+TEST(Simplex, ShrinkGeometry) {
+  const auto space = box2d();
+  Simplex s({Point{0.0, 0.0}, Point{4.0, 2.0}});
+  s.set_values(std::vector<double>{1.0, 2.0});
+  s.order();
+  const auto h = s.shrinks(space);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], (Point{2.0, 1.0}));
+}
+
+TEST(Simplex, TransformsAreProjected) {
+  // Reflection through the best pushes past the boundary: must clamp.
+  const auto space = box2d();
+  Simplex s({Point{9.0, 0.0}, Point{-5.0, 0.0}});
+  s.set_values(std::vector<double>{1.0, 2.0});
+  s.order();
+  const auto r = s.reflections(space);
+  EXPECT_EQ(r[0], (Point{10.0, 0.0}));  // 2*9 - (-5) = 23 -> clamp
+}
+
+TEST(Simplex, CollapsedDetectsIdenticalDiscreteVertices) {
+  const ParameterSpace space({Parameter::integer("a", 0, 9)});
+  Simplex s({Point{4.0}, Point{4.0}, Point{4.0}});
+  s.set_values(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_TRUE(s.collapsed(space));
+  Simplex t({Point{4.0}, Point{5.0}});
+  t.set_values(std::vector<double>{1.0, 1.0});
+  EXPECT_FALSE(t.collapsed(space));
+}
+
+TEST(Simplex, CollapsedUsesToleranceForContinuous) {
+  const ParameterSpace space({Parameter::continuous("x", 0.0, 1.0)});
+  Simplex s({Point{0.5}, Point{0.5 + 1e-9}});
+  s.set_values(std::vector<double>{1.0, 1.0});
+  EXPECT_TRUE(s.collapsed(space));
+}
+
+TEST(Simplex, DegenerateWhenEdgesDontSpan) {
+  // Three collinear points in 2-D.
+  Simplex s({Point{0.0, 0.0}, Point{1.0, 1.0}, Point{2.0, 2.0}});
+  EXPECT_TRUE(s.degenerate());
+  Simplex t({Point{0.0, 0.0}, Point{1.0, 0.0}, Point{0.0, 1.0}});
+  EXPECT_FALSE(t.degenerate());
+}
+
+TEST(Simplex, DegenerateWhenTooFewVertices) {
+  Simplex s({Point{0.0, 0.0}, Point{1.0, 0.0}});
+  EXPECT_TRUE(s.degenerate());
+}
+
+TEST(Simplex, DiameterIsMaxDistanceFromBest) {
+  Simplex s({Point{0.0, 0.0}, Point{3.0, 4.0}, Point{1.0, 0.0}});
+  s.set_values(std::vector<double>{1.0, 2.0, 3.0});
+  s.order();
+  EXPECT_DOUBLE_EQ(s.diameter(), 5.0);
+}
+
+TEST(InitialSimplex, MinimalHasNPlusOneVertices) {
+  const auto space = box2d();
+  const Simplex s = minimal_simplex(space, 0.2);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.degenerate());
+}
+
+TEST(InitialSimplex, Axial2NHasTwoNVertices) {
+  const auto space = box2d();
+  const Simplex s = axial_2n_simplex(space, 0.2);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.degenerate());
+}
+
+TEST(InitialSimplex, OffsetsMatchRelativeSize) {
+  // b_i = r * range / 2; range = 20 and r = 0.2 -> offset 2 around centre 0.
+  const auto space = box2d();
+  const Simplex s = axial_2n_simplex(space, 0.2);
+  bool found_up = false, found_dn = false;
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (s.vertex(j) == Point{2.0, 0.0}) found_up = true;
+    if (s.vertex(j) == Point{-2.0, 0.0}) found_dn = true;
+  }
+  EXPECT_TRUE(found_up);
+  EXPECT_TRUE(found_dn);
+}
+
+TEST(InitialSimplex, NonDegenerateOnIntegerGridEvenForTinyR) {
+  // Centre-directed rounding would collapse r=0.01 onto the centre; the
+  // builder must fall back to the adjacent admissible value (§3.2.3
+  // requires a spanning initial simplex).
+  const ParameterSpace space({Parameter::integer("a", 0, 100),
+                              Parameter::integer("b", 0, 100)});
+  const Simplex s = axial_2n_simplex(space, 0.01);
+  EXPECT_FALSE(s.degenerate());
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    EXPECT_TRUE(space.admissible(s.vertex(j)));
+  }
+}
+
+TEST(InitialSimplex, AllVerticesAdmissibleOnMixedSpace) {
+  const ParameterSpace space({
+      Parameter::discrete("ntheta", {16.0, 18.0, 20.0, 22.0}),
+      Parameter::integer("negrid", 8, 32),
+      Parameter::continuous("frac", 0.0, 1.0),
+  });
+  for (double r : {0.05, 0.2, 0.5, 0.9}) {
+    const Simplex s2n = axial_2n_simplex(space, r);
+    const Simplex smin = minimal_simplex(space, r);
+    for (std::size_t j = 0; j < s2n.size(); ++j) {
+      EXPECT_TRUE(space.admissible(s2n.vertex(j))) << "r=" << r;
+    }
+    for (std::size_t j = 0; j < smin.size(); ++j) {
+      EXPECT_TRUE(space.admissible(smin.vertex(j))) << "r=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace protuner::core

@@ -1,0 +1,211 @@
+// Contract property tests, parameterized over EVERY tuning strategy in the
+// library: admissibility of all proposals, full-width assignments,
+// determinism, convergence freezing, and session accounting.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/simulated_cluster.h"
+#include "core/annealing.h"
+#include "core/compass.h"
+#include "core/fixed.h"
+#include "core/genetic.h"
+#include "core/grid_search.h"
+#include "core/landscape.h"
+#include "core/nelder_mead.h"
+#include "core/pro.h"
+#include "core/random_search.h"
+#include "core/session.h"
+#include "core/sro.h"
+#include "varmodel/pareto_noise.h"
+
+namespace protuner::core {
+namespace {
+
+ParameterSpace mixed_space() {
+  return ParameterSpace({
+      Parameter::integer("i", 0, 15),
+      Parameter::discrete("d", {1.0, 2.0, 4.0, 8.0}),
+      Parameter::continuous("c", -1.0, 1.0),
+  });
+}
+
+using Factory = std::function<TuningStrategyPtr(const ParameterSpace&)>;
+
+struct StrategyCase {
+  const char* label;
+  Factory make;
+};
+
+LandscapePtr test_landscape() {
+  return std::make_shared<FunctionLandscape>("contract", [](const Point& x) {
+    return 1.0 + 0.05 * (x[0] - 7.0) * (x[0] - 7.0) + 0.1 * x[1] +
+           0.5 * x[2] * x[2];
+  });
+}
+
+class StrategyContract : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(StrategyContract, AllProposalsAdmissibleAndFullWidth) {
+  const auto space = mixed_space();
+  auto strategy = GetParam().make(space);
+  const auto land = test_landscape();
+  constexpr std::size_t kRanks = 8;
+  strategy->start(kRanks);
+  for (int step = 0; step < 120; ++step) {
+    const StepProposal p = strategy->propose();
+    ASSERT_FALSE(p.configs.empty()) << GetParam().label;
+    ASSERT_LE(p.configs.size(), kRanks) << GetParam().label;
+    std::vector<double> times;
+    for (const auto& c : p.configs) {
+      ASSERT_TRUE(space.admissible(c))
+          << GetParam().label << " step " << step;
+      times.push_back(land->clean_time(c));
+    }
+    strategy->observe(times);
+    ASSERT_TRUE(space.admissible(strategy->best_point()))
+        << GetParam().label;
+  }
+}
+
+TEST_P(StrategyContract, DeterministicGivenSeeds) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+
+  const auto run_once = [&] {
+    cluster::SimulatedCluster machine(land, noise, {.ranks = 6, .seed = 77});
+    auto strategy = GetParam().make(space);
+    return run_session(*strategy, machine, {.steps = 80});
+  };
+  const SessionResult a = run_once();
+  const SessionResult b = run_once();
+  EXPECT_EQ(a.total_time, b.total_time) << GetParam().label;
+  EXPECT_EQ(a.best, b.best) << GetParam().label;
+  EXPECT_EQ(a.step_costs, b.step_costs) << GetParam().label;
+}
+
+TEST_P(StrategyContract, ConvergedImpliesFrozenProposals) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  cluster::SimulatedCluster machine(
+      land, std::make_shared<varmodel::NoNoise>(), {.ranks = 8, .seed = 5});
+  auto strategy = GetParam().make(space);
+  (void)run_session(*strategy, machine, {.steps = 500});
+  if (!strategy->converged()) GTEST_SKIP() << "strategy does not certify";
+  const Point frozen = strategy->best_point();
+  for (int i = 0; i < 5; ++i) {
+    const StepProposal p = strategy->propose();
+    for (const auto& c : p.configs) EXPECT_EQ(c, frozen) << GetParam().label;
+    strategy->observe(std::vector<double>(p.configs.size(), 1.0));
+  }
+}
+
+TEST_P(StrategyContract, SessionAccountingIsSumOfMaxima) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.1, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 6, .seed = 9});
+  auto strategy = GetParam().make(space);
+  const SessionResult r = run_session(*strategy, machine, {.steps = 60});
+  double sum = 0.0;
+  for (double c : r.step_costs) sum += c;
+  EXPECT_NEAR(r.total_time, sum, 1e-9) << GetParam().label;
+  EXPECT_NEAR(r.ntt, (1.0 - noise->rho()) * r.total_time, 1e-9)
+      << GetParam().label;
+  EXPECT_EQ(r.step_costs.size(), 60u);
+}
+
+TEST_P(StrategyContract, ImprovesOrMatchesCenterNoiseFree) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  cluster::SimulatedCluster machine(
+      land, std::make_shared<varmodel::NoNoise>(), {.ranks = 8, .seed = 10});
+  auto strategy = GetParam().make(space);
+  const SessionResult r = run_session(*strategy, machine, {.steps = 400});
+  EXPECT_LE(r.best_clean, land->clean_time(space.center()) + 1e-9)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyContract,
+    ::testing::Values(
+        StrategyCase{"pro",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return std::make_unique<ProStrategy>(s, ProOptions{});
+                     }},
+        StrategyCase{"pro_k3",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       ProOptions o;
+                       o.samples = 3;
+                       return std::make_unique<ProStrategy>(s, o);
+                     }},
+        StrategyCase{"pro_minimal_stale",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       ProOptions o;
+                       o.use_2n_simplex = false;
+                       o.refresh_best = false;
+                       return std::make_unique<ProStrategy>(s, o);
+                     }},
+        StrategyCase{"pro_adaptive",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       ProOptions o;
+                       o.adaptive_samples = true;
+                       return std::make_unique<ProStrategy>(s, o);
+                     }},
+        StrategyCase{"pro_replicas",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       ProOptions o;
+                       o.samples = 2;
+                       o.parallel_replicas = true;
+                       return std::make_unique<ProStrategy>(s, o);
+                     }},
+        StrategyCase{"sro",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return std::make_unique<SroStrategy>(s, SroOptions{});
+                     }},
+        StrategyCase{"nelder_mead",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       NelderMeadOptions o;
+                       o.max_iterations = 120;
+                       return std::make_unique<NelderMeadStrategy>(s, o);
+                     }},
+        StrategyCase{"compass",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return std::make_unique<CompassStrategy>(
+                           s, CompassOptions{});
+                     }},
+        StrategyCase{"annealing",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       AnnealingOptions o;
+                       o.seed = 123;
+                       return std::make_unique<AnnealingStrategy>(s, o);
+                     }},
+        StrategyCase{"genetic",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       GeneticOptions o;
+                       o.seed = 123;
+                       return std::make_unique<GeneticStrategy>(s, o);
+                     }},
+        StrategyCase{"random",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return std::make_unique<RandomSearchStrategy>(s, 123);
+                     }},
+        StrategyCase{"grid",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       GridSearchOptions o;
+                       o.continuous_levels = 3;
+                       return std::make_unique<GridSearchStrategy>(s, o);
+                     }},
+        StrategyCase{"fixed",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return std::make_unique<FixedStrategy>(s.center());
+                     }}),
+    [](const ::testing::TestParamInfo<StrategyCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace protuner::core

@@ -1,0 +1,125 @@
+// Tests for the heavy-tail estimators (Hill, tail slope, verdict) and the
+// least-squares line fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/common_distributions.h"
+#include "stats/linreg.h"
+#include "stats/pareto.h"
+#include "stats/tail.h"
+#include "util/rng.h"
+
+namespace protuner::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(LineFit, ExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, NoisyLineRecoversSlope) {
+  util::Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = i * 0.01;
+    xs.push_back(x);
+    ys.push_back(-2.5 * x + 1.0 + rng.normal(0.0, 0.05));
+  }
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, -2.5, 0.05);
+  EXPECT_GT(f.r2, 0.95);
+}
+
+TEST(LineFit, DegenerateInputs) {
+  EXPECT_EQ(fit_line(std::vector<double>{1.0}, std::vector<double>{2.0}).n,
+            1u);
+  // Zero x-variance: fit returns zero slope rather than dividing by zero.
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_line(xs, ys).slope, 0.0);
+}
+
+TEST(Hill, RecoversParetoAlpha) {
+  const Pareto p(1.7, 1.0);
+  const auto xs = draw(p, 50000, 21);
+  const double alpha = hill_estimator(xs, 2500);
+  EXPECT_NEAR(alpha, 1.7, 0.15);
+}
+
+TEST(Hill, RecoversSmallAlpha) {
+  const Pareto p(0.8, 1.0);  // infinite mean
+  const auto xs = draw(p, 50000, 22);
+  EXPECT_NEAR(hill_estimator(xs, 2500), 0.8, 0.1);
+}
+
+TEST(Hill, LargeForExponentialData) {
+  // Light tails have no finite power-law index; the Hill estimate at a
+  // fixed k grows well above the heavy-tail range.
+  const Exponential e(1.0);
+  const auto xs = draw(e, 50000, 23);
+  EXPECT_GT(hill_estimator(xs, 500), 3.0);
+}
+
+TEST(HillSweep, StablePlateauForPareto) {
+  const Pareto p(1.5, 1.0);
+  const auto xs = draw(p, 40000, 31);
+  const HillSweep sweep = hill_sweep(xs, 500, 4000, 500);
+  ASSERT_GE(sweep.k.size(), 4u);
+  for (double a : sweep.alpha) EXPECT_NEAR(a, 1.5, 0.25);
+}
+
+TEST(TailSlope, MatchesParetoAlpha) {
+  const Pareto p(1.7, 1.0);
+  const auto xs = draw(p, 30000, 41);
+  const LineFit f = tail_slope(xs, 0.25);
+  EXPECT_NEAR(-f.slope, 1.7, 0.35);
+  EXPECT_GT(f.r2, 0.9);
+}
+
+TEST(Diagnose, ParetoIsHeavy) {
+  const Pareto p(1.7, 1.0);
+  const auto xs = draw(p, 30000, 51);
+  const TailReport r = diagnose_tail(xs);
+  EXPECT_TRUE(r.heavy);
+  EXPECT_NEAR(r.hill_alpha, 1.7, 0.3);
+}
+
+TEST(Diagnose, InfiniteMeanParetoIsHeavy) {
+  const Pareto p(0.9, 1.0);
+  const auto xs = draw(p, 30000, 52);
+  EXPECT_TRUE(diagnose_tail(xs).heavy);
+}
+
+TEST(Diagnose, ExponentialIsNotHeavy) {
+  const Exponential e(1.0);
+  const auto xs = draw(e, 30000, 53);
+  EXPECT_FALSE(diagnose_tail(xs).heavy);
+}
+
+TEST(Diagnose, NormalIsNotHeavy) {
+  const Normal n(10.0, 1.0);
+  const auto xs = draw(n, 30000, 54);
+  EXPECT_FALSE(diagnose_tail(xs).heavy);
+}
+
+TEST(Diagnose, TooFewSamplesGivesNoVerdict) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_FALSE(diagnose_tail(xs).heavy);
+}
+
+}  // namespace
+}  // namespace protuner::stats

@@ -1,0 +1,252 @@
+// Tests for the performance-variability models: Eq. 7/17 scaling for the
+// noise models, the two-priority-queue simulator (Eq. 6), and the
+// correlated shock trace generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "stats/common_distributions.h"
+#include "stats/pareto.h"
+#include "stats/tail.h"
+#include "util/rng.h"
+#include "util/summary.h"
+#include "varmodel/noise_model.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/shock_model.h"
+#include "varmodel/simple_noise.h"
+#include "varmodel/two_job_sim.h"
+
+namespace protuner::varmodel {
+namespace {
+
+TEST(NoNoise, AlwaysZero) {
+  NoNoise n;
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(n.sample(10.0, rng), 0.0);
+  EXPECT_DOUBLE_EQ(n.observe(10.0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(n.n_min(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.rho(), 0.0);
+}
+
+TEST(ParetoNoise, BetaMatchesEq17) {
+  const ParetoNoise n(0.2, 1.7);
+  // beta = (alpha-1) rho / ((1-rho) alpha) * f
+  const double expected = 0.7 * 0.2 / (0.8 * 1.7) * 10.0;
+  EXPECT_NEAR(n.beta(10.0), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(n.n_min(10.0), n.beta(10.0));
+}
+
+TEST(ParetoNoise, NMinIncreasesWithCleanTime) {
+  // Required for min-of-K rank ordering to be valid (§5.1).
+  const ParetoNoise n(0.3, 1.7);
+  EXPECT_LT(n.n_min(5.0), n.n_min(6.0));
+}
+
+TEST(ParetoNoise, ExpectedMatchesEq7) {
+  const ParetoNoise n(0.25, 1.7);
+  EXPECT_NEAR(n.expected(8.0), 0.25 / 0.75 * 8.0, 1e-12);
+}
+
+TEST(ParetoNoise, EmpiricalMeanMatchesEq7) {
+  // alpha = 2.5 keeps the variance finite so the sample mean converges
+  // quickly enough for a tight test.
+  const ParetoNoise n(0.2, 2.5);
+  util::Rng rng(3);
+  double s = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) s += n.sample(4.0, rng);
+  EXPECT_NEAR(s / kN, n.expected(4.0), 0.02);
+}
+
+TEST(ParetoNoise, SamplesAtLeastBeta) {
+  const ParetoNoise n(0.3, 1.7);
+  util::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(n.sample(3.0, rng), n.beta(3.0));
+}
+
+TEST(ParetoNoise, RhoZeroIsNoiseless) {
+  const ParetoNoise n(0.0, 1.7);
+  util::Rng rng(5);
+  EXPECT_DOUBLE_EQ(n.sample(3.0, rng), 0.0);
+}
+
+TEST(ParetoNoise, HeavyFlagTracksAlpha) {
+  EXPECT_TRUE(ParetoNoise(0.1, 1.7).heavy_tailed());
+  EXPECT_FALSE(ParetoNoise(0.1, 2.5).heavy_tailed());
+}
+
+TEST(ExponentialNoise, MeanMatchesEq7) {
+  const ExponentialNoise n(0.3);
+  util::Rng rng(6);
+  double s = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) s += n.sample(5.0, rng);
+  EXPECT_NEAR(s / kN, 0.3 / 0.7 * 5.0, 0.03);
+  EXPECT_FALSE(n.heavy_tailed());
+  EXPECT_DOUBLE_EQ(n.n_min(5.0), 0.0);
+}
+
+TEST(GaussianNoise, NonNegativeAndCentered) {
+  const GaussianNoise n(0.2, 0.3);
+  util::Rng rng(7);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) {
+    x = n.sample(4.0, rng);
+    EXPECT_GE(x, 0.0);
+  }
+  EXPECT_NEAR(util::mean(xs), n.expected(4.0), 0.05);
+}
+
+TEST(TraceNoise, ReplaysInOrderAndCycles) {
+  TraceNoise n({0.1, 0.2, 0.3});
+  util::Rng rng(8);
+  EXPECT_DOUBLE_EQ(n.sample(10.0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(n.sample(10.0, rng), 2.0);
+  EXPECT_DOUBLE_EQ(n.sample(10.0, rng), 3.0);
+  EXPECT_DOUBLE_EQ(n.sample(10.0, rng), 1.0);  // wraps
+  EXPECT_DOUBLE_EQ(n.n_min(10.0), 1.0);
+  EXPECT_NEAR(n.expected(10.0), 2.0, 1e-12);
+}
+
+// ------------------------------------------------------------- two-job sim
+
+TwoJobConfig make_queue(double lambda, double mean_service,
+                        bool heavy = false) {
+  TwoJobConfig cfg;
+  cfg.arrival_rate = lambda;
+  if (heavy) {
+    // Pareto with the requested mean: mean = alpha beta/(alpha-1).
+    const double alpha = 1.7;
+    cfg.service = std::make_shared<stats::Pareto>(
+        alpha, mean_service * (alpha - 1.0) / alpha);
+  } else {
+    cfg.service = std::make_shared<stats::Exponential>(1.0 / mean_service);
+  }
+  return cfg;
+}
+
+TEST(TwoJobSim, NoArrivalsMeansCleanTime) {
+  TwoJobConfig cfg = make_queue(0.0, 1.0);
+  const TwoJobSimulator sim(cfg);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(sim.run_application(5.0, rng), 5.0);
+  EXPECT_DOUBLE_EQ(sim.rho(), 0.0);
+}
+
+TEST(TwoJobSim, RhoIsLambdaTimesMeanService) {
+  const TwoJobSimulator sim(make_queue(0.25, 0.8));
+  EXPECT_NEAR(sim.rho(), 0.2, 1e-12);
+}
+
+TEST(TwoJobSim, CompletionAtLeastCleanTime) {
+  const TwoJobSimulator sim(make_queue(0.5, 0.5));
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(sim.run_application(2.0, rng), 2.0);
+  }
+}
+
+TEST(TwoJobSim, MeanCompletionMatchesEq6) {
+  // E[y] = f / (1 - rho) for idle-start admission (paper Eq. 6).
+  const double rho = 0.3;
+  const TwoJobSimulator sim(make_queue(rho / 0.5, 0.5));
+  ASSERT_NEAR(sim.rho(), rho, 1e-12);
+  util::Rng rng(3);
+  double s = 0.0;
+  constexpr int kReps = 4000;
+  const double f = 50.0;  // long job averages over many busy periods
+  for (int i = 0; i < kReps; ++i) s += sim.run_application(f, rng);
+  EXPECT_NEAR(s / kReps, f / (1.0 - rho), f / (1.0 - rho) * 0.02);
+}
+
+TEST(TwoJobSim, WarmupAddsInitialBacklogDelay) {
+  TwoJobConfig idle = make_queue(0.4, 1.0);
+  TwoJobConfig warm = make_queue(0.4, 1.0);
+  warm.warmup_time = 200.0;
+  const TwoJobSimulator sim_idle(idle);
+  const TwoJobSimulator sim_warm(warm);
+  util::Rng r1(4), r2(4);
+  double s_idle = 0.0, s_warm = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    s_idle += sim_idle.run_application(5.0, r1);
+    s_warm += sim_warm.run_application(5.0, r2);
+  }
+  EXPECT_GT(s_warm, s_idle);  // stationary backlog can only add delay
+}
+
+TEST(TwoJobSim, HeavyServiceMakesNoiseHeavyTailed) {
+  QueueNoise noise(make_queue(0.2, 1.0, /*heavy=*/true));
+  EXPECT_TRUE(noise.heavy_tailed());
+  util::Rng rng(5);
+  std::vector<double> ns(20000);
+  for (auto& n : ns) n = noise.sample(1.0, rng) + 1e-9;
+  // The positive part of the noise should carry a heavy tail signature.
+  std::vector<double> positive;
+  for (double n : ns) {
+    if (n > 0.01) positive.push_back(n);
+  }
+  ASSERT_GT(positive.size(), 1000u);
+  const auto report = stats::diagnose_tail(positive);
+  EXPECT_LT(report.hill_alpha, 2.5);
+}
+
+TEST(QueueNoise, ExpectedFollowsEq7) {
+  QueueNoise noise(make_queue(0.25, 1.0));
+  EXPECT_NEAR(noise.expected(8.0), noise.rho() / (1.0 - noise.rho()) * 8.0,
+              1e-9);
+}
+
+// ------------------------------------------------------------ shock traces
+
+TEST(ShockTrace, DimensionsAndPositivity) {
+  ShockConfig cfg;
+  ShockTraceGenerator gen(cfg, 8, 11);
+  const auto trace = gen.generate(2.0, 100);
+  ASSERT_EQ(trace.size(), 8u);
+  for (const auto& row : trace) {
+    ASSERT_EQ(row.size(), 100u);
+    for (double t : row) EXPECT_GE(t, 2.0);
+  }
+}
+
+TEST(ShockTrace, Deterministic) {
+  ShockConfig cfg;
+  ShockTraceGenerator a(cfg, 4, 99);
+  ShockTraceGenerator b(cfg, 4, 99);
+  EXPECT_EQ(a.generate(1.0, 50), b.generate(1.0, 50));
+}
+
+TEST(ShockTrace, SharedShocksCorrelateRanks) {
+  ShockConfig cfg;
+  cfg.big_prob = 0.05;
+  cfg.correlation = 1.0;
+  ShockTraceGenerator gen(cfg, 2, 7);
+  const auto trace = gen.generate(1.0, 4000);
+  // Count iterations where both ranks spike together.
+  int both = 0, either = 0;
+  for (std::size_t k = 0; k < 4000; ++k) {
+    const bool a = trace[0][k] > 3.0;
+    const bool b = trace[1][k] > 3.0;
+    both += (a && b);
+    either += (a || b);
+  }
+  ASSERT_GT(either, 50);
+  EXPECT_GT(static_cast<double>(both) / either, 0.5);
+}
+
+TEST(ShockTrace, ZeroProbabilityMeansOnlyJitter) {
+  ShockConfig cfg;
+  cfg.big_prob = 0.0;
+  cfg.small_prob = 0.0;
+  cfg.jitter_cv = 0.0;
+  ShockTraceGenerator gen(cfg, 3, 13);
+  const auto trace = gen.generate(1.5, 50);
+  for (const auto& row : trace) {
+    for (double t : row) EXPECT_DOUBLE_EQ(t, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace protuner::varmodel
