@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_correlated_noise.dir/ablation_correlated_noise.cc.o"
+  "CMakeFiles/ablation_correlated_noise.dir/ablation_correlated_noise.cc.o.d"
+  "ablation_correlated_noise"
+  "ablation_correlated_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_correlated_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expansion_check.dir/ablation_expansion_check.cc.o"
+  "CMakeFiles/ablation_expansion_check.dir/ablation_expansion_check.cc.o.d"
+  "ablation_expansion_check"
+  "ablation_expansion_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expansion_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

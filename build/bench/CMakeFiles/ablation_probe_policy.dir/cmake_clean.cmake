@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_policy.dir/ablation_probe_policy.cc.o"
+  "CMakeFiles/ablation_probe_policy.dir/ablation_probe_policy.cc.o.d"
+  "ablation_probe_policy"
+  "ablation_probe_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

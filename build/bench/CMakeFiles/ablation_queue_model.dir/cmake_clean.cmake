@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_model.dir/ablation_queue_model.cc.o"
+  "CMakeFiles/ablation_queue_model.dir/ablation_queue_model.cc.o.d"
+  "ablation_queue_model"
+  "ablation_queue_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_modes.dir/ablation_sampling_modes.cc.o"
+  "CMakeFiles/ablation_sampling_modes.dir/ablation_sampling_modes.cc.o.d"
+  "ablation_sampling_modes"
+  "ablation_sampling_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_adaptive_k.dir/extension_adaptive_k.cc.o"
+  "CMakeFiles/extension_adaptive_k.dir/extension_adaptive_k.cc.o.d"
+  "extension_adaptive_k"
+  "extension_adaptive_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_adaptive_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

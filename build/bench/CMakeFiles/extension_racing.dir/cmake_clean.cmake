@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_racing.dir/extension_racing.cc.o"
+  "CMakeFiles/extension_racing.dir/extension_racing.cc.o.d"
+  "extension_racing"
+  "extension_racing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

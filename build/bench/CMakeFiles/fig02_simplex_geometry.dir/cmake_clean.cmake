@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_simplex_geometry.dir/fig02_simplex_geometry.cc.o"
+  "CMakeFiles/fig02_simplex_geometry.dir/fig02_simplex_geometry.cc.o.d"
+  "fig02_simplex_geometry"
+  "fig02_simplex_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_simplex_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

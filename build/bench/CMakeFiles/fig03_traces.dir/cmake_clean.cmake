@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_traces.dir/fig03_traces.cc.o"
+  "CMakeFiles/fig03_traces.dir/fig03_traces.cc.o.d"
+  "fig03_traces"
+  "fig03_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

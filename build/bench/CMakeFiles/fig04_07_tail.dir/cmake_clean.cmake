@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_07_tail.dir/fig04_07_tail.cc.o"
+  "CMakeFiles/fig04_07_tail.dir/fig04_07_tail.cc.o.d"
+  "fig04_07_tail"
+  "fig04_07_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_07_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_surface.cc" "bench/CMakeFiles/fig08_surface.dir/fig08_surface.cc.o" "gcc" "bench/CMakeFiles/fig08_surface.dir/fig08_surface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/protuner_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harmony/CMakeFiles/protuner_harmony.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/protuner_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gs2/CMakeFiles/protuner_gs2.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/protuner_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/protuner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/varmodel/CMakeFiles/protuner_varmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/protuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_surface.dir/fig08_surface.cc.o"
+  "CMakeFiles/fig08_surface.dir/fig08_surface.cc.o.d"
+  "fig08_surface"
+  "fig08_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

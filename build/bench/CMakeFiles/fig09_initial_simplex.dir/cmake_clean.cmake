@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_initial_simplex.dir/fig09_initial_simplex.cc.o"
+  "CMakeFiles/fig09_initial_simplex.dir/fig09_initial_simplex.cc.o.d"
+  "fig09_initial_simplex"
+  "fig09_initial_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_initial_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

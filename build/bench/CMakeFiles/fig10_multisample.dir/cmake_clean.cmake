@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multisample.dir/fig10_multisample.cc.o"
+  "CMakeFiles/fig10_multisample.dir/fig10_multisample.cc.o.d"
+  "fig10_multisample"
+  "fig10_multisample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multisample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_tune.dir/calibrate_and_tune.cpp.o"
+  "CMakeFiles/calibrate_and_tune.dir/calibrate_and_tune.cpp.o.d"
+  "calibrate_and_tune"
+  "calibrate_and_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

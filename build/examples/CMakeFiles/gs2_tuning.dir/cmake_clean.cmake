@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs2_tuning.dir/gs2_tuning.cpp.o"
+  "CMakeFiles/gs2_tuning.dir/gs2_tuning.cpp.o.d"
+  "gs2_tuning"
+  "gs2_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs2_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_distributed.dir/harmony_distributed.cpp.o"
+  "CMakeFiles/harmony_distributed.dir/harmony_distributed.cpp.o.d"
+  "harmony_distributed"
+  "harmony_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

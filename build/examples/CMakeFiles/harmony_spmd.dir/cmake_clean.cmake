@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_spmd.dir/harmony_spmd.cpp.o"
+  "CMakeFiles/harmony_spmd.dir/harmony_spmd.cpp.o.d"
+  "harmony_spmd"
+  "harmony_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_kernel_tuning.dir/live_kernel_tuning.cpp.o"
+  "CMakeFiles/live_kernel_tuning.dir/live_kernel_tuning.cpp.o.d"
+  "live_kernel_tuning"
+  "live_kernel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_kernel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

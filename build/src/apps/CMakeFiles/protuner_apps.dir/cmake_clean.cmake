@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_apps.dir/blocked_matmul.cc.o"
+  "CMakeFiles/protuner_apps.dir/blocked_matmul.cc.o.d"
+  "libprotuner_apps.a"
+  "libprotuner_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

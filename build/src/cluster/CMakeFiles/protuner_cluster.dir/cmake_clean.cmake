@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_cluster.dir/simulated_cluster.cc.o"
+  "CMakeFiles/protuner_cluster.dir/simulated_cluster.cc.o.d"
+  "CMakeFiles/protuner_cluster.dir/trace_cluster.cc.o"
+  "CMakeFiles/protuner_cluster.dir/trace_cluster.cc.o.d"
+  "libprotuner_cluster.a"
+  "libprotuner_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

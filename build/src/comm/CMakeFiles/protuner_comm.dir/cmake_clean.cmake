@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_comm.dir/spmd.cc.o"
+  "CMakeFiles/protuner_comm.dir/spmd.cc.o.d"
+  "libprotuner_comm.a"
+  "libprotuner_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

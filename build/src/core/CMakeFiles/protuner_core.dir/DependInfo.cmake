@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cc" "src/core/CMakeFiles/protuner_core.dir/annealing.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/annealing.cc.o.d"
+  "/root/repo/src/core/batch_state.cc" "src/core/CMakeFiles/protuner_core.dir/batch_state.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/batch_state.cc.o.d"
+  "/root/repo/src/core/compass.cc" "src/core/CMakeFiles/protuner_core.dir/compass.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/compass.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/protuner_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/genetic.cc" "src/core/CMakeFiles/protuner_core.dir/genetic.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/genetic.cc.o.d"
+  "/root/repo/src/core/grid_search.cc" "src/core/CMakeFiles/protuner_core.dir/grid_search.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/grid_search.cc.o.d"
+  "/root/repo/src/core/landscape.cc" "src/core/CMakeFiles/protuner_core.dir/landscape.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/landscape.cc.o.d"
+  "/root/repo/src/core/nelder_mead.cc" "src/core/CMakeFiles/protuner_core.dir/nelder_mead.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/core/parameter_space.cc" "src/core/CMakeFiles/protuner_core.dir/parameter_space.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/parameter_space.cc.o.d"
+  "/root/repo/src/core/pro.cc" "src/core/CMakeFiles/protuner_core.dir/pro.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/pro.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/core/CMakeFiles/protuner_core.dir/projection.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/projection.cc.o.d"
+  "/root/repo/src/core/random_search.cc" "src/core/CMakeFiles/protuner_core.dir/random_search.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/random_search.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/protuner_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/protuner_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/session.cc.o.d"
+  "/root/repo/src/core/simplex.cc" "src/core/CMakeFiles/protuner_core.dir/simplex.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/simplex.cc.o.d"
+  "/root/repo/src/core/sro.cc" "src/core/CMakeFiles/protuner_core.dir/sro.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/sro.cc.o.d"
+  "/root/repo/src/core/tuning_report.cc" "src/core/CMakeFiles/protuner_core.dir/tuning_report.cc.o" "gcc" "src/core/CMakeFiles/protuner_core.dir/tuning_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gs2/database.cc" "src/gs2/CMakeFiles/protuner_gs2.dir/database.cc.o" "gcc" "src/gs2/CMakeFiles/protuner_gs2.dir/database.cc.o.d"
+  "/root/repo/src/gs2/slice.cc" "src/gs2/CMakeFiles/protuner_gs2.dir/slice.cc.o" "gcc" "src/gs2/CMakeFiles/protuner_gs2.dir/slice.cc.o.d"
+  "/root/repo/src/gs2/surface.cc" "src/gs2/CMakeFiles/protuner_gs2.dir/surface.cc.o" "gcc" "src/gs2/CMakeFiles/protuner_gs2.dir/surface.cc.o.d"
+  "/root/repo/src/gs2/trace.cc" "src/gs2/CMakeFiles/protuner_gs2.dir/trace.cc.o" "gcc" "src/gs2/CMakeFiles/protuner_gs2.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/protuner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/varmodel/CMakeFiles/protuner_varmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/protuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

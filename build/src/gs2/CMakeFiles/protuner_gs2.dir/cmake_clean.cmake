@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_gs2.dir/database.cc.o"
+  "CMakeFiles/protuner_gs2.dir/database.cc.o.d"
+  "CMakeFiles/protuner_gs2.dir/slice.cc.o"
+  "CMakeFiles/protuner_gs2.dir/slice.cc.o.d"
+  "CMakeFiles/protuner_gs2.dir/surface.cc.o"
+  "CMakeFiles/protuner_gs2.dir/surface.cc.o.d"
+  "CMakeFiles/protuner_gs2.dir/trace.cc.o"
+  "CMakeFiles/protuner_gs2.dir/trace.cc.o.d"
+  "libprotuner_gs2.a"
+  "libprotuner_gs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_gs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for protuner_gs2.
+# This may be replaced when dependencies are built.

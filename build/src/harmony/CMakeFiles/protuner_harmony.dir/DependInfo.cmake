@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harmony/api.cc" "src/harmony/CMakeFiles/protuner_harmony.dir/api.cc.o" "gcc" "src/harmony/CMakeFiles/protuner_harmony.dir/api.cc.o.d"
+  "/root/repo/src/harmony/message_protocol.cc" "src/harmony/CMakeFiles/protuner_harmony.dir/message_protocol.cc.o" "gcc" "src/harmony/CMakeFiles/protuner_harmony.dir/message_protocol.cc.o.d"
+  "/root/repo/src/harmony/server.cc" "src/harmony/CMakeFiles/protuner_harmony.dir/server.cc.o" "gcc" "src/harmony/CMakeFiles/protuner_harmony.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/protuner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/protuner_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

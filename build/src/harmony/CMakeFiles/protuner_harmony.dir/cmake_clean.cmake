@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_harmony.dir/api.cc.o"
+  "CMakeFiles/protuner_harmony.dir/api.cc.o.d"
+  "CMakeFiles/protuner_harmony.dir/message_protocol.cc.o"
+  "CMakeFiles/protuner_harmony.dir/message_protocol.cc.o.d"
+  "CMakeFiles/protuner_harmony.dir/server.cc.o"
+  "CMakeFiles/protuner_harmony.dir/server.cc.o.d"
+  "libprotuner_harmony.a"
+  "libprotuner_harmony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_harmony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cc" "src/stats/CMakeFiles/protuner_stats.dir/autocorr.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/autocorr.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/protuner_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/common_distributions.cc" "src/stats/CMakeFiles/protuner_stats.dir/common_distributions.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/common_distributions.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/protuner_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/protuner_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/ks.cc" "src/stats/CMakeFiles/protuner_stats.dir/ks.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/ks.cc.o.d"
+  "/root/repo/src/stats/linreg.cc" "src/stats/CMakeFiles/protuner_stats.dir/linreg.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/linreg.cc.o.d"
+  "/root/repo/src/stats/order_stats.cc" "src/stats/CMakeFiles/protuner_stats.dir/order_stats.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/order_stats.cc.o.d"
+  "/root/repo/src/stats/pareto.cc" "src/stats/CMakeFiles/protuner_stats.dir/pareto.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/pareto.cc.o.d"
+  "/root/repo/src/stats/tail.cc" "src/stats/CMakeFiles/protuner_stats.dir/tail.cc.o" "gcc" "src/stats/CMakeFiles/protuner_stats.dir/tail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

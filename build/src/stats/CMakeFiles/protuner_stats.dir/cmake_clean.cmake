@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_stats.dir/autocorr.cc.o"
+  "CMakeFiles/protuner_stats.dir/autocorr.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/protuner_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/common_distributions.cc.o"
+  "CMakeFiles/protuner_stats.dir/common_distributions.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/ecdf.cc.o"
+  "CMakeFiles/protuner_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/histogram.cc.o"
+  "CMakeFiles/protuner_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/ks.cc.o"
+  "CMakeFiles/protuner_stats.dir/ks.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/linreg.cc.o"
+  "CMakeFiles/protuner_stats.dir/linreg.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/order_stats.cc.o"
+  "CMakeFiles/protuner_stats.dir/order_stats.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/pareto.cc.o"
+  "CMakeFiles/protuner_stats.dir/pareto.cc.o.d"
+  "CMakeFiles/protuner_stats.dir/tail.cc.o"
+  "CMakeFiles/protuner_stats.dir/tail.cc.o.d"
+  "libprotuner_stats.a"
+  "libprotuner_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/protuner_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/protuner_util.dir/rng.cc.o"
+  "CMakeFiles/protuner_util.dir/rng.cc.o.d"
+  "CMakeFiles/protuner_util.dir/summary.cc.o"
+  "CMakeFiles/protuner_util.dir/summary.cc.o.d"
+  "libprotuner_util.a"
+  "libprotuner_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/varmodel/ar1_noise.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/ar1_noise.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/ar1_noise.cc.o.d"
+  "/root/repo/src/varmodel/burst_noise.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/burst_noise.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/burst_noise.cc.o.d"
+  "/root/repo/src/varmodel/composite_noise.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/composite_noise.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/composite_noise.cc.o.d"
+  "/root/repo/src/varmodel/fit.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/fit.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/fit.cc.o.d"
+  "/root/repo/src/varmodel/pareto_noise.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/pareto_noise.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/pareto_noise.cc.o.d"
+  "/root/repo/src/varmodel/shock_model.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/shock_model.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/shock_model.cc.o.d"
+  "/root/repo/src/varmodel/simple_noise.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/simple_noise.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/simple_noise.cc.o.d"
+  "/root/repo/src/varmodel/two_job_sim.cc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/two_job_sim.cc.o" "gcc" "src/varmodel/CMakeFiles/protuner_varmodel.dir/two_job_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/protuner_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/protuner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protuner_varmodel.dir/ar1_noise.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/ar1_noise.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/burst_noise.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/burst_noise.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/composite_noise.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/composite_noise.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/fit.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/fit.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/pareto_noise.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/pareto_noise.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/shock_model.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/shock_model.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/simple_noise.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/simple_noise.cc.o.d"
+  "CMakeFiles/protuner_varmodel.dir/two_job_sim.cc.o"
+  "CMakeFiles/protuner_varmodel.dir/two_job_sim.cc.o.d"
+  "libprotuner_varmodel.a"
+  "libprotuner_varmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protuner_varmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

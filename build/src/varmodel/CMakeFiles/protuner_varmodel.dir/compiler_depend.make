@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for protuner_varmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for protuner_varmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_fuzz.dir/test_batch_fuzz.cc.o"
+  "CMakeFiles/test_batch_fuzz.dir/test_batch_fuzz.cc.o.d"
+  "test_batch_fuzz"
+  "test_batch_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_state.dir/test_batch_state.cc.o"
+  "CMakeFiles/test_batch_state.dir/test_batch_state.cc.o.d"
+  "test_batch_state"
+  "test_batch_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

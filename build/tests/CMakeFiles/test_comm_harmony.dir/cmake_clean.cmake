@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_harmony.dir/test_comm_harmony.cc.o"
+  "CMakeFiles/test_comm_harmony.dir/test_comm_harmony.cc.o.d"
+  "test_comm_harmony"
+  "test_comm_harmony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_harmony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

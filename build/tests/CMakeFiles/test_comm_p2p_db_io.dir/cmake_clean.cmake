@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_p2p_db_io.dir/test_comm_p2p_db_io.cc.o"
+  "CMakeFiles/test_comm_p2p_db_io.dir/test_comm_p2p_db_io.cc.o.d"
+  "test_comm_p2p_db_io"
+  "test_comm_p2p_db_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_p2p_db_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit_sensitivity.dir/test_fit_sensitivity.cc.o"
+  "CMakeFiles/test_fit_sensitivity.dir/test_fit_sensitivity.cc.o.d"
+  "test_fit_sensitivity"
+  "test_fit_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gs2.dir/test_gs2.cc.o"
+  "CMakeFiles/test_gs2.dir/test_gs2.cc.o.d"
+  "test_gs2"
+  "test_gs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

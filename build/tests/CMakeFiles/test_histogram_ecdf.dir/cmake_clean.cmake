@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram_ecdf.dir/test_histogram_ecdf.cc.o"
+  "CMakeFiles/test_histogram_ecdf.dir/test_histogram_ecdf.cc.o.d"
+  "test_histogram_ecdf"
+  "test_histogram_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

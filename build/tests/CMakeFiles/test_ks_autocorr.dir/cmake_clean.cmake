@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ks_autocorr.dir/test_ks_autocorr.cc.o"
+  "CMakeFiles/test_ks_autocorr.dir/test_ks_autocorr.cc.o.d"
+  "test_ks_autocorr"
+  "test_ks_autocorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ks_autocorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_protocol.dir/test_message_protocol.cc.o"
+  "CMakeFiles/test_message_protocol.dir/test_message_protocol.cc.o.d"
+  "test_message_protocol"
+  "test_message_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_robustness.dir/test_noise_robustness.cc.o"
+  "CMakeFiles/test_noise_robustness.dir/test_noise_robustness.cc.o.d"
+  "test_noise_robustness"
+  "test_noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameter_space.dir/test_parameter_space.cc.o"
+  "CMakeFiles/test_parameter_space.dir/test_parameter_space.cc.o.d"
+  "test_parameter_space"
+  "test_parameter_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameter_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pro.dir/test_pro.cc.o"
+  "CMakeFiles/test_pro.dir/test_pro.cc.o.d"
+  "test_pro"
+  "test_pro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

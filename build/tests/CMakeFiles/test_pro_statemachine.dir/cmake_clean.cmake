@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pro_statemachine.dir/test_pro_statemachine.cc.o"
+  "CMakeFiles/test_pro_statemachine.dir/test_pro_statemachine.cc.o.d"
+  "test_pro_statemachine"
+  "test_pro_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pro_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_projection.dir/test_projection.cc.o"
+  "CMakeFiles/test_projection.dir/test_projection.cc.o.d"
+  "test_projection"
+  "test_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

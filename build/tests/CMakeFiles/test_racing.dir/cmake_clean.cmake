@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_racing.dir/test_racing.cc.o"
+  "CMakeFiles/test_racing.dir/test_racing.cc.o.d"
+  "test_racing"
+  "test_racing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

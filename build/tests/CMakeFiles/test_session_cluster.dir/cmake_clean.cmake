@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_cluster.dir/test_session_cluster.cc.o"
+  "CMakeFiles/test_session_cluster.dir/test_session_cluster.cc.o.d"
+  "test_session_cluster"
+  "test_session_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

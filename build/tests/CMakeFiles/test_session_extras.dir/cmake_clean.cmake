@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_extras.dir/test_session_extras.cc.o"
+  "CMakeFiles/test_session_extras.dir/test_session_extras.cc.o.d"
+  "test_session_extras"
+  "test_session_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

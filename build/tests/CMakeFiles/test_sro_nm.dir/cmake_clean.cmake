@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sro_nm.dir/test_sro_nm.cc.o"
+  "CMakeFiles/test_sro_nm.dir/test_sro_nm.cc.o.d"
+  "test_sro_nm"
+  "test_sro_nm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sro_nm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_contract.dir/test_strategy_contract.cc.o"
+  "CMakeFiles/test_strategy_contract.dir/test_strategy_contract.cc.o.d"
+  "test_strategy_contract"
+  "test_strategy_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail.dir/test_tail.cc.o"
+  "CMakeFiles/test_tail.dir/test_tail.cc.o.d"
+  "test_tail"
+  "test_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

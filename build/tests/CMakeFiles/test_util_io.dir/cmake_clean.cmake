@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_io.dir/test_util_io.cc.o"
+  "CMakeFiles/test_util_io.dir/test_util_io.cc.o.d"
+  "test_util_io"
+  "test_util_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

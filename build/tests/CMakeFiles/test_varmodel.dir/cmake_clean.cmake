@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varmodel.dir/test_varmodel.cc.o"
+  "CMakeFiles/test_varmodel.dir/test_varmodel.cc.o.d"
+  "test_varmodel"
+  "test_varmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
