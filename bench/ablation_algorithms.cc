@@ -91,17 +91,24 @@ int main() {
 
   std::vector<double> ntt(algos.size(), 0.0);
   for (std::size_t a = 0; a < algos.size(); ++a) {
-    double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
-    for (long rep = 0; rep < reps; ++rep) {
+    struct RepOut {
+      double ntt, clean, conv;
+    };
+    const auto outs = bench::per_rep(reps, [&](long rep) {
       const std::uint64_t seed =
           bench::seed() + 61ULL * static_cast<std::uint64_t>(rep);
       cluster::SimulatedCluster machine(db, noise, {.ranks = 8, .seed = seed});
       auto strategy = make(algos[a], space, seed ^ 0xabcdULL);
       const core::SessionResult r = core::run_session(
           *strategy, machine, {.steps = 100, .record_series = false});
-      acc_ntt += r.ntt;
-      acc_clean += r.best_clean;
-      acc_conv += static_cast<double>(r.convergence_step);
+      return RepOut{r.ntt, r.best_clean,
+                    static_cast<double>(r.convergence_step)};
+    });
+    double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
+    for (const auto& o : outs) {
+      acc_ntt += o.ntt;
+      acc_clean += o.clean;
+      acc_conv += o.conv;
     }
     ntt[a] = acc_ntt / static_cast<double>(reps);
     csv.row(algos[a], ntt[a], acc_clean / static_cast<double>(reps),

@@ -45,8 +45,10 @@ int main() {
   double quality[2][3] = {};
   for (int kind = 0; kind < 2; ++kind) {
     for (int k = 1; k <= 3; ++k) {
-      double acc_total = 0.0, acc_clean = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double total, clean;
+      };
+      const auto outs = bench::per_rep(reps, [&](long rep) {
         const std::uint64_t seed =
             bench::seed() + 211ULL * static_cast<std::uint64_t>(rep);
         core::ProOptions opts;
@@ -69,8 +71,12 @@ int main() {
           r = core::run_session(pro, machine,
                                 {.steps = 200, .record_series = false});
         }
-        acc_total += r.total_time;
-        acc_clean += r.best_clean;
+        return RepOut{r.total_time, r.best_clean};
+      });
+      double acc_total = 0.0, acc_clean = 0.0;
+      for (const auto& o : outs) {
+        acc_total += o.total;
+        acc_clean += o.clean;
       }
       const double q = acc_clean / static_cast<double>(reps);
       quality[kind][k - 1] = q;

@@ -108,8 +108,10 @@ int main() {
   csv2.header({"estimator", "avg_ntt", "avg_best_clean"});
   double ntt_min = 0.0, ntt_mean = 0.0, clean_min = 0.0, clean_mean = 0.0;
   for (const auto& [ename, kind] : kinds) {
-    double acc_ntt = 0.0, acc_clean = 0.0;
-    for (long rep = 0; rep < reps; ++rep) {
+    struct RepOut {
+      double ntt, clean;
+    };
+    const auto outs = bench::per_rep(reps, [&, kind](long rep) {
       cluster::SimulatedCluster machine(
           db, pnoise,
           {.ranks = 6,
@@ -121,8 +123,12 @@ int main() {
       core::ProStrategy pro(space, opts);
       const core::SessionResult r = core::run_session(
           pro, machine, {.steps = 400, .record_series = false});
-      acc_ntt += r.ntt;
-      acc_clean += r.best_clean;
+      return RepOut{r.ntt, r.best_clean};
+    });
+    double acc_ntt = 0.0, acc_clean = 0.0;
+    for (const auto& o : outs) {
+      acc_ntt += o.ntt;
+      acc_clean += o.clean;
     }
     const double a_ntt = acc_ntt / static_cast<double>(reps);
     const double a_clean = acc_clean / static_cast<double>(reps);

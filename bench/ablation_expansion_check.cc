@@ -44,9 +44,10 @@ int main() {
       noise = std::make_shared<varmodel::ParetoNoise>(rho, 1.7);
     }
     for (const bool check_first : {true, false}) {
-      double acc_ntt = 0.0, acc_clean = 0.0, acc_exp = 0.0;
-      double acc_worst = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean, exp, worst;
+      };
+      const auto outs = bench::per_rep(reps, [&, check_first](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -57,11 +58,18 @@ int main() {
         core::ProStrategy pro(space, opts);
         const core::SessionResult r = core::run_session(
             pro, machine, {.steps = 200, .record_series = true});
-        acc_ntt += r.ntt;
-        acc_clean += r.best_clean;
-        acc_exp += static_cast<double>(pro.expansions_accepted());
-        acc_worst += *std::max_element(r.step_costs.begin(),
-                                       r.step_costs.end());
+        return RepOut{r.ntt, r.best_clean,
+                      static_cast<double>(pro.expansions_accepted()),
+                      *std::max_element(r.step_costs.begin(),
+                                        r.step_costs.end())};
+      });
+      double acc_ntt = 0.0, acc_clean = 0.0, acc_exp = 0.0;
+      double acc_worst = 0.0;
+      for (const auto& o : outs) {
+        acc_ntt += o.ntt;
+        acc_clean += o.clean;
+        acc_exp += o.exp;
+        acc_worst += o.worst;
       }
       const double a_ntt = acc_ntt / static_cast<double>(reps);
       const double a_worst = acc_worst / static_cast<double>(reps);

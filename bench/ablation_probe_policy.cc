@@ -53,9 +53,11 @@ int main() {
   for (std::size_t v = 0; v < variants.size(); ++v) {
     for (int ki = 0; ki < 2; ++ki) {
       const int k = ki == 0 ? 1 : 3;
-      double acc_ntt = 0.0, acc_clean = 0.0, acc_probes = 0.0;
       auto noise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean, probes;
+      };
+      const auto outs = bench::per_rep(reps, [&](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -67,9 +69,14 @@ int main() {
         core::ProStrategy pro(space, opts);
         const core::SessionResult r = core::run_session(
             pro, machine, {.steps = 200, .record_series = false});
-        acc_ntt += r.ntt;
-        acc_clean += r.best_clean;
-        acc_probes += static_cast<double>(pro.probes_run());
+        return RepOut{r.ntt, r.best_clean,
+                      static_cast<double>(pro.probes_run())};
+      });
+      double acc_ntt = 0.0, acc_clean = 0.0, acc_probes = 0.0;
+      for (const auto& o : outs) {
+        acc_ntt += o.ntt;
+        acc_clean += o.clean;
+        acc_probes += o.probes;
       }
       quality[v][ki] = acc_clean / static_cast<double>(reps);
       csv.row(variants[v].name, k, acc_ntt / static_cast<double>(reps),

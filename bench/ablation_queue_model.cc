@@ -55,8 +55,10 @@ int main() {
       noise = std::make_shared<varmodel::QueueNoise>(qcfg);
     }
     for (int k : {1, 3}) {
-      double acc_ntt = 0.0, acc_clean = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean;
+      };
+      const auto outs = bench::per_rep(reps, [&, k](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -66,8 +68,12 @@ int main() {
         core::ProStrategy pro(space, opts);
         const core::SessionResult r = core::run_session(
             pro, machine, {.steps = 200, .record_series = false});
-        acc_ntt += r.ntt;
-        acc_clean += r.best_clean;
+        return RepOut{r.ntt, r.best_clean};
+      });
+      double acc_ntt = 0.0, acc_clean = 0.0;
+      for (const auto& o : outs) {
+        acc_ntt += o.ntt;
+        acc_clean += o.clean;
       }
       const double q = acc_clean / static_cast<double>(reps);
       if (k == 1) clean_q[model] = q;

@@ -60,8 +60,10 @@ int main() {
   std::vector<double> clean(variants.size(), 0.0);
   std::vector<double> conv(variants.size(), 0.0);
   for (std::size_t v = 0; v < variants.size(); ++v) {
-    double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
-    for (long rep = 0; rep < reps; ++rep) {
+    struct RepOut {
+      double ntt, clean, conv;
+    };
+    const auto outs = bench::per_rep(reps, [&](long rep) {
       cluster::SimulatedCluster machine(
           db, noise,
           {.ranks = variants[v].ranks,
@@ -73,9 +75,14 @@ int main() {
       core::ProStrategy pro(space, opts);
       const core::SessionResult r = core::run_session(
           pro, machine, {.steps = 200, .record_series = false});
-      acc_ntt += r.ntt;
-      acc_clean += r.best_clean;
-      acc_conv += static_cast<double>(r.convergence_step);
+      return RepOut{r.ntt, r.best_clean,
+                    static_cast<double>(r.convergence_step)};
+    });
+    double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
+    for (const auto& o : outs) {
+      acc_ntt += o.ntt;
+      acc_clean += o.clean;
+      acc_conv += o.conv;
     }
     ntt[v] = acc_ntt / static_cast<double>(reps);
     clean[v] = acc_clean / static_cast<double>(reps);

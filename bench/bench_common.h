@@ -5,7 +5,10 @@
 //   * the series as CSV (machine-readable),
 //   * an ASCII rendering of the figure's shape,
 //   * a PASS/CHECK line for each qualitative claim the paper makes.
-// Repetition counts are laptop-scale by default and grow via REPRO_REPS.
+// Repetition counts are laptop-scale by default and grow via REPRO_REPS;
+// repetitions execute across a thread pool sized by REPRO_THREADS (see
+// exp/parallel_runner.h — aggregate output is bit-identical for every
+// thread count, so raising REPRO_THREADS only changes wall-clock time).
 #pragma once
 
 #include <cstdio>
@@ -13,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "exp/parallel_runner.h"
 #include "util/env.h"
 
 namespace protuner::bench {
@@ -30,6 +34,22 @@ inline long reps(long fallback) {
 
 inline std::uint64_t seed() {
   return static_cast<std::uint64_t>(util::env_long("REPRO_SEED", 20050712));
+}
+
+/// Worker count the repetition runner will use (REPRO_THREADS, default
+/// hardware_concurrency) — printed by harnesses for provenance.
+inline unsigned threads() { return exp::default_threads(); }
+
+/// Runs `fn(rep)` for rep in [0, reps) across the repetition pool and
+/// returns the per-rep results in repetition order.  The harnesses derive
+/// their own per-rep seeds from bench::seed() and the rep index (kept
+/// identical to the historical serial loops), so `fn` only needs the index;
+/// the runner guarantees ordered, thread-count-independent merging.
+template <typename Fn>
+auto per_rep(long reps, Fn&& fn) {
+  return exp::run_repetitions(
+      reps, seed(),
+      [&fn](const exp::RepContext& ctx) { return fn(ctx.rep); });
 }
 
 /// Prints a qualitative-shape check result.  These are the paper's claims;

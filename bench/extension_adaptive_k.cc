@@ -54,8 +54,10 @@ int main() {
     double best_fixed = 1e300;
     double worst_fixed = 0.0;
     for (int k = 1; k <= 5; ++k) {
-      double acc = 0.0, acc_clean = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean;
+      };
+      const auto outs = bench::per_rep(reps, [&, k](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -65,8 +67,12 @@ int main() {
         core::ProStrategy pro(space, opts);
         const auto r = core::run_session(
             pro, machine, {.steps = kSteps, .record_series = false});
-        acc += r.ntt;
-        acc_clean += r.best_clean;
+        return RepOut{r.ntt, r.best_clean};
+      });
+      double acc = 0.0, acc_clean = 0.0;
+      for (const auto& o : outs) {
+        acc += o.ntt;
+        acc_clean += o.clean;
       }
       const double ntt = acc / static_cast<double>(reps);
       csv.row(rho, "fixed K=" + std::to_string(k), ntt,
@@ -75,8 +81,10 @@ int main() {
       worst_fixed = std::max(worst_fixed, ntt);
     }
 
-    double acc = 0.0, acc_clean = 0.0, acc_k = 0.0;
-    for (long rep = 0; rep < reps; ++rep) {
+    struct AdaptiveOut {
+      double ntt, clean, k;
+    };
+    const auto adaptive_outs = bench::per_rep(reps, [&](long rep) {
       cluster::SimulatedCluster machine(
           db, noise,
           {.ranks = 6,
@@ -87,9 +95,14 @@ int main() {
       core::ProStrategy pro(space, opts);
       const auto r = core::run_session(
           pro, machine, {.steps = kSteps, .record_series = false});
-      acc += r.ntt;
-      acc_clean += r.best_clean;
-      acc_k += pro.current_samples();
+      return AdaptiveOut{r.ntt, r.best_clean,
+                         static_cast<double>(pro.current_samples())};
+    });
+    double acc = 0.0, acc_clean = 0.0, acc_k = 0.0;
+    for (const auto& o : adaptive_outs) {
+      acc += o.ntt;
+      acc_clean += o.clean;
+      acc_k += o.k;
     }
     const double ntt_adaptive = acc / static_cast<double>(reps);
     csv.row(rho, "adaptive", ntt_adaptive,

@@ -44,8 +44,10 @@ int main() {
     auto noise = std::make_shared<varmodel::ParetoNoise>(rho, 1.7);
     double ntt_plain = 0.0, ntt_raced = 0.0;
     for (const bool racing : {false, true}) {
-      double acc = 0.0, acc_clean = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean;
+      };
+      const auto outs = bench::per_rep(reps, [&, racing](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -56,8 +58,12 @@ int main() {
         core::ProStrategy pro(space, opts);
         const auto r = core::run_session(
             pro, machine, {.steps = 400, .record_series = false});
-        acc += r.ntt;
-        acc_clean += r.best_clean;
+        return RepOut{r.ntt, r.best_clean};
+      });
+      double acc = 0.0, acc_clean = 0.0;
+      for (const auto& o : outs) {
+        acc += o.ntt;
+        acc_clean += o.clean;
       }
       const double ntt = acc / static_cast<double>(reps);
       csv.row(rho, racing ? "K=3 raced" : "K=3 plain", ntt,

@@ -82,16 +82,27 @@ int main() {
                                            std::vector<double>(kSteps, 0.0));
   std::vector<double> avg_total(3, 0.0);
 
-  for (long rep = 0; rep < reps; ++rep) {
-    const std::uint64_t rep_seed =
-        bench::seed() + 7919ULL * static_cast<std::uint64_t>(rep);
-    for (int v = 1; v <= 3; ++v) {
-      cluster::SimulatedCluster machine(db, noise,
-                                        {.ranks = 6, .seed = rep_seed});
-      auto strategy = make_variant(v, space, rep_seed ^ 0x5bdULL);
-      const core::SessionResult r = core::run_session(
-          *strategy, machine, {.steps = kSteps, .record_series = true});
-      const auto vi = static_cast<std::size_t>(v - 1);
+  // One repetition = three sessions (one per variant); repetitions run
+  // across the pool, and the rep-ordered merge below reproduces the serial
+  // accumulation bit for bit.
+  const auto rep_results =
+      bench::per_rep(reps, [&](long rep) -> std::vector<core::SessionResult> {
+        const std::uint64_t rep_seed =
+            bench::seed() + 7919ULL * static_cast<std::uint64_t>(rep);
+        std::vector<core::SessionResult> per_variant;
+        per_variant.reserve(3);
+        for (int v = 1; v <= 3; ++v) {
+          cluster::SimulatedCluster machine(db, noise,
+                                            {.ranks = 6, .seed = rep_seed});
+          auto strategy = make_variant(v, space, rep_seed ^ 0x5bdULL);
+          per_variant.push_back(core::run_session(
+              *strategy, machine, {.steps = kSteps, .record_series = true}));
+        }
+        return per_variant;
+      });
+  for (const auto& per_variant : rep_results) {
+    for (std::size_t vi = 0; vi < 3; ++vi) {
+      const core::SessionResult& r = per_variant[vi];
       for (std::size_t k = 0; k < kSteps; ++k) {
         avg_cost[vi][k] += r.step_costs[k] / static_cast<double>(reps);
         avg_cum[vi][k] += r.cumulative[k] / static_cast<double>(reps);

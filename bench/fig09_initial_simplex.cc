@@ -40,8 +40,7 @@ int main() {
   std::vector<double> ntt_min_simplex, ntt_2n_simplex;
   for (const double r : r_values) {
     for (const bool use_2n : {false, true}) {
-      double acc = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      const auto outs = bench::per_rep(reps, [&, r, use_2n](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -50,10 +49,12 @@ int main() {
         opts.initial_size = r;
         opts.use_2n_simplex = use_2n;
         core::ProStrategy pro(space, opts);
-        acc += core::run_session(pro, machine,
+        return core::run_session(pro, machine,
                                  {.steps = 100, .record_series = false})
-                   .ntt;
-      }
+            .ntt;
+      });
+      double acc = 0.0;
+      for (const double v : outs) acc += v;
       const double avg = acc / static_cast<double>(reps);
       csv.row(r, use_2n ? "2N" : "N+1", avg);
       (use_2n ? ntt_2n_simplex : ntt_min_simplex).push_back(avg);

@@ -62,8 +62,10 @@ Grid run_grid(const core::ParameterSpace& space, core::LandscapePtr db,
       noise = std::make_shared<varmodel::ParetoNoise>(kRhos[ri], kAlpha);
     }
     for (int k = 1; k <= kMaxSamples; ++k) {
-      double acc = 0.0, acc_clean = 0.0;
-      for (long rep = 0; rep < reps; ++rep) {
+      struct RepOut {
+        double ntt, clean;
+      };
+      const auto outs = bench::per_rep(reps, [&](long rep) {
         cluster::SimulatedCluster machine(
             db, noise,
             {.ranks = 6,
@@ -77,8 +79,12 @@ Grid run_grid(const core::ParameterSpace& space, core::LandscapePtr db,
         core::ProStrategy pro(space, opts);
         const core::SessionResult r = core::run_session(
             pro, machine, {.steps = steps, .record_series = false});
-        acc += r.ntt;
-        acc_clean += r.best_clean;
+        return RepOut{r.ntt, r.best_clean};
+      });
+      double acc = 0.0, acc_clean = 0.0;
+      for (const auto& o : outs) {
+        acc += o.ntt;
+        acc_clean += o.clean;
       }
       g.ntt[ri][static_cast<std::size_t>(k - 1)] =
           acc / static_cast<double>(reps);
@@ -133,7 +139,9 @@ int main() {
                 "K is pure overhead at rho = 0; under heavy variability an "
                 "interior optimum K* > 1 appears");
   std::cout << "repetitions per configuration: " << reps
-            << " (paper used 2000; set REPRO_REPS)\n";
+            << " (paper used 2000; set REPRO_REPS; REPRO_THREADS "
+               "parallelizes the repetitions without changing any output "
+               "byte)\n";
 
   const auto space = gs2::gs2_space();
   const gs2::Gs2Surface surface;

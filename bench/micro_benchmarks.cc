@@ -5,7 +5,10 @@
 // application iteration).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <vector>
 
 #include "cluster/simulated_cluster.h"
 #include "core/pro.h"
@@ -16,6 +19,7 @@
 #include "gs2/surface.h"
 #include "stats/pareto.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "varmodel/pareto_noise.h"
 #include "varmodel/two_job_sim.h"
 
@@ -75,6 +79,63 @@ void BM_DatabaseInterpolatedLookupCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatabaseInterpolatedLookupCached);
+
+// Concurrent interpolated lookups: each benchmark thread walks a disjoint
+// set of off-grid points against one shared database.  Guards the cache
+// sharding — with the old single global lock this serialized and throughput
+// collapsed as ->Threads() grew.
+void BM_DatabaseLookup_Concurrent(benchmark::State& state) {
+  static const auto space = gs2::gs2_space();
+  static const gs2::Gs2Surface surface;
+  static const gs2::Database db = gs2::Database::measure(space, surface, {});
+  // Off-grid points, distinct per thread so threads touch different shards.
+  std::vector<core::Point> pts;
+  util::Rng rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
+  for (int i = 0; i < 64; ++i) {
+    core::Point x(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      x[d] = rng.uniform(space.param(d).lower(), space.param(d).upper());
+    }
+    pts.push_back(std::move(x));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.clean_time(pts[i]));
+    i = (i + 1) % pts.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DatabaseLookup_Concurrent)->Threads(1)->Threads(4)->Threads(8);
+
+// Round-trip cost of dispatching one trivial task through the pool — the
+// per-repetition overhead floor of exp::run_repetitions.  Must stay
+// microseconds: repetitions are whole tuning sessions (milliseconds+).
+void BM_ThreadPool_Dispatch(benchmark::State& state) {
+  util::ThreadPool pool(2);
+  for (auto _ : state) {
+    auto f = pool.submit([] { return 1; });
+    benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadPool_Dispatch);
+
+// Batch dispatch: 256 tasks submitted at once, then drained — the shape
+// run_repetitions actually uses (queue everything, join once).
+void BM_ThreadPool_BatchDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    {
+      util::ThreadPool pool(4);
+      for (int i = 0; i < 256; ++i) {
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ThreadPool_BatchDispatch);
 
 void BM_ParetoNoiseSample(benchmark::State& state) {
   const varmodel::ParetoNoise noise(0.3, 1.7);

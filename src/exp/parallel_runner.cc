@@ -1,0 +1,72 @@
+#include "exp/parallel_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/env.h"
+#include "util/thread_pool.h"
+
+namespace protuner::exp {
+
+unsigned default_threads() {
+  const long env = util::env_long("REPRO_THREADS", 0);
+  if (env > 0) return static_cast<unsigned>(env);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+namespace detail {
+
+std::vector<RepContext> make_contexts(long n, std::uint64_t base_seed) {
+  std::vector<RepContext> ctx;
+  if (n <= 0) return ctx;
+  ctx.resize(static_cast<std::size_t>(n));
+  // One walker jumps down the xoshiro orbit; each repetition receives the
+  // stream at its jump point (split(k) == k+1 jumps, computed iteratively
+  // so building n contexts is O(n) rather than O(n^2) jumps).
+  util::Rng walker(base_seed);
+  for (long rep = 0; rep < n; ++rep) {
+    walker.jump();
+    auto& c = ctx[static_cast<std::size_t>(rep)];
+    c.rep = rep;
+    c.rng = walker;
+    c.seed = c.rng();  // first draw; c.rng continues past it
+  }
+  return ctx;
+}
+
+void run_indexed(long n, unsigned threads,
+                 const std::function<void(long)>& body) {
+  if (n <= 0) return;
+  if (threads == 0) threads = default_threads();
+  threads = static_cast<unsigned>(
+      std::min<long>(n, static_cast<long>(threads)));
+
+  if (threads <= 1) {
+    for (long rep = 0; rep < n; ++rep) body(rep);
+    return;
+  }
+
+  // One exception slot per repetition: after all tasks complete, rethrow
+  // the lowest-rep failure so the error the caller sees does not depend on
+  // scheduling.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  {
+    util::ThreadPool pool(threads);
+    for (long rep = 0; rep < n; ++rep) {
+      pool.submit([rep, &body, &errors] {
+        try {
+          body(rep);
+        } catch (...) {
+          errors[static_cast<std::size_t>(rep)] = std::current_exception();
+        }
+      });
+    }
+    // ThreadPool's destructor drains the queue and joins.
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace detail
+}  // namespace protuner::exp

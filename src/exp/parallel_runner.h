@@ -1,0 +1,95 @@
+// Parallel experiment execution: run the repetitions of a figure/ablation
+// harness across a thread pool with results that are bit-identical to the
+// serial run.
+//
+// The repetitions of every harness in bench/ are independent simulations
+// distinguished only by their RNG seed — exactly the "replications are
+// embarrassingly parallel" structure that parallel ranking-and-selection
+// systems exploit.  run_repetitions() gives each repetition
+//   * its index `rep`,
+//   * an independent RNG stream split from one base seed via
+//     util::Rng::jump (disjoint subsequences of the xoshiro orbit), and
+//   * a 64-bit `seed` (the first draw of that stream) for components that
+//     take an integer seed,
+// executes them across a util::ThreadPool sized by the REPRO_THREADS
+// environment knob (default: hardware_concurrency), and returns the per-rep
+// results **in repetition order**.  Because the per-rep inputs are
+// precomputed serially and the merge is ordered, any aggregate the caller
+// folds over the returned vector is bit-identical for every thread count —
+// including the serial REPRO_THREADS=1 run.
+//
+// Requirements on `fn`: it must not touch mutable state shared across
+// repetitions except through thread-safe components (gs2::Database's
+// interpolation cache is; the stateless noise models are).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace protuner::exp {
+
+/// Worker count used when the caller passes `threads == 0`: the
+/// REPRO_THREADS environment variable when set to a positive integer, else
+/// std::thread::hardware_concurrency (never less than 1).
+unsigned default_threads();
+
+/// Everything one repetition may depend on.  Deterministic function of
+/// (base_seed, rep) only — never of thread scheduling.
+struct RepContext {
+  long rep = 0;            ///< repetition index, 0-based
+  std::uint64_t seed = 0;  ///< per-rep integer seed (first draw of `rng`)
+  util::Rng rng;           ///< independent stream, split from the base seed
+};
+
+namespace detail {
+/// Executes body(rep) for rep in [0, n) across `threads` workers (resolved
+/// via default_threads() when 0; serial in-place when the resolved count is
+/// 1 or n < 2).  Blocks until all complete; rethrows the lowest-rep
+/// exception, if any.
+void run_indexed(long n, unsigned threads,
+                 const std::function<void(long)>& body);
+
+/// The per-rep contexts for `n` repetitions of `base_seed`, in rep order.
+std::vector<RepContext> make_contexts(long n, std::uint64_t base_seed);
+}  // namespace detail
+
+/// Runs `fn(ctx)` for each of `n` repetitions and returns the results in
+/// repetition order.  `threads == 0` resolves via default_threads().  If
+/// any repetition throws, the exception of the lowest-numbered failing
+/// repetition is rethrown after all repetitions finish.
+template <typename Fn>
+auto run_repetitions(long n, std::uint64_t base_seed, Fn&& fn,
+                     unsigned threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const RepContext&>> {
+  using R = std::invoke_result_t<Fn&, const RepContext&>;
+  static_assert(!std::is_void_v<R>,
+                "run_repetitions requires fn to return the per-rep result");
+  std::vector<RepContext> ctx = detail::make_contexts(n, base_seed);
+  std::vector<R> out(static_cast<std::size_t>(n < 0 ? 0 : n));
+  detail::run_indexed(n, threads, [&](long rep) {
+    const auto i = static_cast<std::size_t>(rep);
+    out[i] = fn(static_cast<const RepContext&>(ctx[i]));
+  });
+  return out;
+}
+
+/// Convenience fold: sums fn(ctx).value contributions in repetition order.
+/// Equivalent to running serially and accumulating — kept for harnesses
+/// that only need a scalar mean.
+template <typename Fn>
+double mean_over_repetitions(long n, std::uint64_t base_seed, Fn&& fn,
+                             unsigned threads = 0) {
+  const auto vals =
+      run_repetitions(n, base_seed, std::forward<Fn>(fn), threads);
+  double acc = 0.0;
+  for (const double v : vals) acc += v;
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace protuner::exp

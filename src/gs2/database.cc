@@ -1,12 +1,15 @@
 #include "gs2/database.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -42,7 +45,24 @@ std::vector<double> axis_values(const core::Parameter& p, std::size_t stride) {
   return out;
 }
 
+/// SplitMix64-style avalanche over the raw coordinate bits; the shard index
+/// only needs to spread nearby grid points across shards.
+std::uint64_t point_hash(const core::Point& x) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ x.size();
+  for (const double c : x) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(c);
+    bits = (bits ^ (bits >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    bits = (bits ^ (bits >> 27)) * 0x94d049bb133111ebULL;
+    h = (h ^ (bits ^ (bits >> 31))) * 0x9e3779b97f4a7c15ULL;
+  }
+  return h ^ (h >> 32);
+}
+
 }  // namespace
+
+Database::Cache::Shard& Database::Cache::shard_for(const core::Point& x) {
+  return shards[point_hash(x) % kShards];
+}
 
 Database::Database(core::ParameterSpace space, DatabaseOptions options)
     : space_(std::move(space)),
@@ -89,8 +109,10 @@ void Database::insert(const core::Point& x, double time) {
   assert(x.size() == space_.size());
   assert(time > 0.0);
   table_[x] = time;
-  const std::scoped_lock lock(cache_->mutex);
-  cache_->map.clear();  // interpolated values may all have changed
+  for (auto& shard : cache_->shards) {
+    const std::unique_lock lock(shard.mutex);
+    shard.map.clear();  // interpolated values may all have changed
+  }
 }
 
 void Database::save(std::ostream& out) const {
@@ -152,10 +174,11 @@ double Database::clean_time(const core::Point& x) const {
   assert(x.size() == space_.size());
   if (const auto hit = exact(x)) return *hit;
 
+  Cache::Shard& shard = cache_->shard_for(x);
   {
-    const std::scoped_lock lock(cache_->mutex);
-    const auto it = cache_->map.find(x);
-    if (it != cache_->map.end()) return it->second;
+    const std::shared_lock lock(shard.mutex);
+    const auto it = shard.map.find(x);
+    if (it != shard.map.end()) return it->second;
   }
 
   // k nearest entries by range-normalised distance.
@@ -183,8 +206,8 @@ double Database::clean_time(const core::Point& x) const {
   const double value = vsum / wsum;
 
   {
-    const std::scoped_lock lock(cache_->mutex);
-    cache_->map[x] = value;
+    const std::unique_lock lock(shard.mutex);
+    shard.map[x] = value;
   }
   return value;
 }

