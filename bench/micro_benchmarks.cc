@@ -8,6 +8,8 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "cluster/simulated_cluster.h"
@@ -79,6 +81,148 @@ void BM_DatabaseInterpolatedLookupCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatabaseInterpolatedLookupCached);
+
+// --- Interpolation-miss cost: indexed k-d-tree path vs the brute-force
+// reference, on the real GS2 database (stride 2, ~2k entries at stride 1)
+// and on a large 4-D grid (~28k entries).  Both variants bypass the memo
+// cache, so these measure the pure per-miss interpolation work that every
+// cold lookup pays.  The two must return bit-identical values
+// (test_database_index); the indexed path must be >= 10x faster at
+// database scale (EXPERIMENTS.md records the measured ratio).
+
+gs2::Database make_gs2_db() {
+  return gs2::Database::measure(gs2::gs2_space(), gs2::Gs2Surface{}, {});
+}
+
+gs2::Database make_large_db() {
+  const core::ParameterSpace space({
+      core::Parameter::integer("a", 0, 12),
+      core::Parameter::integer("b", 0, 12),
+      core::Parameter::integer("c", 0, 12),
+      core::Parameter::integer("d", 0, 12),
+  });
+  const core::QuadraticLandscape bowl(core::Point{6.0, 5.0, 7.0, 4.0}, 1.0,
+                                      0.1);
+  return gs2::Database::measure(space, bowl, {.stride = 1});
+}
+
+std::vector<core::Point> off_grid_queries(const core::ParameterSpace& space,
+                                          int n) {
+  util::Rng rng(99);
+  std::vector<core::Point> pts;
+  for (int i = 0; i < n; ++i) {
+    core::Point x(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      x[d] = rng.uniform(space.param(d).lower(), space.param(d).upper());
+    }
+    pts.push_back(std::move(x));
+  }
+  return pts;
+}
+
+void BM_DatabaseInterpolate_Reference(benchmark::State& state) {
+  const gs2::Database db = state.range(0) == 0 ? make_gs2_db()
+                                               : make_large_db();
+  const auto pts = off_grid_queries(db.space(), 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.interpolate_reference(pts[i]));
+    i = (i + 1) % pts.size();
+  }
+  state.SetLabel(state.range(0) == 0 ? "gs2" : "large");
+  state.counters["entries"] = static_cast<double>(db.entries());
+}
+BENCHMARK(BM_DatabaseInterpolate_Reference)->Arg(0)->Arg(1);
+
+void BM_DatabaseInterpolate_Indexed(benchmark::State& state) {
+  const gs2::Database db = state.range(0) == 0 ? make_gs2_db()
+                                               : make_large_db();
+  const auto pts = off_grid_queries(db.space(), 64);
+  (void)db.interpolate_uncached(pts[0]);  // build the index up front
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.interpolate_uncached(pts[i]));
+    i = (i + 1) % pts.size();
+  }
+  state.SetLabel(state.range(0) == 0 ? "gs2" : "large");
+  state.counters["entries"] = static_cast<double>(db.entries());
+}
+BENCHMARK(BM_DatabaseInterpolate_Indexed)->Arg(0)->Arg(1);
+
+// Cold-start cost of one index build (measure/load pay this once; insert
+// pays it on the next lookup) — context for the per-miss wins above.
+void BM_DatabaseIndexBuild(benchmark::State& state) {
+  const gs2::Database db = state.range(0) == 0 ? make_gs2_db()
+                                               : make_large_db();
+  std::ostringstream dump;
+  db.save(dump);
+  const std::string csv = dump.str();
+  const core::Point probe = off_grid_queries(db.space(), 1)[0];
+  for (auto _ : state) {
+    std::istringstream in(csv);
+    gs2::Database fresh =
+        gs2::Database::load(in, db.space(), {});
+    benchmark::DoNotOptimize(fresh.interpolate_uncached(probe));
+  }
+  state.SetLabel(state.range(0) == 0 ? "gs2" : "large");
+  state.counters["entries"] = static_cast<double>(db.entries());
+}
+BENCHMARK(BM_DatabaseIndexBuild)->Arg(0)->Arg(1);
+
+// Batch landscape lookup vs a scalar loop over the same warm batch: the
+// shape SimulatedCluster::run_step drives every step (one config per rank,
+// duplicates from replicated sampling).
+void BM_DatabaseBatchLookup(benchmark::State& state) {
+  const gs2::Database db = make_gs2_db();
+  auto pts = off_grid_queries(db.space(), 6);
+  pts.push_back(pts[0]);  // replicated-sampling duplicates
+  pts.push_back(pts[1]);
+  std::vector<double> out(pts.size());
+  db.clean_times(pts, out);  // warm
+  for (auto _ : state) {
+    db.clean_times(pts, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_DatabaseBatchLookup);
+
+void BM_DatabaseScalarLoopLookup(benchmark::State& state) {
+  const gs2::Database db = make_gs2_db();
+  auto pts = off_grid_queries(db.space(), 6);
+  pts.push_back(pts[0]);
+  pts.push_back(pts[1]);
+  std::vector<double> out(pts.size());
+  db.clean_times(pts, out);  // warm
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      out[i] = db.clean_time(pts[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_DatabaseScalarLoopLookup);
+
+// One full simulated cluster step (8 ranks, mixed on/off-grid configs)
+// through the batched landscape path — the per-step cost the optimizer
+// loop pays.
+void BM_ClusterStep(benchmark::State& state) {
+  const auto space = gs2::gs2_space();
+  auto db = std::make_shared<gs2::Database>(make_gs2_db());
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(db, noise, {.ranks = 8, .seed = 5});
+  auto configs = off_grid_queries(space, 6);
+  configs.push_back(configs[0]);
+  configs.push_back(core::Point{16.0, 8.0, 4.0});  // exact hit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run_step(configs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ClusterStep);
 
 // Concurrent interpolated lookups: each benchmark thread walks a disjoint
 // set of off-grid points against one shared database.  Guards the cache

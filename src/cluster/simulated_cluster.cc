@@ -30,9 +30,15 @@ std::vector<double> SimulatedCluster::run_step(
     std::span<const core::Point> configs) {
   assert(!configs.empty());
   assert(configs.size() <= config_.ranks);
+  // One batched landscape evaluation for the whole step (one config per
+  // rank): substrates like gs2::Database amortize cache probes and dedupe
+  // repeated configs across the batch.  Noise is drawn afterwards in rank
+  // order, so the streams see exactly the sequence the scalar loop drew.
+  clean_scratch_.resize(configs.size());
+  landscape_->clean_times(configs, clean_scratch_);
   std::vector<double> times(configs.size());
   for (std::size_t p = 0; p < configs.size(); ++p) {
-    const double clean = landscape_->clean_time(configs[p]);
+    const double clean = clean_scratch_[p];
     assert(clean > 0.0);
     times[p] = clean + noise_->sample(clean, rank_rng_[p]);
   }

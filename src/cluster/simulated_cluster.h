@@ -48,6 +48,9 @@ class SimulatedCluster final : public core::StepEvaluator {
   ClusterConfig config_;
   std::vector<util::Rng> rank_rng_;
   std::size_t steps_run_ = 0;
+  // Per-step scratch for the batched landscape lookup, hoisted out of
+  // run_step so the steady-state step does not allocate for it.
+  std::vector<double> clean_scratch_;
 };
 
 }  // namespace protuner::cluster

@@ -21,13 +21,17 @@ std::vector<double> TraceCluster::run_step(
   // step, so cross-rank correlation is preserved.  Running it at unit clean
   // time yields each rank's disturbance d_p = unit[p] - 1 (jitter + shared
   // shock + idiosyncratic spike), which is an absolute machine event and is
-  // added to each rank's own clean time.
-  const std::vector<double> unit = shocks_.step(1.0);
+  // added to each rank's own clean time.  Both the unit-shock draw and the
+  // clean times land in member scratch (batched landscape lookup), so the
+  // steady-state step only allocates its result vector.
+  shocks_.step_into(1.0, unit_scratch_);
+  clean_scratch_.resize(configs.size());
+  landscape_->clean_times(configs, clean_scratch_);
   std::vector<double> times(configs.size());
   for (std::size_t p = 0; p < configs.size(); ++p) {
-    const double clean = landscape_->clean_time(configs[p]);
+    const double clean = clean_scratch_[p];
     assert(clean > 0.0);
-    times[p] = clean + (unit[p] - 1.0);
+    times[p] = clean + (unit_scratch_[p] - 1.0);
   }
   ++steps_run_;
   return times;

@@ -46,6 +46,10 @@ class TraceCluster final : public core::StepEvaluator {
   TraceClusterConfig config_;
   varmodel::ShockTraceGenerator shocks_;
   std::size_t steps_run_ = 0;
+  // Per-step scratch (unit shock draw, batched clean times), hoisted out of
+  // run_step so the steady-state step does not allocate for them.
+  std::vector<double> unit_scratch_;
+  std::vector<double> clean_scratch_;
 };
 
 }  // namespace protuner::cluster

@@ -6,6 +6,12 @@
 
 namespace protuner::core {
 
+void Landscape::clean_times(std::span<const Point> xs,
+                            std::span<double> out) const {
+  assert(xs.size() == out.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = clean_time(xs[i]);
+}
+
 QuadraticLandscape::QuadraticLandscape(Point minimum, double floor_time,
                                        double curvature)
     : minimum_(std::move(minimum)),

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/types.h"
@@ -22,6 +23,14 @@ class Landscape {
   /// Idle-system time of one application iteration at configuration x.
   /// Must be strictly positive.
   virtual double clean_time(const Point& x) const = 0;
+
+  /// Batch evaluation: out[i] = clean_time(xs[i]).  Candidates arrive
+  /// n-at-a-time in an SPMD step (one per rank), so substrates that can
+  /// amortize work across a batch (gs2::Database: one cache probe, deduped
+  /// misses, shared scratch) override this; the default is the scalar loop
+  /// and is always equivalent.  `out.size()` must equal `xs.size()`.
+  virtual void clean_times(std::span<const Point> xs,
+                           std::span<double> out) const;
 
   virtual std::string name() const = 0;
 };

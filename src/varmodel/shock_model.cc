@@ -25,8 +25,15 @@ ShockTraceGenerator::ShockTraceGenerator(ShockConfig config, std::size_t ranks,
 }
 
 std::vector<double> ShockTraceGenerator::step(double clean_time) {
+  std::vector<double> t;
+  step_into(clean_time, t);
+  return t;
+}
+
+void ShockTraceGenerator::step_into(double clean_time,
+                                    std::vector<double>& t) {
   assert(clean_time > 0.0);
-  std::vector<double> t(ranks_, clean_time);
+  t.assign(ranks_, clean_time);
 
   // System-wide shock: one draw per iteration, felt (with the configured
   // correlation) by all ranks — this makes the per-rank curves move together
@@ -45,15 +52,15 @@ std::vector<double> ShockTraceGenerator::step(double clean_time) {
     // Idiosyncratic (small) spike.
     if (rng.bernoulli(config_.small_prob)) t[p] += small_.sample(rng);
   }
-  return t;
 }
 
 std::vector<std::vector<double>> ShockTraceGenerator::generate(
     double clean_time, std::size_t iterations) {
   std::vector<std::vector<double>> trace(
       ranks_, std::vector<double>(iterations, 0.0));
+  std::vector<double> t;
   for (std::size_t k = 0; k < iterations; ++k) {
-    const std::vector<double> t = step(clean_time);
+    step_into(clean_time, t);
     for (std::size_t p = 0; p < ranks_; ++p) trace[p][k] = t[p];
   }
   return trace;

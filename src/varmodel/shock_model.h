@@ -43,6 +43,10 @@ class ShockTraceGenerator {
   /// clean per-iteration time f.
   std::vector<double> step(double clean_time);
 
+  /// Allocation-free variant: writes the per-rank runtimes into `out`
+  /// (resized to ranks()).  Identical draws and results to step().
+  void step_into(double clean_time, std::vector<double>& out);
+
   /// Generates a full trace: result[p][k] is rank p's k-th iteration time.
   std::vector<std::vector<double>> generate(double clean_time,
                                             std::size_t iterations);
