@@ -76,7 +76,7 @@ int main() {
       const core::SessionResult r = core::run_session(
           pro, machine, {.steps = 200, .record_series = false});
       return RepOut{r.ntt, r.best_clean,
-                    static_cast<double>(r.convergence_step)};
+                    static_cast<double>(r.convergence_step.value_or(0))};
     });
     double acc_ntt = 0.0, acc_clean = 0.0, acc_conv = 0.0;
     for (const auto& o : outs) {

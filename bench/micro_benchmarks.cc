@@ -15,6 +15,7 @@
 #include "cluster/simulated_cluster.h"
 #include "core/pro.h"
 #include "core/projection.h"
+#include "core/round_engine.h"
 #include "core/session.h"
 #include "core/simplex.h"
 #include "gs2/database.h"
@@ -310,11 +311,12 @@ void BM_ProTuningStep(benchmark::State& state) {
   auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
   cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 3});
   core::ProStrategy pro(space, {});
-  pro.start(6);
+  core::RoundEngineOptions eo;
+  eo.width = 6;
+  eo.record_series = false;
+  core::RoundEngine engine(pro, eo);
   for (auto _ : state) {
-    const core::StepProposal p = pro.propose();
-    const auto times = machine.run_step(p.configs);
-    pro.observe(times);
+    benchmark::DoNotOptimize(engine.step(machine));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
 }

@@ -23,7 +23,8 @@ void report(const char* label, const core::SessionResult& r) {
   std::printf("%-28s NTT=%8.2f  best=(ntheta=%3.0f negrid=%3.0f nodes=%3.0f)"
               "  f(best)=%.3f  converged@%zu\n",
               label, r.ntt, r.best[gs2::kNtheta], r.best[gs2::kNegrid],
-              r.best[gs2::kNodes], r.best_clean, r.convergence_step);
+              r.best[gs2::kNodes], r.best_clean,
+              r.convergence_step.value_or(0));
 }
 
 }  // namespace

@@ -15,7 +15,7 @@
 #include "comm/spmd.h"
 #include "core/pro.h"
 #include "gs2/surface.h"
-#include "harmony/server.h"
+#include "harmony/session_manager.h"
 #include "util/rng.h"
 #include "varmodel/pareto_noise.h"
 
@@ -31,8 +31,19 @@ int main() {
 
   core::ProOptions opts;
   opts.samples = 2;
-  harmony::Server server(std::make_unique<core::ProStrategy>(space, opts),
-                         kRanks);
+
+  // Host the session through the manager, the way a long-lived tuning
+  // service would: any component can attach("gs2") later to observe it.
+  // The report deadline is generous here (no rank ever misses it); it
+  // demonstrates the straggler guard a production deployment would set.
+  harmony::ServerOptions server_options;
+  server_options.report_timeout = std::chrono::duration<double>(10.0);
+  server_options.straggler_policy = harmony::StragglerPolicy::kShrink;
+  harmony::SessionManager manager;
+  const std::shared_ptr<harmony::Server> session = manager.create(
+      "gs2", std::make_unique<core::ProStrategy>(space, opts), kRanks,
+      server_options);
+  harmony::Server& server = *session;
 
   std::mutex log_mutex;
 
@@ -64,14 +75,18 @@ int main() {
     }
   });
 
-  const core::Point best = server.best_point();
-  std::cout << "\nafter " << server.rounds_completed()
-            << " rounds: best configuration (ntheta=" << best[gs2::kNtheta]
+  const harmony::SessionManager::SessionStats stats = manager.stats("gs2");
+  const core::Point& best = stats.best;
+  std::cout << "\nsession '" << stats.name << "' (" << stats.strategy
+            << "): " << stats.rounds << " rounds, " << stats.active_ranks
+            << "/" << stats.clients << " ranks active\n"
+            << "best configuration (ntheta=" << best[gs2::kNtheta]
             << ", negrid=" << best[gs2::kNegrid]
             << ", nodes=" << best[gs2::kNodes] << ")\n"
             << "clean time there: " << surface->clean_time(best)
             << " s/iter (default was "
             << surface->clean_time(space.center()) << ")\n"
-            << "Total_Time: " << server.total_time() << "\n";
+            << "Total_Time: " << stats.total_time << "\n";
+  manager.remove("gs2");
   return 0;
 }

@@ -29,7 +29,8 @@ int main() {
       core::run_session(pro, machine, {.steps = 60});
 
   std::printf("best blocks: bi=%.0f bj=%.0f bk=%.0f  (converged@%zu)\n",
-              r.best[0], r.best[1], r.best[2], r.convergence_step);
+              r.best[0], r.best[1], r.best[2],
+              r.convergence_step.value_or(0));
 
   // Validate numerics: the blocked kernel at the tuned blocks must match
   // the naive reference.

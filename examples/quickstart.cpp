@@ -52,7 +52,8 @@ int main() {
             << "clean time at best: " << result.best_clean << " s/iter\n"
             << "Total_Time(120):    " << result.total_time << " s\n"
             << "NTT:                " << result.ntt << " s\n"
-            << "converged at step:  " << result.convergence_step << "\n";
+            << "converged at step:  " << result.convergence_step.value_or(0)
+            << "\n";
 
   // Ground truth for comparison (block=32, threads where 40/t + .05t min).
   std::cout << "ground-truth optimum is block=32, threads~16 -> "

@@ -1,0 +1,280 @@
+#include "core/round_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/evaluator.h"
+
+namespace protuner::core {
+
+namespace {
+
+[[noreturn]] void misuse(const std::string& what) { throw EngineError(what); }
+
+}  // namespace
+
+RoundEngine::RoundEngine(TuningStrategy& strategy,
+                         const RoundEngineOptions& options)
+    : strategy_(strategy), options_(options), width_(options.width) {
+  if (width_ == 0) misuse("RoundEngine: width must be >= 1");
+  if (options_.impute_penalty < 1.0) {
+    misuse("RoundEngine: impute_penalty must be >= 1");
+  }
+  active_.assign(width_, true);
+  strategy_.start(width_);
+}
+
+std::span<const Point> RoundEngine::open_round() {
+  if (phase_ != RoundPhase::kAssigning) {
+    misuse("open_round: a round is already open");
+  }
+  StepProposal proposal = strategy_.propose();
+  if (proposal.configs.empty()) {
+    misuse("open_round: strategy proposed an empty assignment");
+  }
+  if (proposal.configs.size() > width_) {
+    misuse("open_round: strategy proposed more configs than the engine "
+           "width");
+  }
+  proposal_size_ = proposal.configs.size();
+
+  if (options_.pad_assignment) {
+    if (active_count() == 0) misuse("open_round: no active slots");
+    assignment_.assign(width_, Point{});
+    expected_.assign(width_, false);
+    config_slot_.assign(proposal_size_, kNoSlot);
+    identity_mapping_ = true;
+    std::size_t next_config = 0;
+    for (std::size_t s = 0; s < width_; ++s) {
+      if (!active_[s]) {
+        // Placeholder only: an inactive slot is not running anything and is
+        // excluded from the round's expectation set and step cost.
+        assignment_[s] = strategy_.best_point();
+        continue;
+      }
+      expected_[s] = true;
+      if (next_config < proposal_size_) {
+        identity_mapping_ = identity_mapping_ && (s == next_config);
+        config_slot_[next_config] = s;
+        assignment_[s] = std::move(proposal.configs[next_config]);
+        ++next_config;
+      } else {
+        // Ranks beyond the proposal keep running the strategy's best known
+        // configuration (they must run *something* each step; this is the
+        // useful choice).  Their times count toward the step cost but are
+        // not fed back.
+        assignment_[s] = strategy_.best_point();
+      }
+    }
+    identity_mapping_ = identity_mapping_ && (next_config == proposal_size_);
+  } else {
+    assignment_ = std::move(proposal.configs);
+    expected_.assign(assignment_.size(), true);
+    identity_mapping_ = true;
+  }
+
+  const std::size_t n = assignment_.size();
+  times_.assign(n, 0.0);
+  submitted_.assign(n, false);
+  expected_count_ =
+      static_cast<std::size_t>(std::count(expected_.begin(), expected_.end(),
+                                          true));
+  collected_ = 0;
+  phase_ = RoundPhase::kCollecting;
+  return assignment();
+}
+
+std::span<const Point> RoundEngine::assignment() const {
+  if (phase_ != RoundPhase::kCollecting) {
+    misuse("assignment: no round is open");
+  }
+  return {assignment_.data(), assignment_.size()};
+}
+
+const Point& RoundEngine::assignment_for(std::size_t slot) const {
+  if (phase_ != RoundPhase::kCollecting) {
+    misuse("assignment_for: no round is open");
+  }
+  if (slot >= assignment_.size()) misuse("assignment_for: slot out of range");
+  return assignment_[slot];
+}
+
+void RoundEngine::submit(std::size_t slot, double time) {
+  if (phase_ != RoundPhase::kCollecting) misuse("submit: no round is open");
+  if (slot >= assignment_.size()) misuse("submit: slot out of range");
+  if (!expected_[slot]) misuse("submit: slot is not part of this round");
+  if (submitted_[slot]) misuse("submit: slot already reported this round");
+  times_[slot] = time;
+  submitted_[slot] = true;
+  ++collected_;
+}
+
+void RoundEngine::submit_all(std::span<const double> times) {
+  if (phase_ != RoundPhase::kCollecting) {
+    misuse("submit_all: no round is open");
+  }
+  if (times.size() != assignment_.size()) {
+    misuse("submit_all: one time per assigned slot required");
+  }
+  for (std::size_t s = 0; s < times.size(); ++s) submit(s, times[s]);
+}
+
+bool RoundEngine::complete() const {
+  return phase_ == RoundPhase::kCollecting && collected_ == expected_count_;
+}
+
+bool RoundEngine::submitted(std::size_t slot) const {
+  if (phase_ != RoundPhase::kCollecting) return false;
+  if (slot >= submitted_.size()) misuse("submitted: slot out of range");
+  return submitted_[slot];
+}
+
+bool RoundEngine::expected(std::size_t slot) const {
+  if (phase_ != RoundPhase::kCollecting) return false;
+  if (slot >= expected_.size()) misuse("expected: slot out of range");
+  return expected_[slot];
+}
+
+double RoundEngine::impute_base() const {
+  double worst = 0.0;
+  bool any = false;
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    if (expected_[s] && submitted_[s]) {
+      worst = any ? std::max(worst, times_[s]) : times_[s];
+      any = true;
+    }
+  }
+  if (any) return worst;
+  if (rounds_completed_ > 0) return last_cost_;
+  misuse("impute: no observation this round and no completed round to "
+         "impute from");
+}
+
+std::vector<std::size_t> RoundEngine::impute_missing() {
+  if (phase_ != RoundPhase::kCollecting) {
+    misuse("impute_missing: no round is open");
+  }
+  std::vector<std::size_t> imputed;
+  if (collected_ == expected_count_) return imputed;
+  const double value = impute_base() * options_.impute_penalty;
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    if (expected_[s] && !submitted_[s]) {
+      times_[s] = value;
+      submitted_[s] = true;
+      ++collected_;
+      imputed.push_back(s);
+    }
+  }
+  return imputed;
+}
+
+void RoundEngine::deactivate(std::size_t slot) {
+  if (slot >= width_) misuse("deactivate: slot out of range");
+  active_[slot] = false;
+}
+
+void RoundEngine::reactivate(std::size_t slot) {
+  if (slot >= width_) misuse("reactivate: slot out of range");
+  active_[slot] = true;
+}
+
+bool RoundEngine::active(std::size_t slot) const {
+  if (slot >= width_) misuse("active: slot out of range");
+  return active_[slot];
+}
+
+std::size_t RoundEngine::active_count() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+double RoundEngine::close_round() {
+  if (phase_ != RoundPhase::kCollecting) {
+    misuse("close_round: no round is open");
+  }
+  if (collected_ != expected_count_) {
+    misuse("close_round: " + std::to_string(pending()) +
+           " slot(s) have not reported (impute_missing closes a round with "
+           "stragglers)");
+  }
+  phase_ = RoundPhase::kAdvancing;
+
+  // Eq. 1: the step costs what its slowest participating rank costs.
+  double cost = 0.0;
+  bool first = true;
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    if (!expected_[s]) continue;
+    cost = first ? times_[s] : std::max(cost, times_[s]);
+    first = false;
+  }
+  total_time_ += cost;  // Eq. 2
+  last_cost_ = cost;
+  if (options_.record_series) {
+    step_costs_.push_back(cost);
+    cumulative_.push_back(total_time_);
+  }
+
+  if (options_.observer != nullptr) {
+    options_.observer->on_step(rounds_completed_,
+                               {assignment_.data(), assignment_.size()},
+                               {times_.data(), times_.size()}, cost);
+  }
+
+  // Feed the strategy in proposal order.  With the identity mapping (the
+  // common case: no dropped slots) the collected times are already in
+  // proposal order; otherwise remap, imputing configurations that had no
+  // active slot to run them.
+  if (identity_mapping_) {
+    strategy_.observe({times_.data(), proposal_size_});
+  } else {
+    observe_scratch_.resize(proposal_size_);
+    double unassigned = 0.0;
+    bool have_unassigned = false;
+    for (std::size_t j = 0; j < proposal_size_; ++j) {
+      const std::size_t slot = config_slot_[j];
+      if (slot != kNoSlot) {
+        observe_scratch_[j] = times_[slot];
+      } else {
+        if (!have_unassigned) {
+          unassigned = impute_base() * options_.impute_penalty;
+          have_unassigned = true;
+        }
+        observe_scratch_[j] = unassigned;
+      }
+    }
+    strategy_.observe(
+        {observe_scratch_.data(), observe_scratch_.size()});
+  }
+
+  ++rounds_completed_;
+  if (!convergence_round_.has_value() && strategy_.converged()) {
+    convergence_round_ = rounds_completed_;
+    if (options_.observer != nullptr) {
+      options_.observer->on_converged(rounds_completed_,
+                                      strategy_.best_point());
+    }
+  }
+  phase_ = RoundPhase::kAssigning;
+  return cost;
+}
+
+double RoundEngine::step(StepEvaluator& machine) {
+  open_round();
+  const std::vector<double> times = machine.run_step(assignment());
+  submit_all(times);
+  return close_round();
+}
+
+SessionResult RoundEngine::result() const {
+  SessionResult r;
+  r.steps = rounds_completed_;
+  r.total_time = total_time_;
+  r.step_costs = step_costs_;
+  r.cumulative = cumulative_;
+  r.best = strategy_.best_point();
+  r.best_estimate = strategy_.best_estimate();
+  r.convergence_step = convergence_round_;
+  return r;
+}
+
+}  // namespace protuner::core

@@ -1,50 +1,27 @@
 #include "core/session.h"
 
-#include <algorithm>
 #include <cassert>
+
+#include "core/round_engine.h"
 
 namespace protuner::core {
 
 SessionResult run_session(TuningStrategy& strategy, StepEvaluator& machine,
                           const SessionOptions& options) {
   assert(options.steps > 0);
-  SessionResult result;
-  result.steps = options.steps;
-  strategy.start(machine.ranks());
-  if (options.record_series) {
-    result.step_costs.reserve(options.steps);
-    result.cumulative.reserve(options.steps);
-  }
+  RoundEngineOptions engine_options;
+  engine_options.width = machine.ranks();
+  engine_options.pad_assignment = false;
+  engine_options.record_series = options.record_series;
+  engine_options.observer = options.observer;
+  RoundEngine engine(strategy, engine_options);
 
   for (std::size_t k = 0; k < options.steps; ++k) {
-    const StepProposal proposal = strategy.propose();
-    assert(!proposal.configs.empty());
-    const std::vector<double> times = machine.run_step(proposal.configs);
-    assert(times.size() == proposal.configs.size());
-
-    const double cost = *std::max_element(times.begin(), times.end());
-    result.total_time += cost;
-    if (options.record_series) {
-      result.step_costs.push_back(cost);
-      result.cumulative.push_back(result.total_time);
-    }
-
-    if (options.observer != nullptr) {
-      options.observer->on_step(k, proposal.configs, times, cost);
-    }
-
-    strategy.observe(times);
-    if (result.convergence_step == 0 && strategy.converged()) {
-      result.convergence_step = k + 1;
-      if (options.observer != nullptr) {
-        options.observer->on_converged(k + 1, strategy.best_point());
-      }
-    }
+    engine.step(machine);
   }
 
+  SessionResult result = engine.result();
   result.ntt = (1.0 - machine.rho()) * result.total_time;
-  result.best = strategy.best_point();
-  result.best_estimate = strategy.best_estimate();
   result.best_clean = machine.clean_time(result.best);
   return result;
 }

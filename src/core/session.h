@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -24,7 +25,11 @@ struct SessionResult {
   double best_estimate = 0.0;           ///< strategy's estimate at best
   double best_clean = -1.0;             ///< true f(best) when known
   std::size_t steps = 0;
-  std::size_t convergence_step = 0;     ///< first step with converged(); 0 = never
+  /// First step (1-based) at which the strategy certified convergence;
+  /// empty when the session never converged.
+  std::optional<std::size_t> convergence_step;
+
+  bool converged() const { return convergence_step.has_value(); }
 };
 
 /// Hook into the tuning loop: invoked synchronously by run_session.
@@ -58,6 +63,8 @@ struct SessionOptions {
 };
 
 /// Drives `strategy` against `machine` for the configured number of steps.
+/// A thin synchronous loop over core::RoundEngine (round_engine.h), which
+/// owns the round lifecycle and all accounting.
 SessionResult run_session(TuningStrategy& strategy, StepEvaluator& machine,
                           const SessionOptions& options);
 

@@ -34,9 +34,9 @@ std::string format_tuning_report(const ParameterSpace& space,
                 result.total_time, result.ntt);
   out << buf;
 
-  if (result.convergence_step > 0) {
+  if (result.convergence_step) {
     std::snprintf(buf, sizeof buf, "converged (certified) at step %zu\n",
-                  result.convergence_step);
+                  *result.convergence_step);
   } else {
     std::snprintf(buf, sizeof buf, "did not certify convergence in %zu steps\n",
                   result.steps);

@@ -58,6 +58,28 @@ SessionBuilder& SessionBuilder::clients(std::size_t n) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::report_timeout(double seconds) {
+  assert(seconds >= 0.0);
+  server_options_.report_timeout = std::chrono::duration<double>(seconds);
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::impute_penalty(double factor) {
+  assert(factor >= 1.0);
+  server_options_.impute_penalty = factor;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::straggler_policy(StragglerPolicy policy) {
+  server_options_.straggler_policy = policy;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::observer(core::SessionObserver* obs) {
+  server_options_.observer = obs;
+  return *this;
+}
+
 core::ParameterSpace SessionBuilder::space() const {
   assert(!params_.empty());
   return core::ParameterSpace(params_);
@@ -96,7 +118,8 @@ std::unique_ptr<Server> SessionBuilder::build() const {
       break;
     }
   }
-  return std::make_unique<Server>(std::move(strategy), clients_);
+  return std::make_unique<Server>(std::move(strategy), clients_,
+                                  server_options_);
 }
 
 }  // namespace protuner::harmony

@@ -44,6 +44,15 @@ class SessionBuilder {
   SessionBuilder& initial_simplex_size(double r);
   SessionBuilder& clients(std::size_t n);    ///< ranks that will fetch/report
 
+  /// Deadline-aware round closing (see ServerOptions): rounds open longer
+  /// than `seconds` are force-closed with missing times imputed.  Zero
+  /// disables the deadline.
+  SessionBuilder& report_timeout(double seconds);
+  SessionBuilder& impute_penalty(double factor);
+  SessionBuilder& straggler_policy(StragglerPolicy policy);
+  /// Per-step telemetry fan-out (not owned; must outlive the Server).
+  SessionBuilder& observer(core::SessionObserver* obs);
+
   /// Number of parameters declared so far.
   std::size_t parameter_count() const { return params_.size(); }
 
@@ -62,6 +71,7 @@ class SessionBuilder {
   int max_samples_ = 8;
   double initial_size_ = 0.2;
   std::size_t clients_ = 1;
+  ServerOptions server_options_;
 };
 
 }  // namespace protuner::harmony

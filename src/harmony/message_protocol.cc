@@ -1,7 +1,8 @@
 #include "harmony/message_protocol.h"
 
-#include <algorithm>
 #include <cassert>
+
+#include "core/round_engine.h"
 
 namespace protuner::harmony {
 
@@ -22,34 +23,25 @@ MessageServerResult run_message_server(comm::Communicator& comm,
   assert(clients >= 1);
   assert(clients + 1 <= comm.size());
 
-  strategy->start(clients);
+  // The round lifecycle — assignment publication (padded with the best
+  // point for ranks beyond the proposal), T_k accounting, strategy advance
+  // — lives in the shared engine; this loop is pure transport.
+  core::RoundEngineOptions engine_options;
+  engine_options.width = clients;
+  engine_options.pad_assignment = true;
+  engine_options.record_series = false;
+  core::RoundEngine engine(*strategy, engine_options);
+  engine.open_round();
 
-  std::vector<core::Point> assignment;
-  std::size_t proposal_size = 0;
-  const auto publish = [&] {
-    const core::StepProposal proposal = strategy->propose();
-    assert(!proposal.configs.empty());
-    assert(proposal.configs.size() <= clients);
-    proposal_size = proposal.configs.size();
-    assignment = proposal.configs;
-    while (assignment.size() < clients) {
-      assignment.push_back(strategy->best_point());
-    }
-  };
-  publish();
-
-  MessageServerResult result;
-  std::vector<double> times(clients, 0.0);
   std::vector<bool> waiting(clients, false);
-  std::vector<bool> reported(clients, false);
-  std::size_t reports = 0;
   std::size_t byes = 0;
 
   const auto reply_config = [&](std::size_t client) {
+    const core::Point& config = engine.assignment_for(client);
     std::vector<double> msg;
-    msg.reserve(1 + assignment[client].size());
+    msg.reserve(1 + config.size());
     msg.push_back(static_cast<double>(kConfig));
-    for (double v : assignment[client]) msg.push_back(v);
+    for (double v : config) msg.push_back(v);
     // The client's global rank reverses the dense index mapping.
     const std::size_t rank =
         client < comm.rank() ? client : client + 1;
@@ -66,7 +58,7 @@ MessageServerResult run_message_server(comm::Communicator& comm,
 
     switch (tag) {
       case kFetch:
-        if (!reported[client]) {
+        if (!engine.submitted(client)) {
           // The client is fetching for the round currently open.
           reply_config(client);
         } else {
@@ -77,20 +69,10 @@ MessageServerResult run_message_server(comm::Communicator& comm,
         break;
       case kReport: {
         assert(msg.size() == 3);
-        assert(!reported[client]);
-        times[client] = msg[2];
-        reported[client] = true;
-        ++reports;
-        if (reports == clients) {
-          const double cost =
-              *std::max_element(times.begin(), times.end());
-          result.total_time += cost;
-          ++result.rounds;
-          strategy->observe(
-              std::span<const double>(times.data(), proposal_size));
-          publish();
-          reports = 0;
-          std::fill(reported.begin(), reported.end(), false);
+        engine.submit(client, msg[2]);
+        if (engine.complete()) {
+          engine.close_round();
+          engine.open_round();
           for (std::size_t c = 0; c < clients; ++c) {
             if (waiting[c]) {
               waiting[c] = false;
@@ -109,6 +91,9 @@ MessageServerResult run_message_server(comm::Communicator& comm,
     }
   }
 
+  MessageServerResult result;
+  result.total_time = engine.total_time();
+  result.rounds = engine.rounds_completed();
   result.best = strategy->best_point();
   result.converged = strategy->converged();
   return result;

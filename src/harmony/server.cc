@@ -1,77 +1,183 @@
 #include "harmony/server.h"
 
-#include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <utility>
 
 namespace protuner::harmony {
 
-Server::Server(core::TuningStrategyPtr strategy, std::size_t clients)
-    : strategy_(std::move(strategy)), clients_(clients) {
-  assert(strategy_ != nullptr);
-  assert(clients_ >= 1);
-  strategy_->start(clients_);
-  times_.assign(clients_, 0.0);
-  reported_.assign(clients_, false);
-  client_round_.assign(clients_, 0);
-  const std::scoped_lock lock(mutex_);
-  publish_round_locked();
+namespace {
+
+core::RoundEngineOptions engine_options(std::size_t clients,
+                                        const ServerOptions& options) {
+  if (clients == 0) {
+    throw std::invalid_argument("Server: clients must be >= 1");
+  }
+  core::RoundEngineOptions eo;
+  eo.width = clients;
+  eo.pad_assignment = true;
+  eo.record_series = options.record_series;
+  eo.observer = options.observer;
+  eo.impute_penalty = options.impute_penalty;
+  return eo;
 }
 
-void Server::publish_round_locked() {
-  const core::StepProposal proposal = strategy_->propose();
-  assert(!proposal.configs.empty());
-  assert(proposal.configs.size() <= clients_);
-  proposal_size_ = proposal.configs.size();
-  assignment_ = proposal.configs;
-  // Ranks beyond the proposal keep running the strategy's best known
-  // configuration (they must run *something* each step; this is the useful
-  // choice).  Their times count toward the step cost but are not fed back.
-  while (assignment_.size() < clients_) {
-    assignment_.push_back(strategy_->best_point());
+}  // namespace
+
+Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
+               ServerOptions options)
+    : strategy_(std::move(strategy)),
+      clients_(clients),
+      options_(options),
+      engine_((strategy_ == nullptr
+                   ? throw std::invalid_argument(
+                         "Server: strategy must not be null")
+                   : *strategy_),
+              engine_options(clients, options_)) {
+  rank_round_.assign(clients_, 0);
+  fetched_.assign(clients_, false);
+  const std::scoped_lock lock(mutex_);
+  engine_.open_round();
+  round_opened_ = std::chrono::steady_clock::now();
+}
+
+void Server::throw_if_failed_locked() const {
+  if (!failure_.empty()) {
+    throw ProtocolError("harmony session failed: " + failure_);
   }
-  std::fill(reported_.begin(), reported_.end(), false);
-  reports_ = 0;
+}
+
+void Server::fail_locked(const std::string& why) {
+  failure_ = why;
+  round_ready_.notify_all();
+  throw ProtocolError("harmony session failed: " + failure_);
+}
+
+void Server::advance_locked() {
+  engine_.close_round();
+  engine_.open_round();
+  round_ = engine_.rounds_completed();
+  round_opened_ = std::chrono::steady_clock::now();
+  round_ready_.notify_all();
+}
+
+bool Server::deadline_enabled() const {
+  return options_.report_timeout > std::chrono::duration<double>::zero();
+}
+
+std::chrono::steady_clock::time_point Server::deadline_locked() const {
+  return round_opened_ +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             options_.report_timeout);
+}
+
+bool Server::close_by_deadline_locked() {
+  if (!deadline_enabled() || !failure_.empty()) return false;
+  if (engine_.pending() == 0) return false;  // closed by the report path
+  if (std::chrono::steady_clock::now() < deadline_locked()) return false;
+
+  if (options_.straggler_policy == StragglerPolicy::kFail) {
+    fail_locked("round " + std::to_string(round_) +
+                " report deadline expired with " +
+                std::to_string(engine_.pending()) + " rank(s) missing");
+  }
+
+  // kShrink: close the round with the missing times imputed
+  // (max-of-observed × penalty) and drop the stragglers from future rounds.
+  std::vector<std::size_t> imputed;
+  try {
+    imputed = engine_.impute_missing();
+  } catch (const core::EngineError&) {
+    // Nothing observed this round and no completed round to extrapolate
+    // from: there is no defensible imputation — restart the deadline
+    // rather than invent a number.
+    round_opened_ = std::chrono::steady_clock::now();
+    return false;
+  }
+  for (const std::size_t slot : imputed) engine_.deactivate(slot);
+  if (engine_.active_count() == 0) {
+    fail_locked("every rank missed the report deadline in round " +
+                std::to_string(round_));
+  }
+  advance_locked();
+  return true;
 }
 
 core::Point Server::fetch(std::size_t rank) {
-  assert(rank < clients_);
   std::unique_lock lock(mutex_);
+  if (rank >= clients_) {
+    throw ProtocolError("fetch: rank " + std::to_string(rank) +
+                        " out of range [0, " + std::to_string(clients_) +
+                        ")");
+  }
+  throw_if_failed_locked();
+  if (fetched_[rank] && rank_round_[rank] == round_ &&
+      engine_.expected(rank)) {
+    throw ProtocolError("fetch: rank " + std::to_string(rank) +
+                        " fetched twice without reporting");
+  }
   // A rank may only fetch for the round it is in; it advances its round on
-  // report.  The server's round counter trails the slowest rank.
-  round_ready_.wait(lock, [&] { return client_round_[rank] == round_; });
-  return assignment_[rank];
+  // report.  The server's round counter trails the slowest expected rank.
+  for (;;) {
+    throw_if_failed_locked();
+    if (rank_round_[rank] == round_ && engine_.expected(rank)) break;
+    if (rank_round_[rank] <= round_) {
+      // Dropped, or overtaken because its round was deadline-closed
+      // beneath it: re-enter the session at the next round.
+      fetched_[rank] = false;
+      engine_.reactivate(rank);
+      rank_round_[rank] = round_ + 1;
+    }
+    if (deadline_enabled()) {
+      if (round_ready_.wait_until(lock, deadline_locked()) ==
+          std::cv_status::timeout) {
+        close_by_deadline_locked();
+      }
+    } else {
+      round_ready_.wait(lock);
+    }
+  }
+  fetched_[rank] = true;
+  return engine_.assignment_for(rank);
 }
 
 void Server::report(std::size_t rank, double time) {
-  assert(rank < clients_);
-  std::unique_lock lock(mutex_);
-  assert(client_round_[rank] == round_);
-  assert(!reported_[rank]);
-  reported_[rank] = true;
-  times_[rank] = time;
-  ++client_round_[rank];
-  ++reports_;
-  if (reports_ == clients_) {
-    const double cost = *std::max_element(times_.begin(), times_.end());
-    total_time_ += cost;
-    step_costs_.push_back(cost);
-    strategy_->observe(
-        std::span<const double>(times_.data(), proposal_size_));
-    ++round_;
-    publish_round_locked();
-    lock.unlock();
-    round_ready_.notify_all();
+  const std::scoped_lock lock(mutex_);
+  if (rank >= clients_) {
+    throw ProtocolError("report: rank " + std::to_string(rank) +
+                        " out of range [0, " + std::to_string(clients_) +
+                        ")");
   }
+  throw_if_failed_locked();
+  if (!fetched_[rank]) {
+    throw ProtocolError("report: rank " + std::to_string(rank) +
+                        " reported without fetching first");
+  }
+  fetched_[rank] = false;
+  if (rank_round_[rank] < round_) {
+    // The rank's round was deadline-closed beneath it; its measurement
+    // arrived too late to count and is discarded.
+    ++rank_round_[rank];
+    return;
+  }
+  engine_.submit(rank, time);
+  rank_round_[rank] = round_ + 1;
+  if (engine_.complete()) advance_locked();
+}
+
+bool Server::tick() {
+  const std::scoped_lock lock(mutex_);
+  if (!failure_.empty()) return false;
+  return close_by_deadline_locked();
 }
 
 double Server::total_time() const {
   const std::scoped_lock lock(mutex_);
-  return total_time_;
+  return engine_.total_time();
 }
 
 std::size_t Server::rounds_completed() const {
   const std::scoped_lock lock(mutex_);
-  return round_;
+  return engine_.rounds_completed();
 }
 
 core::Point Server::best_point() const {
@@ -86,7 +192,22 @@ bool Server::converged() const {
 
 std::vector<double> Server::step_costs() const {
   const std::scoped_lock lock(mutex_);
-  return step_costs_;
+  return engine_.step_costs();
+}
+
+std::optional<std::size_t> Server::convergence_round() const {
+  const std::scoped_lock lock(mutex_);
+  return engine_.convergence_round();
+}
+
+std::size_t Server::active_ranks() const {
+  const std::scoped_lock lock(mutex_);
+  return engine_.active_count();
+}
+
+std::string Server::strategy_name() const {
+  const std::scoped_lock lock(mutex_);
+  return strategy_->name();
 }
 
 }  // namespace protuner::harmony

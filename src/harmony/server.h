@@ -1,44 +1,106 @@
 // Active-Harmony-style tuning server (paper §1: applications register their
 // tunable parameters; the server iteratively monitors performance and tunes).
 //
-// The server owns a TuningStrategy and exposes the bulk-synchronous client
-// protocol:
+// The server is a transport front end over core::RoundEngine: it owns a
+// TuningStrategy, keeps exactly one round open at all times, and maps the
+// bulk-synchronous client protocol onto engine transitions:
 //   * each rank calls fetch() to receive its configuration for the current
-//     application time step;
-//   * after running one iteration it calls report(time);
-//   * when the last rank reports, the server accounts T_k = max over ranks,
-//     feeds the strategy, and opens the next round.
+//     application time step (an engine assignment slot);
+//   * after running one iteration it calls report(time) (engine submit);
+//   * when the last expected rank reports, the server closes the round
+//     (T_k = max over ranks, strategy advance, observer fan-out) and opens
+//     the next one.
+//
+// Deadline-aware round closing: with ServerOptions::report_timeout set, a
+// round that stays open past the deadline is force-closed — every missing
+// rank's time is imputed as max-of-observed × impute_penalty (the paper's
+// worst-case metric makes this the natural pessimistic estimate) and the
+// straggler is handled per StragglerPolicy: kShrink drops it from future
+// rounds (it may re-enter by calling fetch again), kFail poisons the
+// session so every subsequent call throws.  The deadline is enforced by
+// ranks blocked in fetch() waiting for the next round, or externally via
+// tick() for drivers that never block.
+//
+// Protocol violations — out-of-range rank, double fetch, report without a
+// fetch — are hard errors (ProtocolError), never silent misbehavior or
+// deadlock.
 //
 // Thread-safe: designed to be driven by comm::spmd_run ranks concurrently
 // (the in-process stand-in for Active Harmony's socket protocol), and works
 // equally from a sequential loop.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/parameter_space.h"
+#include "core/round_engine.h"
 #include "core/strategy.h"
 
 namespace protuner::harmony {
+
+/// A client broke the fetch/report protocol, or the session was poisoned
+/// by a straggler deadline under StragglerPolicy::kFail.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class StragglerPolicy {
+  /// Impute the missing times, drop the straggler from future rounds and
+  /// keep tuning with the remaining ranks.  Dropped ranks re-enter by
+  /// calling fetch() again.
+  kShrink,
+  /// Poison the session: the deadline violation is fatal and every
+  /// subsequent fetch/report throws ProtocolError.
+  kFail,
+};
+
+struct ServerOptions {
+  /// Wall-clock budget for one round, measured from the moment its
+  /// assignment is published.  Zero (the default) disables the deadline:
+  /// rounds wait for every rank, however long it takes.
+  std::chrono::duration<double> report_timeout{0.0};
+  /// A straggler's imputed time is max-of-observed × this factor (>= 1).
+  double impute_penalty = 1.5;
+  StragglerPolicy straggler_policy = StragglerPolicy::kShrink;
+  /// Per-step telemetry hook, invoked under the server lock when a round
+  /// closes — the same fan-out run_session-driven sessions get.
+  core::SessionObserver* observer = nullptr;
+  /// Keep the per-step T_k series (step_costs()); off to save memory on
+  /// very long sessions.
+  bool record_series = true;
+};
 
 class Server {
  public:
   /// `clients` ranks will call fetch/report each round.  The strategy is
   /// started with that width.
-  Server(core::TuningStrategyPtr strategy, std::size_t clients);
+  Server(core::TuningStrategyPtr strategy, std::size_t clients,
+         ServerOptions options = {});
 
   /// Blocks until the current round's assignment is available, returns the
   /// configuration rank `rank` must run.  Each rank must alternate
-  /// fetch/report strictly.
+  /// fetch/report strictly; a dropped rank re-enters the session here.
   core::Point fetch(std::size_t rank);
 
   /// Reports the observed iteration time for the configuration most
-  /// recently fetched by `rank`.  The final report of a round advances the
-  /// tuning strategy and publishes the next round.
+  /// recently fetched by `rank`.  The final report of a round closes it:
+  /// the engine accounts T_k, advances the strategy and publishes the next
+  /// assignment.  A report for a round that was already deadline-closed is
+  /// discarded (the rank's measurement arrived too late to count).
   void report(std::size_t rank, double time);
+
+  /// Deadline poll for drivers with no rank blocked in fetch(): closes the
+  /// open round by imputation if its deadline has expired.  Returns true
+  /// when it closed a round.  No-op when the deadline is disabled.
+  bool tick();
 
   /// Accounting (safe to read between rounds; exact after all clients have
   /// finished their loops).
@@ -47,26 +109,38 @@ class Server {
   core::Point best_point() const;
   bool converged() const;
   std::vector<double> step_costs() const;
+  std::optional<std::size_t> convergence_round() const;
+
+  std::size_t clients() const { return clients_; }
+  /// Ranks currently participating in rounds (clients() minus dropped).
+  std::size_t active_ranks() const;
+  /// Name of the strategy behind the session (for stats snapshots).
+  std::string strategy_name() const;
 
  private:
-  void publish_round_locked();
+  void throw_if_failed_locked() const;
+  [[noreturn]] void fail_locked(const std::string& why);
+  /// Closes the open round (engine close + next open) and wakes waiters.
+  void advance_locked();
+  bool deadline_enabled() const;
+  std::chrono::steady_clock::time_point deadline_locked() const;
+  /// Force-closes the open round by imputation if its deadline has
+  /// expired.  Returns true when the round was closed.
+  bool close_by_deadline_locked();
 
   core::TuningStrategyPtr strategy_;
   const std::size_t clients_;
+  const ServerOptions options_;
 
   mutable std::mutex mutex_;
   std::condition_variable round_ready_;
+  core::RoundEngine engine_;
 
-  std::size_t round_ = 0;                  ///< current round index
-  std::vector<core::Point> assignment_;    ///< per-rank configs (padded)
-  std::size_t proposal_size_ = 0;          ///< configs the strategy proposed
-  std::vector<double> times_;              ///< per-rank reported times
-  std::vector<bool> reported_;
-  std::size_t reports_ = 0;
-  std::vector<std::size_t> client_round_;  ///< round each rank is in
-
-  double total_time_ = 0.0;
-  std::vector<double> step_costs_;
+  std::size_t round_ = 0;  ///< index of the open round (== rounds closed)
+  std::vector<std::size_t> rank_round_;  ///< round each rank works on next
+  std::vector<bool> fetched_;  ///< rank holds an unreported assignment
+  std::chrono::steady_clock::time_point round_opened_;
+  std::string failure_;  ///< non-empty once the session is poisoned
 };
 
 /// Per-rank convenience handle.

@@ -1,0 +1,116 @@
+#include "harmony/session_manager.h"
+
+#include <utility>
+
+namespace protuner::harmony {
+
+std::shared_ptr<Server> SessionManager::create(const std::string& name,
+                                               core::TuningStrategyPtr
+                                                   strategy,
+                                               std::size_t clients,
+                                               ServerOptions options) {
+  // Build outside the registry lock: Server's constructor runs the
+  // strategy's first proposal, which can be arbitrarily expensive.
+  auto server =
+      std::make_shared<Server>(std::move(strategy), clients, options);
+  const std::scoped_lock lock(mutex_);
+  const auto [it, inserted] =
+      sessions_.try_emplace(name, Hosted{std::move(server), 0});
+  if (!inserted) {
+    throw SessionError("create: session '" + name + "' already exists");
+  }
+  return it->second.server;
+}
+
+std::shared_ptr<Server> SessionManager::attach(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    throw SessionError("attach: no session named '" + name + "'");
+  }
+  ++it->second.attached;
+  return it->second.server;
+}
+
+void SessionManager::detach(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    throw SessionError("detach: no session named '" + name + "'");
+  }
+  if (it->second.attached == 0) {
+    throw SessionError("detach: session '" + name + "' is not attached");
+  }
+  --it->second.attached;
+}
+
+std::shared_ptr<Server> SessionManager::find(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.server;
+}
+
+bool SessionManager::remove(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) return false;
+  if (it->second.attached > 0) {
+    throw SessionError("remove: session '" + name + "' still has " +
+                       std::to_string(it->second.attached) +
+                       " attachment(s)");
+  }
+  sessions_.erase(it);
+  return true;
+}
+
+std::vector<std::string> SessionManager::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, hosted] : sessions_) out.push_back(name);
+  return out;
+}
+
+std::size_t SessionManager::size() const {
+  const std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+SessionManager::SessionStats SessionManager::stats_locked(
+    const std::string& name, const Hosted& hosted) const {
+  const Server& server = *hosted.server;
+  SessionStats s;
+  s.name = name;
+  s.strategy = server.strategy_name();
+  s.clients = server.clients();
+  s.active_ranks = server.active_ranks();
+  s.attached = hosted.attached;
+  s.rounds = server.rounds_completed();
+  s.total_time = server.total_time();
+  s.converged = server.converged();
+  s.convergence_round = server.convergence_round();
+  s.best = server.best_point();
+  return s;
+}
+
+SessionManager::SessionStats SessionManager::stats(
+    const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    throw SessionError("stats: no session named '" + name + "'");
+  }
+  return stats_locked(name, it->second);
+}
+
+std::vector<SessionManager::SessionStats> SessionManager::stats_all() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SessionStats> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, hosted] : sessions_) {
+    out.push_back(stats_locked(name, hosted));
+  }
+  return out;
+}
+
+}  // namespace protuner::harmony

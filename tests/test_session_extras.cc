@@ -76,9 +76,9 @@ TEST(SessionObserver, OnConvergedFiresOnce) {
   so.steps = 200;
   so.observer = &watcher;
   const auto r = core::run_session(pro, machine, so);
-  ASSERT_GT(r.convergence_step, 0u);
+  ASSERT_TRUE(r.convergence_step.has_value());
   EXPECT_EQ(watcher.fires, 1);
-  EXPECT_EQ(watcher.at, r.convergence_step);
+  EXPECT_EQ(watcher.at, *r.convergence_step);
 }
 
 TEST(CsvSessionLogger, ProducesHeaderAndRows) {

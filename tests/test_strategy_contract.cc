@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cluster/simulated_cluster.h"
+#include "cluster/trace_cluster.h"
 #include "core/annealing.h"
 #include "core/compass.h"
 #include "core/fixed.h"
@@ -17,6 +18,7 @@
 #include "core/nelder_mead.h"
 #include "core/pro.h"
 #include "core/random_search.h"
+#include "core/round_engine.h"
 #include "core/session.h"
 #include "core/sro.h"
 #include "varmodel/pareto_noise.h"
@@ -116,6 +118,64 @@ TEST_P(StrategyContract, SessionAccountingIsSumOfMaxima) {
   EXPECT_NEAR(r.ntt, (1.0 - noise->rho()) * r.total_time, 1e-9)
       << GetParam().label;
   EXPECT_EQ(r.step_costs.size(), 60u);
+}
+
+// A manual RoundEngine step loop must reproduce run_session exactly — the
+// whole point of the extraction is that every driver shares one lifecycle.
+TEST_P(StrategyContract, EngineLoopMatchesRunSessionOnSimulatedCluster) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  constexpr std::size_t kSteps = 60;
+
+  cluster::SimulatedCluster machine_a(land, noise, {.ranks = 6, .seed = 21});
+  auto strategy_a = GetParam().make(space);
+  const SessionResult via_session =
+      run_session(*strategy_a, machine_a, {.steps = kSteps});
+
+  cluster::SimulatedCluster machine_b(land, noise, {.ranks = 6, .seed = 21});
+  auto strategy_b = GetParam().make(space);
+  RoundEngineOptions eo;
+  eo.width = 6;
+  RoundEngine engine(*strategy_b, eo);
+  for (std::size_t k = 0; k < kSteps; ++k) engine.step(machine_b);
+  const SessionResult via_engine = engine.result();
+
+  EXPECT_EQ(via_engine.best, via_session.best) << GetParam().label;
+  EXPECT_EQ(via_engine.total_time, via_session.total_time)
+      << GetParam().label;
+  EXPECT_EQ(via_engine.step_costs, via_session.step_costs)
+      << GetParam().label;
+  EXPECT_EQ(via_engine.convergence_step, via_session.convergence_step)
+      << GetParam().label;
+}
+
+TEST_P(StrategyContract, EngineLoopMatchesRunSessionOnTraceCluster) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  constexpr std::size_t kSteps = 60;
+  cluster::TraceClusterConfig cfg;
+  cfg.ranks = 6;
+  cfg.seed = 33;
+
+  cluster::TraceCluster machine_a(land, cfg);
+  auto strategy_a = GetParam().make(space);
+  const SessionResult via_session =
+      run_session(*strategy_a, machine_a, {.steps = kSteps});
+
+  cluster::TraceCluster machine_b(land, cfg);
+  auto strategy_b = GetParam().make(space);
+  RoundEngineOptions eo;
+  eo.width = 6;
+  RoundEngine engine(*strategy_b, eo);
+  for (std::size_t k = 0; k < kSteps; ++k) engine.step(machine_b);
+  const SessionResult via_engine = engine.result();
+
+  EXPECT_EQ(via_engine.best, via_session.best) << GetParam().label;
+  EXPECT_EQ(via_engine.total_time, via_session.total_time)
+      << GetParam().label;
+  EXPECT_EQ(via_engine.step_costs, via_session.step_costs)
+      << GetParam().label;
 }
 
 TEST_P(StrategyContract, ImprovesOrMatchesCenterNoiseFree) {
