@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cassert>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "cluster/simulated_cluster.h"
+#include "core/fixed.h"
 #include "core/pro.h"
 #include "core/projection.h"
 #include "core/round_engine.h"
@@ -23,7 +25,9 @@
 #include "stats/pareto.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "varmodel/composite_noise.h"
 #include "varmodel/pareto_noise.h"
+#include "varmodel/simple_noise.h"
 #include "varmodel/two_job_sim.h"
 
 using namespace protuner;
@@ -336,6 +340,160 @@ void BM_FullTuningSession100(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullTuningSession100);
+
+// ------------------------------------------------------------------
+// Simulation hot path: the batched zero-allocation step pipeline vs a
+// faithful replica of the pre-batching scalar path, plus the noise layer
+// in isolation.  BENCH_cluster.json tracks these.
+
+std::shared_ptr<gs2::Database> hot_path_db() {
+  static auto db = std::make_shared<gs2::Database>(
+      gs2::Database::measure(gs2::gs2_space(), gs2::Gs2Surface{}, {}));
+  return db;
+}
+
+// One distinct off-grid vertex per rank, the shape a PRO round hands the
+// cluster: every rank evaluates its own simplex point, and the same
+// rank->config assignment repeats step after step within the round.
+std::vector<core::Point> hot_path_configs(std::size_t ranks) {
+  std::vector<core::Point> configs;
+  configs.reserve(ranks);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    configs.push_back(core::Point{33.0 + 0.25 * static_cast<double>(i % 8),
+                                  17.0 + 0.125 * static_cast<double>(i % 16),
+                                  41.0 + 0.0625 * static_cast<double>(i)});
+  }
+  return configs;
+}
+
+// The converged-loop shape: the same per-rank assignment every step, which
+// is what a tuning session spends almost all of its steps on once the
+// strategy has pinned its simplex.
+void RunStepBench(benchmark::State& state,
+                  std::shared_ptr<const varmodel::NoiseModel> noise) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  auto db = hot_path_db();
+  cluster::SimulatedCluster machine(db, std::move(noise),
+                                    {.ranks = ranks, .seed = 11});
+  const std::vector<core::Point> configs = hot_path_configs(ranks);
+  std::vector<double> out(ranks);
+  for (auto _ : state) {
+    machine.run_step_into({configs.data(), configs.size()},
+                          {out.data(), out.size()});
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ranks));
+}
+
+void BM_RunStep_simple(benchmark::State& state) {
+  RunStepBench(state, std::make_shared<varmodel::ExponentialNoise>(0.2));
+}
+BENCHMARK(BM_RunStep_simple)->Arg(8)->Arg(64);
+
+void BM_RunStep_pareto(benchmark::State& state) {
+  RunStepBench(state, std::make_shared<varmodel::ParetoNoise>(0.2, 1.7));
+}
+BENCHMARK(BM_RunStep_pareto)->Arg(8)->Arg(64);
+
+// Reference: the step as it was before the batch pipeline — a fresh result
+// vector per call, the full landscape lookup every step (no repeat-replay)
+// and one virtual scalar noise draw per rank.  The BM_RunStep_pareto /
+// BM_RunStep_prechange ratio is the headline speedup.
+void BM_RunStep_prechange(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  auto db = hot_path_db();
+  const auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  std::vector<util::Rng> rngs = util::Rng(11).split_streams(ranks);
+  const std::vector<core::Point> configs = hot_path_configs(ranks);
+  std::vector<double> clean(ranks);
+  for (auto _ : state) {
+    std::vector<double> out(ranks);
+    db->clean_times({configs.data(), configs.size()},
+                    {clean.data(), clean.size()});
+    for (std::size_t p = 0; p < ranks; ++p) {
+      assert(clean[p] > 0.0);  // the old path's per-rank debug check
+      out[p] = clean[p] + noise->sample(clean[p], rngs[p]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ranks));
+}
+BENCHMARK(BM_RunStep_prechange)->Arg(8)->Arg(64);
+
+// The whole converged round through the engine: propose_into recycling,
+// batched evaluation, Eq. 1/2 accounting.
+void BM_SessionThroughput(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  auto db = hot_path_db();
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(db, noise, {.ranks = ranks, .seed = 5});
+  core::FixedStrategy fx(core::Point{33.0, 17.0, 41.0});
+  core::RoundEngineOptions eo;
+  eo.width = ranks;
+  eo.record_series = false;
+  core::RoundEngine engine(fx, eo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(machine));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ranks));
+}
+BENCHMARK(BM_SessionThroughput)->Arg(8)->Arg(64);
+
+std::shared_ptr<const varmodel::NoiseModel> bench_noise_model(int idx) {
+  switch (idx) {
+    case 0:
+      return std::make_shared<varmodel::ExponentialNoise>(0.2);
+    case 1:
+      return std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+    case 2:
+      return std::make_shared<varmodel::GaussianNoise>(0.2, 0.5);
+    default:
+      return std::make_shared<varmodel::CompositeNoise>(
+          std::make_shared<varmodel::ExponentialNoise>(0.1),
+          std::make_shared<varmodel::ParetoNoise>(0.15, 1.7));
+  }
+}
+
+void BM_NoiseSample_scalar(benchmark::State& state) {
+  constexpr std::size_t kRanks = 64;
+  const auto model = bench_noise_model(static_cast<int>(state.range(0)));
+  std::vector<util::Rng> rngs = util::Rng(3).split_streams(kRanks);
+  const std::vector<double> clean(kRanks, 2.5);
+  std::vector<double> out(kRanks);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kRanks; ++i) {
+      out[i] = model->sample(clean[i], rngs[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRanks);
+  state.SetLabel(model->name());
+}
+BENCHMARK(BM_NoiseSample_scalar)->DenseRange(0, 3);
+
+void BM_NoiseSample_batch(benchmark::State& state) {
+  constexpr std::size_t kRanks = 64;
+  const auto model = bench_noise_model(static_cast<int>(state.range(0)));
+  std::vector<util::Rng> rngs = util::Rng(3).split_streams(kRanks);
+  const std::vector<double> clean(kRanks, 2.5);
+  std::vector<double> out(kRanks);
+  for (auto _ : state) {
+    model->sample_batch({clean.data(), clean.size()},
+                        {rngs.data(), rngs.size()},
+                        {out.data(), out.size()});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRanks);
+  state.SetLabel(model->name());
+}
+BENCHMARK(BM_NoiseSample_batch)->DenseRange(0, 3);
 
 }  // namespace
 

@@ -87,13 +87,11 @@ int main() {
         : land_(std::move(land)), machine_(m), rng_(4242) {
       (void)ranks;
     }
-    std::vector<double> run_step(
-        std::span<const core::Point> configs) override {
-      std::vector<double> t(configs.size());
+    void run_step_into(std::span<const core::Point> configs,
+                       std::span<double> out) override {
       for (std::size_t p = 0; p < configs.size(); ++p) {
-        t[p] = machine_.run_application(land_->clean_time(configs[p]), rng_);
+        out[p] = machine_.run_application(land_->clean_time(configs[p]), rng_);
       }
-      return t;
     }
     std::size_t ranks() const override { return 6; }
     double clean_time(const core::Point& x) const override {

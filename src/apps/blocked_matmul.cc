@@ -93,17 +93,16 @@ MatmulEvaluator::MatmulEvaluator(std::size_t n, std::size_t ranks)
   assert(ranks >= 1);
 }
 
-std::vector<double> MatmulEvaluator::run_step(
-    std::span<const core::Point> configs) {
+void MatmulEvaluator::run_step_into(std::span<const core::Point> configs,
+                                    std::span<double> out) {
   assert(!configs.empty());
   assert(configs.size() <= ranks_);
-  std::vector<double> times(configs.size());
+  assert(out.size() == configs.size());
   for (std::size_t p = 0; p < configs.size(); ++p) {
-    times[p] = kernel_.run(static_cast<std::size_t>(configs[p][0]),
-                           static_cast<std::size_t>(configs[p][1]),
-                           static_cast<std::size_t>(configs[p][2]));
+    out[p] = kernel_.run(static_cast<std::size_t>(configs[p][0]),
+                         static_cast<std::size_t>(configs[p][1]),
+                         static_cast<std::size_t>(configs[p][2]));
   }
-  return times;
 }
 
 }  // namespace protuner::apps

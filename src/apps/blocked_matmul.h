@@ -59,8 +59,8 @@ class MatmulEvaluator final : public core::StepEvaluator {
  public:
   MatmulEvaluator(std::size_t n, std::size_t ranks);
 
-  std::vector<double> run_step(
-      std::span<const core::Point> configs) override;
+  void run_step_into(std::span<const core::Point> configs,
+                     std::span<double> out) override;
   std::size_t ranks() const override { return ranks_; }
 
   BlockedMatmul& kernel() { return kernel_; }

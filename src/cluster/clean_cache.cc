@@ -1,0 +1,70 @@
+#include "cluster/clean_cache.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace protuner::cluster {
+
+bool CleanTimeCache::matches(std::span<const core::Point> configs,
+                             std::uint64_t version) const {
+  if (!valid_ || version != version_ || configs.size() != sizes_.size()) {
+    return false;
+  }
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const core::Point& x = configs[i];
+    if (x.size() != sizes_[i]) return false;
+    // Bitwise compare: strictly conservative (a -0.0 vs 0.0 mismatch just
+    // recomputes) and the per-point hot-path cost is three inline 8-byte
+    // compares instead of a bounds-checked double loop.
+    if (std::memcmp(x.data(), coords_.data() + off,
+                    x.size() * sizeof(double)) != 0) {
+      return false;
+    }
+    off += x.size();
+  }
+  return true;
+}
+
+void CleanTimeCache::store(std::span<const core::Point> configs,
+                           std::uint64_t version) {
+  sizes_.resize(configs.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    sizes_[i] = static_cast<std::uint32_t>(configs[i].size());
+    total += configs[i].size();
+  }
+  coords_.resize(total);
+  std::size_t off = 0;
+  for (const core::Point& x : configs) {
+    for (std::size_t d = 0; d < x.size(); ++d) coords_[off + d] = x[d];
+    off += x.size();
+  }
+  version_ = version;
+  valid_ = true;
+}
+
+bool CleanTimeCache::refresh(const core::Landscape& landscape,
+                             std::span<const core::Point> configs) {
+  const std::uint64_t version = landscape.version();
+  if (matches(configs, version)) return true;
+
+  clean_.resize(configs.size());
+  landscape.clean_times(configs, {clean_.data(), clean_.size()});
+  for (std::size_t i = 0; i < clean_.size(); ++i) {
+    if (!(clean_[i] > 0.0)) {
+      valid_ = false;  // don't replay a batch we rejected
+      std::ostringstream ss;
+      ss << "CleanTimeCache: landscape '" << landscape.name()
+         << "' returned non-positive clean time " << clean_[i]
+         << " for batch entry " << i
+         << " (clean times must be strictly positive)";
+      throw std::domain_error(ss.str());
+    }
+  }
+  store(configs, version);
+  return false;
+}
+
+}  // namespace protuner::cluster

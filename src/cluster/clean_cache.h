@@ -1,0 +1,64 @@
+// Per-evaluator cache of the last step's clean times.
+//
+// A converged (or fixed-assignment) tuning loop proposes the same per-rank
+// configuration step after step, and a Landscape is a deterministic map, so
+// the batched landscape lookup — the per-step cost that remains after the
+// indexed database work — is redundant whenever the assignment repeats.
+// CleanTimeCache keeps a flattened (SoA) copy of the last batch plus its
+// clean times and replays them when the incoming batch matches, guarded by
+// core::Landscape::version() so a mutated substrate (gs2::Database::insert)
+// forces a recompute.
+//
+// The cache also owns the release-mode positivity check: every clean time
+// is validated once per recompute (not per step), so a bad landscape can't
+// silently feed negative times into an optimized bench build.
+//
+// One instance per evaluator; not thread-safe (evaluators are single-driver
+// by contract).  All buffers are reused across steps: the steady-state
+// refresh() performs zero heap allocations on both the hit and the
+// same-shape miss path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/landscape.h"
+
+namespace protuner::cluster {
+
+class CleanTimeCache {
+ public:
+  /// Makes clean() valid for `configs`: replays the cached times when the
+  /// batch is identical to the previous call (same configs, same landscape
+  /// version), otherwise recomputes through landscape.clean_times() and
+  /// validates positivity.  Throws std::domain_error on a non-positive
+  /// clean time.  Returns true on a cache hit (no landscape call).
+  bool refresh(const core::Landscape& landscape,
+               std::span<const core::Point> configs);
+
+  /// Clean times for the batch passed to the last refresh(), same order.
+  std::span<const double> clean() const {
+    return {clean_.data(), clean_.size()};
+  }
+
+  /// Drops the cached batch (e.g. after swapping landscapes).
+  void invalidate() { valid_ = false; }
+
+ private:
+  bool matches(std::span<const core::Point> configs,
+               std::uint64_t version) const;
+  void store(std::span<const core::Point> configs, std::uint64_t version);
+
+  // SoA snapshot of the last batch: all coordinates concatenated plus each
+  // config's offset — flat buffers so the compare is a linear scan and the
+  // steady-state copy reuses capacity instead of per-Point allocations.
+  std::vector<double> coords_;
+  std::vector<std::uint32_t> sizes_;
+  std::vector<double> clean_;
+  std::uint64_t version_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace protuner::cluster

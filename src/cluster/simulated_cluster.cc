@@ -17,33 +17,30 @@ SimulatedCluster::SimulatedCluster(
 }
 
 void SimulatedCluster::reseed(std::uint64_t seed) {
-  rank_rng_.clear();
-  rank_rng_.reserve(config_.ranks);
-  util::Rng base(seed);
-  for (std::size_t p = 0; p < config_.ranks; ++p) {
-    rank_rng_.push_back(base.split(static_cast<unsigned>(p)));
-  }
+  rank_rng_ = util::Rng(seed).split_streams(config_.ranks);
   steps_run_ = 0;
 }
 
-std::vector<double> SimulatedCluster::run_step(
-    std::span<const core::Point> configs) {
+void SimulatedCluster::run_step_into(std::span<const core::Point> configs,
+                                     std::span<double> out) {
   assert(!configs.empty());
   assert(configs.size() <= config_.ranks);
+  assert(out.size() == configs.size());
   // One batched landscape evaluation for the whole step (one config per
   // rank): substrates like gs2::Database amortize cache probes and dedupe
-  // repeated configs across the batch.  Noise is drawn afterwards in rank
-  // order, so the streams see exactly the sequence the scalar loop drew.
-  clean_scratch_.resize(configs.size());
-  landscape_->clean_times(configs, clean_scratch_);
-  std::vector<double> times(configs.size());
+  // repeated configs across the batch, and a repeated assignment (every
+  // step, once converged) replays the previous step's clean times without
+  // touching the landscape at all.  Positivity is enforced (release mode
+  // included) once per recompute inside the cache.
+  clean_cache_.refresh(*landscape_, configs);
+  const std::span<const double> clean = clean_cache_.clean();
+  // Noise is drawn afterwards — one variate per rank, in rank order — so
+  // every per-rank stream sees exactly the sequence the scalar loop drew.
+  noise_->sample_batch(clean, {rank_rng_.data(), configs.size()}, out);
   for (std::size_t p = 0; p < configs.size(); ++p) {
-    const double clean = clean_scratch_[p];
-    assert(clean > 0.0);
-    times[p] = clean + noise_->sample(clean, rank_rng_[p]);
+    out[p] = clean[p] + out[p];
   }
   ++steps_run_;
-  return times;
 }
 
 }  // namespace protuner::cluster

@@ -4,12 +4,19 @@
 // database) and n_p drawn per-rank from a NoiseModel — i.i.d. across ranks,
 // matching the independence assumption of the paper's Fig. 10 study
 // (footnote 3).
+//
+// The step is a zero-allocation batch pipeline: clean times come from a
+// CleanTimeCache (replayed outright when the assignment repeats, as it does
+// every step once the optimizer converges) and noise is drawn through
+// NoiseModel::sample_batch, which is stream-equivalent to the scalar
+// per-rank loop by contract.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "cluster/clean_cache.h"
 #include "core/evaluator.h"
 #include "core/landscape.h"
 #include "util/rng.h"
@@ -28,8 +35,8 @@ class SimulatedCluster final : public core::StepEvaluator {
                    std::shared_ptr<const varmodel::NoiseModel> noise,
                    ClusterConfig config);
 
-  std::vector<double> run_step(
-      std::span<const core::Point> configs) override;
+  void run_step_into(std::span<const core::Point> configs,
+                     std::span<double> out) override;
 
   double rho() const override { return noise_->rho(); }
   double clean_time(const core::Point& x) const override {
@@ -48,9 +55,9 @@ class SimulatedCluster final : public core::StepEvaluator {
   ClusterConfig config_;
   std::vector<util::Rng> rank_rng_;
   std::size_t steps_run_ = 0;
-  // Per-step scratch for the batched landscape lookup, hoisted out of
-  // run_step so the steady-state step does not allocate for it.
-  std::vector<double> clean_scratch_;
+  // Batched landscape lookup with repeat-assignment replay; holds the
+  // per-step clean-time scratch so the steady-state step does not allocate.
+  CleanTimeCache clean_cache_;
 };
 
 }  // namespace protuner::cluster

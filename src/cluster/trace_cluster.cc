@@ -13,28 +13,26 @@ TraceCluster::TraceCluster(core::LandscapePtr landscape,
   assert(config_.ranks >= 1);
 }
 
-std::vector<double> TraceCluster::run_step(
-    std::span<const core::Point> configs) {
+void TraceCluster::run_step_into(std::span<const core::Point> configs,
+                                 std::span<double> out) {
   assert(!configs.empty());
   assert(configs.size() <= config_.ranks);
+  assert(out.size() == configs.size());
   // The shock generator draws its *shared* (system-wide) shock once per
   // step, so cross-rank correlation is preserved.  Running it at unit clean
   // time yields each rank's disturbance d_p = unit[p] - 1 (jitter + shared
   // shock + idiosyncratic spike), which is an absolute machine event and is
-  // added to each rank's own clean time.  Both the unit-shock draw and the
-  // clean times land in member scratch (batched landscape lookup), so the
-  // steady-state step only allocates its result vector.
+  // added to each rank's own clean time.  The unit-shock draw lands in
+  // member scratch and the clean times replay from the cache when the
+  // assignment repeats, so the steady-state step performs no allocation
+  // and no landscape call.
   shocks_.step_into(1.0, unit_scratch_);
-  clean_scratch_.resize(configs.size());
-  landscape_->clean_times(configs, clean_scratch_);
-  std::vector<double> times(configs.size());
+  clean_cache_.refresh(*landscape_, configs);
+  const std::span<const double> clean = clean_cache_.clean();
   for (std::size_t p = 0; p < configs.size(); ++p) {
-    const double clean = clean_scratch_[p];
-    assert(clean > 0.0);
-    times[p] = clean + (unit_scratch_[p] - 1.0);
+    out[p] = clean[p] + (unit_scratch_[p] - 1.0);
   }
   ++steps_run_;
-  return times;
 }
 
 }  // namespace protuner::cluster

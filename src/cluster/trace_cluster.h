@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
+#include "cluster/clean_cache.h"
 #include "core/evaluator.h"
 #include "core/landscape.h"
 #include "varmodel/shock_model.h"
@@ -28,8 +30,8 @@ class TraceCluster final : public core::StepEvaluator {
  public:
   TraceCluster(core::LandscapePtr landscape, TraceClusterConfig config);
 
-  std::vector<double> run_step(
-      std::span<const core::Point> configs) override;
+  void run_step_into(std::span<const core::Point> configs,
+                     std::span<double> out) override;
 
   std::size_t ranks() const override { return config_.ranks; }
   double clean_time(const core::Point& x) const override {
@@ -46,10 +48,11 @@ class TraceCluster final : public core::StepEvaluator {
   TraceClusterConfig config_;
   varmodel::ShockTraceGenerator shocks_;
   std::size_t steps_run_ = 0;
-  // Per-step scratch (unit shock draw, batched clean times), hoisted out of
-  // run_step so the steady-state step does not allocate for them.
+  // Per-step scratch (unit shock draw) and the batched landscape lookup
+  // with repeat-assignment replay — both reused so the steady-state step
+  // does not allocate.
   std::vector<double> unit_scratch_;
-  std::vector<double> clean_scratch_;
+  CleanTimeCache clean_cache_;
 };
 
 }  // namespace protuner::cluster

@@ -16,12 +16,10 @@ AnnealingStrategy::AnnealingStrategy(ParameterSpace space,
 
 void AnnealingStrategy::start(std::size_t ranks) {
   assert(ranks >= 1);
-  util::Rng seeder(opts_.seed);
-  rngs_.clear();
+  rngs_ = util::Rng(opts_.seed).split_streams(ranks);
   current_.clear();
   for (std::size_t r = 0; r < ranks; ++r) {
-    rngs_.push_back(seeder.split(static_cast<unsigned>(r)));
-    current_.push_back(space_.random_point(rngs_.back()));
+    current_.push_back(space_.random_point(rngs_[r]));
   }
   current_value_.assign(ranks, 0.0);
   temperature_ = opts_.initial_temperature;

@@ -1,9 +1,11 @@
 // Machine-side interface of the on-line tuning loop: something that can run
 // one application time step with a given per-rank assignment and report the
 // observed per-rank iteration times.  Implemented by cluster::SimulatedCluster
-// (controlled studies) and harmony::CommEvaluator (live thread substrate).
+// and cluster::TraceCluster (controlled studies) and apps::MatmulEvaluator
+// (live kernel measurement).
 #pragma once
 
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -15,11 +17,22 @@ class StepEvaluator {
  public:
   virtual ~StepEvaluator() = default;
 
-  /// Runs one application time step: configs[i] executes on rank i.
-  /// Returns the observed iteration time of each config, same order.
-  /// The step's cost under the paper's metric is max over the results
+  /// Runs one application time step: configs[i] executes on rank i and its
+  /// observed iteration time lands in out[i] (out.size() must equal
+  /// configs.size()).  This is the primitive every evaluator implements —
+  /// non-allocating so the steady-state tuning loop (reps × steps × ranks in
+  /// every figure harness) can reuse one buffer per driver.  The step's
+  /// cost under the paper's metric is max over the results
   /// (Eq. 1: T_k = max_p t_{p,k}).
-  virtual std::vector<double> run_step(std::span<const Point> configs) = 0;
+  virtual void run_step_into(std::span<const Point> configs,
+                             std::span<double> out) = 0;
+
+  /// Allocating convenience wrapper around run_step_into().
+  std::vector<double> run_step(std::span<const Point> configs) {
+    std::vector<double> times(configs.size());
+    run_step_into(configs, {times.data(), times.size()});
+    return times;
+  }
 
   /// Parallel width available for concurrent evaluation; strategies are
   /// started with this value by run_session.

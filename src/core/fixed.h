@@ -18,6 +18,13 @@ class FixedStrategy final : public TuningStrategy {
     return p;
   }
 
+  void propose_into(std::vector<Point>& out) override {
+    // Copy-assign into recycled capacity: after the first round the fixed
+    // assignment is republished with zero allocations.
+    out.resize(ranks_);
+    for (Point& slot : out) slot = config_;
+  }
+
   void observe(std::span<const double>) override {}
   const Point& best_point() const override { return config_; }
   double best_estimate() const override { return 0.0; }

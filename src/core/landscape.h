@@ -4,6 +4,7 @@
 // against a measured database or a synthetic surface plus a noise model.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -31,6 +32,13 @@ class Landscape {
   /// and is always equivalent.  `out.size()` must equal `xs.size()`.
   virtual void clean_times(std::span<const Point> xs,
                            std::span<double> out) const;
+
+  /// Mutation counter: changes whenever clean_time() results may change.
+  /// Immutable landscapes (everything here except gs2::Database, which can
+  /// absorb new measurements) keep the default constant 0.  Evaluators use
+  /// it to reuse clean times across steps when the assignment repeats —
+  /// the dominant shape of a converged tuning loop.
+  virtual std::uint64_t version() const { return 0; }
 
   virtual std::string name() const = 0;
 };

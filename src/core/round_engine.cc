@@ -28,19 +28,23 @@ std::span<const Point> RoundEngine::open_round() {
   if (phase_ != RoundPhase::kAssigning) {
     misuse("open_round: a round is already open");
   }
-  StepProposal proposal = strategy_.propose();
-  if (proposal.configs.empty()) {
+  // The proposal lands in a member buffer and the assignment is built with
+  // copy-assigns into recycled capacity: once the round shape stabilises
+  // (it does immediately for a fixed width) opening a round allocates
+  // nothing beyond what the strategy itself allocates.
+  strategy_.propose_into(proposal_);
+  if (proposal_.empty()) {
     misuse("open_round: strategy proposed an empty assignment");
   }
-  if (proposal.configs.size() > width_) {
+  if (proposal_.size() > width_) {
     misuse("open_round: strategy proposed more configs than the engine "
            "width");
   }
-  proposal_size_ = proposal.configs.size();
+  proposal_size_ = proposal_.size();
 
   if (options_.pad_assignment) {
     if (active_count() == 0) misuse("open_round: no active slots");
-    assignment_.assign(width_, Point{});
+    assignment_.resize(width_);
     expected_.assign(width_, false);
     config_slot_.assign(proposal_size_, kNoSlot);
     identity_mapping_ = true;
@@ -56,7 +60,7 @@ std::span<const Point> RoundEngine::open_round() {
       if (next_config < proposal_size_) {
         identity_mapping_ = identity_mapping_ && (s == next_config);
         config_slot_[next_config] = s;
-        assignment_[s] = std::move(proposal.configs[next_config]);
+        assignment_[s] = proposal_[next_config];
         ++next_config;
       } else {
         // Ranks beyond the proposal keep running the strategy's best known
@@ -68,7 +72,9 @@ std::span<const Point> RoundEngine::open_round() {
     }
     identity_mapping_ = identity_mapping_ && (next_config == proposal_size_);
   } else {
-    assignment_ = std::move(proposal.configs);
+    // The proposal buffer becomes the assignment; the old assignment's
+    // storage becomes the next round's proposal buffer.
+    assignment_.swap(proposal_);
     expected_.assign(assignment_.size(), true);
     identity_mapping_ = true;
   }
@@ -260,8 +266,12 @@ double RoundEngine::close_round() {
 
 double RoundEngine::step(StepEvaluator& machine) {
   open_round();
-  const std::vector<double> times = machine.run_step(assignment());
-  submit_all(times);
+  // The member buffer makes the steady-state step allocation-free: the
+  // machine writes its times straight into recycled storage.
+  step_times_.resize(assignment_.size());
+  machine.run_step_into({assignment_.data(), assignment_.size()},
+                        {step_times_.data(), step_times_.size()});
+  submit_all({step_times_.data(), step_times_.size()});
   return close_round();
 }
 

@@ -154,7 +154,9 @@ class RoundEngine {
   const std::size_t width_;
 
   RoundPhase phase_ = RoundPhase::kAssigning;
+  std::vector<Point> proposal_;          ///< propose_into target (recycled)
   std::vector<Point> assignment_;        ///< per-slot configs (open round)
+  std::vector<double> step_times_;       ///< step() scratch (recycled)
   std::size_t proposal_size_ = 0;        ///< configs the strategy proposed
   std::vector<std::size_t> config_slot_; ///< proposal config -> slot
   bool identity_mapping_ = true;         ///< config j ran on slot j

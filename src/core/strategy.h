@@ -39,6 +39,18 @@ class TuningStrategy {
   /// Assignment of configurations for the next application time step.
   virtual StepProposal propose() = 0;
 
+  /// Non-allocating variant: fills `out` with the next step's assignment,
+  /// reusing its capacity.  Semantically identical to
+  /// `out = propose().configs`; strategies whose steady-state proposal is
+  /// cheap to materialise (FixedStrategy, converged engines pinning
+  /// best_point) override this so the tuning loop can run allocation-free.
+  /// Exactly one of propose()/propose_into() is consumed per round.  `out`
+  /// may arrive holding a previous round's buffer: implementations must
+  /// overwrite it completely (resize + assign), never append.
+  virtual void propose_into(std::vector<Point>& out) {
+    out = propose().configs;
+  }
+
   /// Observed runtime of each config in the last proposal (same order).
   virtual void observe(std::span<const double> times) = 0;
 

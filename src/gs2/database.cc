@@ -414,6 +414,10 @@ void Database::insert(const core::Point& x, double time) {
   cache_->epoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
+std::uint64_t Database::version() const {
+  return cache_->epoch.load(std::memory_order_acquire);
+}
+
 void Database::save(std::ostream& out) const {
   out.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& [pt, val] : table_) {

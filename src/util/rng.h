@@ -8,8 +8,11 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
+#include <vector>
 
 namespace protuner::util {
 
@@ -67,6 +70,12 @@ class Rng {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
+  /// Bulk generation: out[i] = uniform(), in order.  Bit-identical to
+  /// calling uniform() out.size() times (the batch sampling paths rely on
+  /// this equivalence); one tight loop lets the compiler keep the 256-bit
+  /// state in registers instead of spilling it per call.
+  void fill_uniform(std::span<double> out);
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
@@ -93,8 +102,20 @@ class Rng {
   void jump();
 
   /// Convenience: returns a copy that has been jumped `n + 1` times past this
-  /// generator, leaving *this untouched.
-  Rng split(unsigned n = 0) const;
+  /// generator, leaving *this untouched.  Costs n + 1 jumps: when deriving
+  /// many consecutive streams, prefer split_streams(), which is linear in
+  /// the stream count instead of quadratic.
+  Rng split(std::uint64_t n = 0) const;
+
+  /// `count` independent streams derived from this generator:
+  /// out[i] == split(i) for every i, built with one jump per stream.
+  /// *this is untouched.
+  std::vector<Rng> split_streams(std::size_t count) const;
+
+  /// Exact state comparison — two equal generators produce identical
+  /// future streams.  Used by the batch-vs-scalar equivalence tests to
+  /// assert that a batched path consumed exactly the same variates.
+  friend bool operator==(const Rng&, const Rng&) = default;
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <sstream>
+#include <vector>
 
 namespace protuner::varmodel {
 
@@ -14,6 +15,33 @@ CompositeNoise::CompositeNoise(std::shared_ptr<const NoiseModel> a,
 
 double CompositeNoise::sample(double clean_time, util::Rng& rng) const {
   return a_->sample(clean_time, rng) + b_->sample(clean_time, rng);
+}
+
+void CompositeNoise::sample_batch(std::span<const double> clean,
+                                  std::span<util::Rng> rngs,
+                                  std::span<double> out) const {
+  assert(clean.size() == out.size());
+  a_->sample_batch(clean, rngs, out);
+  // Scratch for the second component.  Per-thread, because sample_batch is
+  // const and composites are shared across concurrently-stepping clusters,
+  // so the buffer must not live in the (shared) instance.  Depth-indexed,
+  // because a nested composite re-enters this function while the outer
+  // frame's scratch is its `out` — one flat thread_local buffer would alias
+  // it.  Capacity persists per thread and depth, so the steady-state step
+  // does not allocate.
+  thread_local std::vector<std::vector<double>> scratch_pool;
+  thread_local std::size_t scratch_depth = 0;
+  const std::size_t slot = scratch_depth;
+  if (slot == scratch_pool.size()) scratch_pool.emplace_back();
+  scratch_pool[slot].resize(out.size());
+  // The nested call can grow the pool and relocate its slots (the slots'
+  // heap buffers stay put), so re-index scratch_pool after it instead of
+  // holding a reference across it.
+  double* const b_data = scratch_pool[slot].data();
+  ++scratch_depth;
+  b_->sample_batch(clean, rngs, {b_data, out.size()});
+  --scratch_depth;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b_data[i];
 }
 
 double CompositeNoise::n_min(double clean_time) const {

@@ -16,6 +16,12 @@ class CompositeNoise final : public NoiseModel {
                  std::shared_ptr<const NoiseModel> b);
 
   double sample(double clean_time, util::Rng& rng) const override;
+  /// Composable batching: component a's batch for all ranks, then b's.
+  /// Each rank owns its rng, so per-stream draw order (a's variates, then
+  /// b's) is exactly the scalar `a.sample(...) + b.sample(...)` order, and
+  /// stream equivalence composes recursively through nested composites.
+  void sample_batch(std::span<const double> clean, std::span<util::Rng> rngs,
+                    std::span<double> out) const override;
   double n_min(double clean_time) const override;
   double expected(double clean_time) const override;
   /// Effective rho consistent with Eq. 7 applied to the combined mean:

@@ -10,7 +10,10 @@
 // first-priority stream).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "util/rng.h"
@@ -24,6 +27,25 @@ class NoiseModel {
 
   /// Draws one noise sample n >= n_min(clean_time).
   virtual double sample(double clean_time, util::Rng& rng) const = 0;
+
+  /// Batched sampling, one draw per rank: out[i] = sample(clean[i], rngs[i])
+  /// evaluated in rank order.  The contract is *stream equivalence*: for any
+  /// model, the outputs and every rng's end state must be bit-identical to
+  /// the scalar loop — batching is an implementation detail, never a
+  /// statistical change.  Memoryless models override this with a block draw
+  /// plus an autovectorizable inverse-CDF transform (one variate per rank,
+  /// rank order); stateful models (AR(1), bursts, traces) inherit this
+  /// scalar fallback.  Overrides must not share mutable scratch between
+  /// instances or threads.
+  virtual void sample_batch(std::span<const double> clean,
+                            std::span<util::Rng> rngs,
+                            std::span<double> out) const {
+    assert(clean.size() == out.size());
+    assert(rngs.size() >= out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = sample(clean[i], rngs[i]);
+    }
+  }
 
   /// The essential minimum of the noise for this clean time — the value the
   /// min-of-K estimator converges to (paper Eq. 14/15: L_y -> f + n_min).
@@ -52,6 +74,10 @@ using NoiseModelPtr = std::unique_ptr<NoiseModel>;
 class NoNoise final : public NoiseModel {
  public:
   double sample(double, util::Rng&) const override { return 0.0; }
+  void sample_batch(std::span<const double>, std::span<util::Rng>,
+                    std::span<double> out) const override {
+    std::fill(out.begin(), out.end(), 0.0);
+  }
   double n_min(double) const override { return 0.0; }
   double expected(double) const override { return 0.0; }
   double rho() const override { return 0.0; }

@@ -17,6 +17,8 @@ class ParetoNoise final : public NoiseModel {
   ParetoNoise(double rho, double alpha);
 
   double sample(double clean_time, util::Rng& rng) const override;
+  void sample_batch(std::span<const double> clean, std::span<util::Rng> rngs,
+                    std::span<double> out) const override;
   double n_min(double clean_time) const override { return beta(clean_time); }
   double expected(double clean_time) const override;
   double rho() const override { return rho_; }

@@ -17,11 +17,7 @@ ShockTraceGenerator::ShockTraceGenerator(ShockConfig config, std::size_t ranks,
   assert(config.big_prob >= 0.0 && config.big_prob <= 1.0);
   assert(config.small_prob >= 0.0 && config.small_prob <= 1.0);
   assert(config.correlation >= 0.0 && config.correlation <= 1.0);
-  rank_rng_.reserve(ranks);
-  util::Rng base(seed ^ 0x9e3779b97f4a7c15ULL);
-  for (std::size_t p = 0; p < ranks; ++p) {
-    rank_rng_.push_back(base.split(static_cast<unsigned>(p)));
-  }
+  rank_rng_ = util::Rng(seed ^ 0x9e3779b97f4a7c15ULL).split_streams(ranks);
 }
 
 std::vector<double> ShockTraceGenerator::step(double clean_time) {

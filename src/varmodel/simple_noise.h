@@ -17,6 +17,8 @@ class ExponentialNoise final : public NoiseModel {
   explicit ExponentialNoise(double rho);
 
   double sample(double clean_time, util::Rng& rng) const override;
+  void sample_batch(std::span<const double> clean, std::span<util::Rng> rngs,
+                    std::span<double> out) const override;
   double n_min(double) const override { return 0.0; }
   double expected(double clean_time) const override {
     return rho_ / (1.0 - rho_) * clean_time;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 namespace protuner::util {
@@ -151,6 +152,53 @@ TEST(SplitMix64, KnownFirstOutputsDiffer) {
   SplitMix64 b(1);
   EXPECT_NE(a.next(), b.next());
 }
+
+TEST(Rng, FillUniformMatchesRepeatedUniform) {
+  // The block generator must be stream-equivalent to calling uniform() in
+  // a loop: bit-identical values and the same generator end state.
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    Rng scalar(987), block(987);
+    std::vector<double> expect(n), got(n);
+    for (std::size_t i = 0; i < n; ++i) expect[i] = scalar.uniform();
+    block.fill_uniform({got.data(), got.size()});
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(expect[i], got[i]) << i;
+    EXPECT_TRUE(scalar == block) << "end state diverged at n=" << n;
+    // And the streams keep agreeing afterwards.
+    EXPECT_EQ(scalar(), block());
+  }
+}
+
+TEST(Rng, FillUniformValuesInUnitInterval) {
+  Rng rng(11);
+  std::vector<double> v(4096);
+  rng.fill_uniform({v.data(), v.size()});
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, SplitStreamsMatchesSplit) {
+  // split_streams(count)[i] must be the same stream as split(i), just
+  // computed with one jump per stream instead of i+1.
+  const Rng base(2024);
+  const std::vector<Rng> streams = base.split_streams(9);
+  ASSERT_EQ(streams.size(), 9u);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_TRUE(streams[i] == base.split(i)) << "stream " << i;
+  }
+  // base untouched.
+  Rng fresh(2024);
+  Rng base_copy = base;
+  EXPECT_EQ(base_copy(), fresh());
+}
+
+// split() indices are 64-bit end to end: a wide caller index must reach the
+// jump loop unnarrowed.  (Running split(2^32) is infeasible — it is O(n)
+// jumps — so pin the signature instead.)
+static_assert(std::is_same_v<decltype(&Rng::split),
+                             Rng (Rng::*)(std::uint64_t) const>,
+              "Rng::split must take a 64-bit stream index");
 
 }  // namespace
 }  // namespace protuner::util

@@ -24,12 +24,11 @@ TEST(Session, TotalTimeIsSumOfStepMaxima) {
   // step cost must be the max (Eq. 1), the total the sum (Eq. 2).
   class TwoRank final : public StepEvaluator {
    public:
-    std::vector<double> run_step(std::span<const Point> cfg) override {
-      std::vector<double> t(cfg.size());
+    void run_step_into(std::span<const Point> cfg,
+                       std::span<double> out) override {
       for (std::size_t i = 0; i < cfg.size(); ++i) {
-        t[i] = (i == 0) ? 2.0 : 5.0;
+        out[i] = (i == 0) ? 2.0 : 5.0;
       }
-      return t;
     }
     std::size_t ranks() const override { return 2; }
   } machine;

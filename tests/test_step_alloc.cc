@@ -1,0 +1,254 @@
+// Allocation discipline and release-mode validation of the simulation hot
+// path.
+//
+// The headline acceptance check for the batched pipeline: once warmed up, a
+// steady-state RoundEngine step over a simulated machine performs ZERO heap
+// allocations — proposal publication, clean-time lookup, noise draw and
+// accounting all run in recycled storage.  Asserted with a counting global
+// operator new.  This TU must not be linked into anything else (it replaces
+// the global allocator) and is deliberately absent from the TSan test list.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/clean_cache.h"
+#include "cluster/simulated_cluster.h"
+#include "cluster/trace_cluster.h"
+#include "core/fixed.h"
+#include "core/landscape.h"
+#include "core/round_engine.h"
+#include "gs2/database.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/simple_noise.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace protuner {
+namespace {
+
+using core::FixedStrategy;
+using core::Point;
+using core::QuadraticLandscape;
+using core::RoundEngine;
+using core::RoundEngineOptions;
+
+TEST(StepAllocation, SteadyStateSimulatedClusterStepIsAllocationFree) {
+  auto land = std::make_shared<QuadraticLandscape>(Point{4.0, 5.0, 6.0},
+                                                   1.0, 0.05);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 16, .seed = 9});
+  FixedStrategy fx(Point{3.0, 4.0, 5.0});
+  RoundEngineOptions opts;
+  opts.width = 16;
+  opts.record_series = false;  // the series grows; steady state keeps totals
+  RoundEngine engine(fx, opts);
+  for (int i = 0; i < 5; ++i) engine.step(machine);  // warm every buffer
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) engine.step(machine);
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state step allocated on the heap";
+  EXPECT_EQ(engine.rounds_completed(), 205u);
+}
+
+TEST(StepAllocation, SteadyStateTraceClusterStepIsAllocationFree) {
+  auto land = std::make_shared<QuadraticLandscape>(Point{2.0}, 1.0, 0.1);
+  cluster::TraceClusterConfig cfg;
+  cfg.ranks = 8;
+  cfg.seed = 3;
+  cluster::TraceCluster machine(land, cfg);
+  FixedStrategy fx(Point{1.0});
+  RoundEngineOptions opts;
+  opts.width = 8;
+  opts.record_series = false;
+  RoundEngine engine(fx, opts);
+  for (int i = 0; i < 5; ++i) engine.step(machine);
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) engine.step(machine);
+  EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(StepAllocation, PaddedEngineSteadyStateIsAllocationFree) {
+  // The Harmony-style padded engine copy-assigns best_point() into
+  // recycled slots; it must be just as quiet once warm.
+  auto land = std::make_shared<QuadraticLandscape>(Point{4.0}, 1.0, 0.05);
+  auto noise = std::make_shared<varmodel::ExponentialNoise>(0.1);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 8, .seed = 21});
+  FixedStrategy fx(Point{3.0});
+  RoundEngineOptions opts;
+  opts.width = 8;
+  opts.pad_assignment = true;
+  opts.record_series = false;
+  RoundEngine engine(fx, opts);
+  for (int i = 0; i < 5; ++i) engine.step(machine);
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) engine.step(machine);
+  EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(StepAllocation, RunStepWrapperMatchesRunStepInto) {
+  // The allocating wrapper is a thin shim over run_step_into: identical
+  // machines must produce bit-identical times through either entry point.
+  auto land = std::make_shared<QuadraticLandscape>(Point{1.0, 2.0}, 2.0, 0.5);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
+  cluster::SimulatedCluster a(land, noise, {.ranks = 4, .seed = 13});
+  cluster::SimulatedCluster b(land, noise, {.ranks = 4, .seed = 13});
+  const std::vector<Point> configs(4, Point{0.5, 1.5});
+  std::vector<double> into(4);
+  for (int s = 0; s < 3; ++s) {
+    const std::vector<double> wrapped = a.run_step(configs);
+    b.run_step_into({configs.data(), configs.size()},
+                    {into.data(), into.size()});
+    ASSERT_EQ(wrapped.size(), into.size());
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      EXPECT_EQ(wrapped[i], into[i]) << "rank " << i << ", step " << s;
+    }
+  }
+}
+
+TEST(StepValidation, NonPositiveCleanTimeThrowsInRelease) {
+  // The positivity guard moved out of assert() into the always-on cache
+  // recompute: a broken landscape fails loudly in release builds too.
+  auto bad = std::make_shared<core::FunctionLandscape>(
+      "bad", [](const Point& x) { return x[0] < 0.0 ? -1.0 : 1.0; });
+  cluster::SimulatedCluster machine(bad,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 2, .seed = 1});
+  std::vector<double> out(2);
+  const std::vector<Point> good(2, Point{1.0});
+  machine.run_step_into({good.data(), good.size()}, {out.data(), out.size()});
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  const std::vector<Point> evil(2, Point{-1.0});
+  EXPECT_THROW(machine.run_step_into({evil.data(), evil.size()},
+                                     {out.data(), out.size()}),
+               std::domain_error);
+  // The machine recovers once the landscape behaves again.
+  machine.run_step_into({good.data(), good.size()}, {out.data(), out.size()});
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(StepValidation, TraceClusterRejectsNonPositiveCleanTime) {
+  auto bad = std::make_shared<core::FunctionLandscape>(
+      "zero", [](const Point&) { return 0.0; });
+  cluster::TraceClusterConfig cfg;
+  cfg.ranks = 2;
+  cluster::TraceCluster machine(bad, cfg);
+  std::vector<double> out(2);
+  const std::vector<Point> configs(2, Point{0.0});
+  EXPECT_THROW(machine.run_step_into({configs.data(), configs.size()},
+                                     {out.data(), out.size()}),
+               std::domain_error);
+}
+
+TEST(CleanTimeCache, ReplaysRepeatsAndTracksLandscapeVersion) {
+  // Direct contract check: refresh() misses on first sight, hits on the
+  // byte-identical repeat, and misses again when the landscape's version
+  // counter moves (gs2::Database::insert bumps it).
+  core::ParameterSpace space({core::Parameter::integer("x", 0, 10)});
+  auto db = std::make_shared<gs2::Database>(
+      space, gs2::DatabaseOptions{.stride = 1, .interpolation_neighbors = 1});
+  db->insert(Point{0.0}, 1.0);
+  cluster::CleanTimeCache cache;
+  const std::vector<Point> configs(3, Point{5.0});
+  EXPECT_FALSE(cache.refresh(*db, {configs.data(), configs.size()}));
+  EXPECT_DOUBLE_EQ(cache.clean()[0], 1.0);
+  EXPECT_TRUE(cache.refresh(*db, {configs.data(), configs.size()}));
+  db->insert(Point{6.0}, 42.0);  // nearest neighbour of 5 is now 6
+  EXPECT_FALSE(cache.refresh(*db, {configs.data(), configs.size()}))
+      << "insert() must invalidate the replay cache";
+  EXPECT_DOUBLE_EQ(cache.clean()[0], 42.0);
+  // A different assignment shape also misses.
+  const std::vector<Point> other(2, Point{5.0});
+  EXPECT_FALSE(cache.refresh(*db, {other.data(), other.size()}));
+}
+
+TEST(CleanTimeCache, ClusterSeesFreshValuesAfterInsert) {
+  // End to end: a converged loop replays cached clean times, yet an
+  // insert() into the backing database still reaches the next step.
+  core::ParameterSpace space({core::Parameter::integer("x", 0, 10)});
+  auto db = std::make_shared<gs2::Database>(
+      space, gs2::DatabaseOptions{.stride = 1, .interpolation_neighbors = 1});
+  db->insert(Point{0.0}, 1.0);
+  cluster::SimulatedCluster machine(db,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 2, .seed = 2});
+  std::vector<double> out(2);
+  const std::vector<Point> configs(2, Point{5.0});
+  for (int s = 0; s < 3; ++s) {
+    machine.run_step_into({configs.data(), configs.size()},
+                          {out.data(), out.size()});
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+  }
+  db->insert(Point{6.0}, 42.0);
+  machine.run_step_into({configs.data(), configs.size()},
+                        {out.data(), out.size()});
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+  EXPECT_DOUBLE_EQ(out[1], 42.0);
+}
+
+TEST(Strategy, ProposeIntoMatchesPropose) {
+  FixedStrategy a(Point{1.0, 2.0}), b(Point{1.0, 2.0});
+  a.start(5);
+  b.start(5);
+  const std::vector<Point> via_propose = a.propose().configs;
+  std::vector<Point> via_into;
+  b.propose_into(via_into);
+  EXPECT_EQ(via_propose, via_into);
+  // Recycled buffers are overwritten completely, never appended to.
+  via_into.push_back(Point{9.0});
+  b.propose_into(via_into);
+  EXPECT_EQ(via_propose, via_into);
+}
+
+}  // namespace
+}  // namespace protuner
