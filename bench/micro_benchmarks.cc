@@ -22,6 +22,8 @@
 #include "core/simplex.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/pareto.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -443,6 +445,117 @@ void BM_SessionThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(ranks));
 }
 BENCHMARK(BM_SessionThroughput)->Arg(8)->Arg(64);
+
+// ------------------------------------------------------------------
+// Telemetry cost contract (BENCH_obs.json): the hot-path record
+// operations in isolation, and the converged step loop with the full
+// per-step telemetry attached.  Acceptance: BM_RunStep_instrumented
+// within 3% of BM_RunStep_pareto at the same rank count.
+
+void BM_MetricRecord_counter(benchmark::State& state) {
+  obs::Counter& c =
+      obs::Registry::global().counter("bench_record_total", "",
+                                      {{"session", "bench"}});
+  for (auto _ : state) {
+    c.add();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricRecord_counter);
+
+void BM_MetricRecord_histogram(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::Registry::global().histogram("bench_record_hist", "",
+                                        {{"session", "bench"}});
+  // Walk values across four decades so the CAS-max path and different
+  // buckets both get exercised, like a real heavy-tailed cost stream.
+  double v = 1.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e4 ? v * 1.7 : 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricRecord_histogram);
+
+void BM_MetricRecord_span_disabled(benchmark::State& state) {
+  obs::Tracer tracer;  // disabled: the cost is one relaxed load
+  for (auto _ : state) {
+    const obs::ScopedSpan span(tracer, "bench/span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricRecord_span_disabled);
+
+void BM_MetricRecord_span_enabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.configure(true, 1);
+  { const obs::ScopedSpan warm(tracer, "bench/span"); }  // ring creation
+  for (auto _ : state) {
+    const obs::ScopedSpan span(tracer, "bench/span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricRecord_span_enabled);
+
+// The converged-loop step with the exact per-round telemetry the engine
+// adds in the SHIPPED configuration — metrics always on (one counter add +
+// one histogram record per round), tracing disabled (four inert ScopedSpans,
+// one relaxed load each), on the same machine/configs as BM_RunStep_pareto.
+// The 3%-overhead acceptance compares this against BM_RunStep_pareto.
+void RunStepInstrumentedBench(benchmark::State& state, bool trace) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  auto db = hot_path_db();
+  cluster::SimulatedCluster machine(
+      db, std::make_shared<varmodel::ParetoNoise>(0.2, 1.7),
+      {.ranks = ranks, .seed = 11});
+  const std::vector<core::Point> configs = hot_path_configs(ranks);
+  std::vector<double> out(ranks);
+  obs::Counter& rounds =
+      obs::Registry::global().counter("bench_step_rounds_total", "",
+                                      {{"session", "bench"}});
+  obs::Histogram& cost =
+      obs::Registry::global().histogram("bench_step_cost", "",
+                                        {{"session", "bench"}});
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.configure(trace, 1);
+  if (trace) {
+    const obs::ScopedSpan warm(tracer, "bench/step");  // ring creation
+  }
+  for (auto _ : state) {
+    // Mirror the engine's span sites: step wrapping assign/collect/advance.
+    const obs::ScopedSpan step_span(tracer, "bench/step");
+    { const obs::ScopedSpan assign(tracer, "bench/assign"); }
+    {
+      const obs::ScopedSpan collect(tracer, "bench/collect");
+      machine.run_step_into({configs.data(), configs.size()},
+                            {out.data(), out.size()});
+    }
+    const obs::ScopedSpan advance(tracer, "bench/advance");
+    rounds.add();
+    cost.record(out[0]);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  tracer.configure(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ranks));
+}
+
+void BM_RunStep_instrumented(benchmark::State& state) {
+  RunStepInstrumentedBench(state, /*trace=*/false);
+}
+BENCHMARK(BM_RunStep_instrumented)->Arg(8)->Arg(64);
+
+// The opt-in debug configuration (OBS_TRACE=1): every span recorded.  Not
+// subject to the 3% bar — this is the "pay for what you ask for" mode; the
+// per-span cost is two steady_clock reads plus a ring write.
+void BM_RunStep_traced(benchmark::State& state) {
+  RunStepInstrumentedBench(state, /*trace=*/true);
+}
+BENCHMARK(BM_RunStep_traced)->Arg(8)->Arg(64);
 
 std::shared_ptr<const varmodel::NoiseModel> bench_noise_model(int idx) {
   switch (idx) {

@@ -4,7 +4,30 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace protuner::cluster {
+
+namespace {
+
+/// Replay-vs-recompute tallies, shared by every cache in the process and
+/// resolved once: protuner_clean_cache_total{result=replay|recompute}.
+struct CacheCounters {
+  obs::Counter& replay;
+  obs::Counter& recompute;
+};
+
+CacheCounters& cache_counters() {
+  static CacheCounters c{
+      obs::Registry::global().counter(
+          "protuner_clean_cache_total",
+          "Clean-time batch refreshes by outcome", {{"result", "replay"}}),
+      obs::Registry::global().counter("protuner_clean_cache_total", {},
+                                      {{"result", "recompute"}})};
+  return c;
+}
+
+}  // namespace
 
 bool CleanTimeCache::matches(std::span<const core::Point> configs,
                              std::uint64_t version) const {
@@ -48,7 +71,11 @@ void CleanTimeCache::store(std::span<const core::Point> configs,
 bool CleanTimeCache::refresh(const core::Landscape& landscape,
                              std::span<const core::Point> configs) {
   const std::uint64_t version = landscape.version();
-  if (matches(configs, version)) return true;
+  if (matches(configs, version)) {
+    cache_counters().replay.add();
+    return true;
+  }
+  cache_counters().recompute.add();
 
   clean_.resize(configs.size());
   landscape.clean_times(configs, {clean_.data(), clean_.size()});

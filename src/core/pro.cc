@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace protuner::core {
 
 ProStrategy::ProStrategy(ParameterSpace space, ProOptions opts)
@@ -174,6 +176,7 @@ void ProStrategy::on_batch_done() {
       break;
     }
     case Phase::kExpandCheck: {
+      const obs::ScopedSpan span(obs::Tracer::global(), "pro/expansion_check");
       const double e_val = batch_.estimates().front();
       if (e_val < reflect_values_[best_reflect_]) {
         phase_ = Phase::kExpandAll;
@@ -211,6 +214,7 @@ void ProStrategy::on_batch_done() {
       break;
     }
     case Phase::kShrink: {
+      const obs::ScopedSpan span(obs::Tracer::global(), "pro/shrink");
       ++shrinks_accepted_;
       const std::vector<double> vals = split_refresh(batch_.estimates());
       std::vector<Point> pts = batch_.points();

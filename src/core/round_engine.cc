@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/evaluator.h"
+#include "obs/trace.h"
 
 namespace protuner::core {
 
@@ -11,11 +12,34 @@ namespace {
 
 [[noreturn]] void misuse(const std::string& what) { throw EngineError(what); }
 
+obs::Labels engine_labels(const RoundEngineOptions& options) {
+  if (options.session.empty()) return {};
+  return {{"session", options.session}};
+}
+
+obs::Registry& engine_registry(const RoundEngineOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::Registry::global();
+}
+
 }  // namespace
 
 RoundEngine::RoundEngine(TuningStrategy& strategy,
                          const RoundEngineOptions& options)
-    : strategy_(strategy), options_(options), width_(options.width) {
+    : strategy_(strategy),
+      options_(options),
+      width_(options.width),
+      obs_rounds_(engine_registry(options_).counter(
+          "protuner_rounds_total", "Tuning rounds completed",
+          engine_labels(options_))),
+      obs_imputed_(engine_registry(options_).counter(
+          "protuner_imputed_slots_total",
+          "Straggler slots force-completed by imputation",
+          engine_labels(options_))),
+      obs_round_cost_(engine_registry(options_).histogram(
+          "protuner_round_cost",
+          "Step cost T_k = max per-rank time (simulated seconds)",
+          engine_labels(options_))) {
   if (width_ == 0) misuse("RoundEngine: width must be >= 1");
   if (options_.impute_penalty < 1.0) {
     misuse("RoundEngine: impute_penalty must be >= 1");
@@ -25,6 +49,7 @@ RoundEngine::RoundEngine(TuningStrategy& strategy,
 }
 
 std::span<const Point> RoundEngine::open_round() {
+  const obs::ScopedSpan span(obs::Tracer::global(), "round/assign");
   if (phase_ != RoundPhase::kAssigning) {
     misuse("open_round: a round is already open");
   }
@@ -171,6 +196,7 @@ std::vector<std::size_t> RoundEngine::impute_missing() {
       imputed.push_back(s);
     }
   }
+  obs_imputed_.add(imputed.size());
   return imputed;
 }
 
@@ -195,6 +221,7 @@ std::size_t RoundEngine::active_count() const {
 }
 
 double RoundEngine::close_round() {
+  const obs::ScopedSpan span(obs::Tracer::global(), "round/advance");
   if (phase_ != RoundPhase::kCollecting) {
     misuse("close_round: no round is open");
   }
@@ -215,6 +242,8 @@ double RoundEngine::close_round() {
   }
   total_time_ += cost;  // Eq. 2
   last_cost_ = cost;
+  obs_rounds_.add();
+  obs_round_cost_.record(cost);
   if (options_.record_series) {
     step_costs_.push_back(cost);
     cumulative_.push_back(total_time_);
@@ -265,12 +294,16 @@ double RoundEngine::close_round() {
 }
 
 double RoundEngine::step(StepEvaluator& machine) {
+  const obs::ScopedSpan span(obs::Tracer::global(), "round/step");
   open_round();
   // The member buffer makes the steady-state step allocation-free: the
   // machine writes its times straight into recycled storage.
   step_times_.resize(assignment_.size());
-  machine.run_step_into({assignment_.data(), assignment_.size()},
-                        {step_times_.data(), step_times_.size()});
+  {
+    const obs::ScopedSpan collect(obs::Tracer::global(), "round/collect");
+    machine.run_step_into({assignment_.data(), assignment_.size()},
+                          {step_times_.data(), step_times_.size()});
+  }
   submit_all({step_times_.data(), step_times_.size()});
   return close_round();
 }

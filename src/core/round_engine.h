@@ -35,6 +35,7 @@
 
 #include "core/session.h"
 #include "core/strategy.h"
+#include "obs/metrics.h"
 
 namespace protuner::core {
 
@@ -68,6 +69,12 @@ struct RoundEngineOptions {
   /// A straggler's imputed time is (max time observed this round) × this
   /// factor; must be >= 1 so imputation never under-states the step cost.
   double impute_penalty = 1.5;
+  /// Registry the engine's telemetry (rounds/imputations counters, round
+  /// cost histogram) is registered in; null means obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+  /// Label value for the engine's instruments' {"session", ...} label;
+  /// empty registers them unlabelled.
+  std::string session;
 };
 
 class RoundEngine {
@@ -152,6 +159,12 @@ class RoundEngine {
   TuningStrategy& strategy_;
   const RoundEngineOptions options_;
   const std::size_t width_;
+
+  // Telemetry, resolved once at construction (registry lookups lock and
+  // allocate); recording on these references is allocation-free.
+  obs::Counter& obs_rounds_;
+  obs::Counter& obs_imputed_;
+  obs::Histogram& obs_round_cost_;
 
   RoundPhase phase_ = RoundPhase::kAssigning;
   std::vector<Point> proposal_;          ///< propose_into target (recycled)

@@ -1,9 +1,16 @@
 // Ready-made session observers: a CSV step logger and a best-config change
-// tracker.  Header-only.
+// tracker.  Implementations live in session_log.cc.
+//
+// Both observers forward every callback to an optional chained
+// SessionObserver, so a single observer slot (SessionOptions::observer,
+// harmony::ServerOptions::observer) can carry CSV logging and telemetry
+// (obs::ObservingSessionObserver) at the same time instead of one silently
+// displacing the other.
 #pragma once
 
-#include <algorithm>
-#include <ostream>
+#include <cstddef>
+#include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "core/session.h"
@@ -15,49 +22,46 @@ namespace protuner::core {
 /// total, and the number of distinct configurations run that step.
 class CsvSessionLogger final : public SessionObserver {
  public:
-  explicit CsvSessionLogger(std::ostream& out) : csv_(out) {
-    csv_.header({"step", "cost", "cumulative", "distinct_configs"});
-  }
+  /// `next`, when given, receives every callback after the row is written.
+  explicit CsvSessionLogger(std::ostream& out, SessionObserver* next = nullptr);
 
   void on_step(std::size_t step, std::span<const Point> configs,
-               std::span<const double> /*times*/, double cost) override {
-    cumulative_ += cost;
-    std::vector<Point> uniq(configs.begin(), configs.end());
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    csv_.row(step, cost, cumulative_, uniq.size());
-  }
-
-  void on_converged(std::size_t step, const Point& /*best*/) override {
-    converged_at_ = step;
-  }
+               std::span<const double> times, double cost) override;
+  void on_converged(std::size_t step, const Point& best) override;
 
   double cumulative() const { return cumulative_; }
   std::size_t converged_at() const { return converged_at_; }
+
+  SessionObserver* next() const { return next_; }
+  void set_next(SessionObserver* next) { next_ = next; }
 
  private:
   util::CsvWriter csv_;
   double cumulative_ = 0.0;
   std::size_t converged_at_ = 0;
+  SessionObserver* next_ = nullptr;
 };
 
 /// Records every change of the proposal's first configuration — a cheap
 /// proxy for "what the tuner is currently exploring".
 class ConfigChangeTracker final : public SessionObserver {
  public:
+  explicit ConfigChangeTracker(SessionObserver* next = nullptr);
+
   void on_step(std::size_t step, std::span<const Point> configs,
-               std::span<const double> /*times*/, double /*cost*/) override {
-    if (history_.empty() || history_.back().second != configs.front()) {
-      history_.emplace_back(step, configs.front());
-    }
-  }
+               std::span<const double> times, double cost) override;
+  void on_converged(std::size_t step, const Point& best) override;
 
   const std::vector<std::pair<std::size_t, Point>>& history() const {
     return history_;
   }
 
+  SessionObserver* next() const { return next_; }
+  void set_next(SessionObserver* next) { next_ = next; }
+
  private:
   std::vector<std::pair<std::size_t, Point>> history_;
+  SessionObserver* next_ = nullptr;
 };
 
 }  // namespace protuner::core

@@ -16,9 +16,33 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace protuner::gs2 {
 
 namespace {
+
+/// Which read-path tier answered a clean-time lookup.  Process-global (all
+/// databases share them): the counters live in the global registry under
+/// protuner_db_lookups_total{tier=...}, resolved once on first use.
+struct TierCounters {
+  obs::Counter& exact;
+  obs::Counter& memo;
+  obs::Counter& kdtree;
+};
+
+TierCounters& tier_counters() {
+  static TierCounters c{
+      obs::Registry::global().counter(
+          "protuner_db_lookups_total",
+          "Database clean-time lookups by answering tier",
+          {{"tier", "exact"}}),
+      obs::Registry::global().counter("protuner_db_lookups_total", {},
+                                      {{"tier", "memo"}}),
+      obs::Registry::global().counter("protuner_db_lookups_total", {},
+                                      {{"tier", "kdtree"}})};
+  return c;
+}
 
 /// Admissible values of one parameter, decimated by `stride`.
 std::vector<double> axis_values(const core::Parameter& p, std::size_t stride) {
@@ -604,17 +628,25 @@ double Database::clean_time(const core::Point& x) const {
   assert(x.size() == space_.size());
   const Index& idx = index();
   const std::uint64_t h = point_hash(x);
-  if (const double* v = idx.exact_find(h, x)) return *v;
+  TierCounters& tiers = tier_counters();
+  if (const double* v = idx.exact_find(h, x)) {
+    tiers.exact.add();
+    return *v;
+  }
 
   Cache::Shard& shard = cache_->shard(h);
   const std::uint64_t now = cache_->epoch.load(std::memory_order_acquire);
   {
     const std::shared_lock lock(shard.mutex);
     if (shard.epoch == now) {
-      if (const double* v = shard.map.find(h, x)) return *v;
+      if (const double* v = shard.map.find(h, x)) {
+        tiers.memo.add();
+        return *v;
+      }
     }
   }
 
+  tiers.kdtree.add();
   const double value = interpolate_indexed(idx, x);
 
   {
@@ -641,7 +673,11 @@ void Database::clean_times(std::span<const core::Point> xs,
   hashes.resize(xs.size());
   misses.clear();
 
-  // Pass 1: exact hits and one memo probe per point.
+  // Pass 1: exact hits and one memo probe per point.  Tier tallies are
+  // batched locally — one relaxed add per tier per batch — so a wide batch
+  // doesn't ping-pong the counters' cachelines between ranks.
+  std::uint64_t exact_hits = 0;
+  std::uint64_t memo_hits = 0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const core::Point& x = xs[i];
     assert(x.size() == space_.size());
@@ -649,6 +685,7 @@ void Database::clean_times(std::span<const core::Point> xs,
     hashes[i] = h;
     if (const double* v = idx.exact_find(h, x)) {
       out[i] = *v;
+      ++exact_hits;
       continue;
     }
     Cache::Shard& shard = cache_->shard(h);
@@ -656,11 +693,16 @@ void Database::clean_times(std::span<const core::Point> xs,
     if (shard.epoch == now) {
       if (const double* v = shard.map.find(h, x)) {
         out[i] = *v;
+        ++memo_hits;
         continue;
       }
     }
     misses.push_back(i);
   }
+  TierCounters& tiers = tier_counters();
+  if (exact_hits > 0) tiers.exact.add(exact_hits);
+  if (memo_hits > 0) tiers.memo.add(memo_hits);
+  if (!misses.empty()) tiers.kdtree.add(misses.size());
 
   // Pass 2: interpolate each *unique* miss once (batches arrive one config
   // per rank, and replicated sampling makes intra-batch duplicates common),

@@ -80,6 +80,11 @@ SessionBuilder& SessionBuilder::observer(core::SessionObserver* obs) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::session(std::string name) {
+  server_options_.session = std::move(name);
+  return *this;
+}
+
 core::ParameterSpace SessionBuilder::space() const {
   assert(!params_.empty());
   return core::ParameterSpace(params_);

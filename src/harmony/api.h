@@ -52,6 +52,8 @@ class SessionBuilder {
   SessionBuilder& straggler_policy(StragglerPolicy policy);
   /// Per-step telemetry fan-out (not owned; must outlive the Server).
   SessionBuilder& observer(core::SessionObserver* obs);
+  /// Telemetry label for the server's metrics ({"session", name}).
+  SessionBuilder& session(std::string name);
 
   /// Number of parameters declared so far.
   std::size_t parameter_count() const { return params_.size(); }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace protuner::harmony {
 
 namespace {
@@ -18,7 +20,26 @@ core::RoundEngineOptions engine_options(std::size_t clients,
   eo.record_series = options.record_series;
   eo.observer = options.observer;
   eo.impute_penalty = options.impute_penalty;
+  eo.metrics = options.metrics;
+  eo.session = options.session;
   return eo;
+}
+
+obs::Registry& server_registry(const ServerOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::Registry::global();
+}
+
+obs::Labels server_labels(const ServerOptions& options) {
+  if (options.session.empty()) return {};
+  return {{"session", options.session}};
+}
+
+double elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 }  // namespace
@@ -27,7 +48,30 @@ Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
                ServerOptions options)
     : strategy_(std::move(strategy)),
       clients_(clients),
-      options_(options),
+      options_(std::move(options)),
+      obs_fetch_ns_(server_registry(options_).histogram(
+          "protuner_harmony_fetch_ns",
+          "fetch() latency including the wait for the round to open (ns)",
+          server_labels(options_))),
+      obs_report_ns_(server_registry(options_).histogram(
+          "protuner_harmony_report_ns", "report() latency (ns)",
+          server_labels(options_))),
+      obs_round_wall_ns_(server_registry(options_).histogram(
+          "protuner_harmony_round_wall_ns",
+          "Wall-clock time a round stayed open (ns)",
+          server_labels(options_))),
+      obs_protocol_errors_(server_registry(options_).counter(
+          "protuner_harmony_protocol_errors_total",
+          "Client protocol violations (double fetch, report without fetch, "
+          "rank out of range)",
+          server_labels(options_))),
+      obs_deadline_expiries_(server_registry(options_).counter(
+          "protuner_harmony_deadline_expiries_total",
+          "Rounds whose report deadline expired", server_labels(options_))),
+      obs_discarded_reports_(server_registry(options_).counter(
+          "protuner_harmony_discarded_reports_total",
+          "Reports that arrived after their round was deadline-closed",
+          server_labels(options_))),
       engine_((strategy_ == nullptr
                    ? throw std::invalid_argument(
                          "Server: strategy must not be null")
@@ -53,6 +97,7 @@ void Server::fail_locked(const std::string& why) {
 }
 
 void Server::advance_locked() {
+  obs_round_wall_ns_.record(elapsed_ns(round_opened_));
   engine_.close_round();
   engine_.open_round();
   round_ = engine_.rounds_completed();
@@ -75,6 +120,7 @@ bool Server::close_by_deadline_locked() {
   if (engine_.pending() == 0) return false;  // closed by the report path
   if (std::chrono::steady_clock::now() < deadline_locked()) return false;
 
+  obs_deadline_expiries_.add();
   if (options_.straggler_policy == StragglerPolicy::kFail) {
     fail_locked("round " + std::to_string(round_) +
                 " report deadline expired with " +
@@ -103,8 +149,11 @@ bool Server::close_by_deadline_locked() {
 }
 
 core::Point Server::fetch(std::size_t rank) {
+  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
+  const auto entered = std::chrono::steady_clock::now();
   std::unique_lock lock(mutex_);
   if (rank >= clients_) {
+    obs_protocol_errors_.add();
     throw ProtocolError("fetch: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
@@ -112,6 +161,7 @@ core::Point Server::fetch(std::size_t rank) {
   throw_if_failed_locked();
   if (fetched_[rank] && rank_round_[rank] == round_ &&
       engine_.expected(rank)) {
+    obs_protocol_errors_.add();
     throw ProtocolError("fetch: rank " + std::to_string(rank) +
                         " fetched twice without reporting");
   }
@@ -137,18 +187,23 @@ core::Point Server::fetch(std::size_t rank) {
     }
   }
   fetched_[rank] = true;
+  obs_fetch_ns_.record(elapsed_ns(entered));
   return engine_.assignment_for(rank);
 }
 
 void Server::report(std::size_t rank, double time) {
+  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/report");
+  const auto entered = std::chrono::steady_clock::now();
   const std::scoped_lock lock(mutex_);
   if (rank >= clients_) {
+    obs_protocol_errors_.add();
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
   }
   throw_if_failed_locked();
   if (!fetched_[rank]) {
+    obs_protocol_errors_.add();
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " reported without fetching first");
   }
@@ -156,12 +211,14 @@ void Server::report(std::size_t rank, double time) {
   if (rank_round_[rank] < round_) {
     // The rank's round was deadline-closed beneath it; its measurement
     // arrived too late to count and is discarded.
+    obs_discarded_reports_.add();
     ++rank_round_[rank];
     return;
   }
   engine_.submit(rank, time);
   rank_round_[rank] = round_ + 1;
   if (engine_.complete()) advance_locked();
+  obs_report_ns_.record(elapsed_ns(entered));
 }
 
 bool Server::tick() {
@@ -208,6 +265,12 @@ std::size_t Server::active_ranks() const {
 std::string Server::strategy_name() const {
   const std::scoped_lock lock(mutex_);
   return strategy_->name();
+}
+
+obs::RegistrySnapshot Server::metrics_snapshot() const {
+  obs::Registry& registry = server_registry(options_);
+  if (options_.session.empty()) return registry.snapshot();
+  return registry.snapshot("session", options_.session);
 }
 
 }  // namespace protuner::harmony

@@ -42,6 +42,7 @@
 #include "core/parameter_space.h"
 #include "core/round_engine.h"
 #include "core/strategy.h"
+#include "obs/metrics.h"
 
 namespace protuner::harmony {
 
@@ -76,6 +77,14 @@ struct ServerOptions {
   /// Keep the per-step T_k series (step_costs()); off to save memory on
   /// very long sessions.
   bool record_series = true;
+  /// Registry the server's (and its engine's) telemetry is registered in;
+  /// null means obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+  /// Session name, applied as the {"session", ...} label on every
+  /// instrument so one registry can host many concurrent sessions
+  /// (SessionManager::create fills it in from the session name).  Empty
+  /// registers the instruments unlabelled.
+  std::string session;
 };
 
 class Server {
@@ -116,6 +125,13 @@ class Server {
   std::size_t active_ranks() const;
   /// Name of the strategy behind the session (for stats snapshots).
   std::string strategy_name() const;
+  /// The session's telemetry label (ServerOptions::session).
+  const std::string& session_name() const { return options_.session; }
+
+  /// Point-in-time copy of this session's instruments: the snapshot is
+  /// filtered to the session label when one is set, the whole registry
+  /// otherwise.  Feed it to obs::render_prometheus for exposition.
+  obs::RegistrySnapshot metrics_snapshot() const;
 
  private:
   void throw_if_failed_locked() const;
@@ -131,6 +147,14 @@ class Server {
   core::TuningStrategyPtr strategy_;
   const std::size_t clients_;
   const ServerOptions options_;
+
+  // Telemetry, resolved once here; recording is allocation-free.
+  obs::Histogram& obs_fetch_ns_;
+  obs::Histogram& obs_report_ns_;
+  obs::Histogram& obs_round_wall_ns_;
+  obs::Counter& obs_protocol_errors_;
+  obs::Counter& obs_deadline_expiries_;
+  obs::Counter& obs_discarded_reports_;
 
   mutable std::mutex mutex_;
   std::condition_variable round_ready_;

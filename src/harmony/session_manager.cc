@@ -1,5 +1,6 @@
 #include "harmony/session_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace protuner::harmony {
@@ -9,6 +10,9 @@ std::shared_ptr<Server> SessionManager::create(const std::string& name,
                                                    strategy,
                                                std::size_t clients,
                                                ServerOptions options) {
+  // Hosted sessions are telemetry-labelled by their registry name unless
+  // the caller picked a label explicitly.
+  if (options.session.empty()) options.session = name;
   // Build outside the registry lock: Server's constructor runs the
   // strategy's first proposal, which can be arbitrarily expensive.
   auto server =
@@ -110,6 +114,43 @@ std::vector<SessionManager::SessionStats> SessionManager::stats_all() const {
   for (const auto& [name, hosted] : sessions_) {
     out.push_back(stats_locked(name, hosted));
   }
+  return out;
+}
+
+obs::RegistrySnapshot SessionManager::metrics_snapshot() const {
+  std::vector<std::shared_ptr<Server>> servers;
+  {
+    const std::scoped_lock lock(mutex_);
+    servers.reserve(sessions_.size());
+    for (const auto& [name, hosted] : sessions_) {
+      servers.push_back(hosted.server);
+    }
+  }
+  // Snapshot outside the registry lock; sessions sharing one obs::Registry
+  // may overlap, so duplicate (name, labels) series are dropped.
+  obs::RegistrySnapshot out;
+  const auto merge = [&out](obs::RegistrySnapshot s) {
+    for (auto& inst : s.instruments) {
+      const bool seen = std::any_of(
+          out.instruments.begin(), out.instruments.end(),
+          [&inst](const obs::InstrumentSnapshot& have) {
+            return have.name == inst.name && have.labels == inst.labels;
+          });
+      if (!seen) out.instruments.push_back(std::move(inst));
+    }
+  };
+  for (const auto& server : servers) merge(server->metrics_snapshot());
+  // Process-wide subsystem telemetry (database tiers, clean-time cache,
+  // thread pools) carries no session label but belongs on the serving
+  // process's exposition page alongside its sessions.
+  obs::RegistrySnapshot process_wide;
+  for (auto& inst : obs::Registry::global().snapshot().instruments) {
+    const bool session_scoped = std::any_of(
+        inst.labels.begin(), inst.labels.end(),
+        [](const auto& kv) { return kv.first == "session"; });
+    if (!session_scoped) process_wide.instruments.push_back(std::move(inst));
+  }
+  merge(std::move(process_wide));
   return out;
 }
 

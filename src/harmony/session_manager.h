@@ -84,6 +84,11 @@ class SessionManager {
   SessionStats stats(const std::string& name) const;
   std::vector<SessionStats> stats_all() const;
 
+  /// Every hosted session's instruments in one snapshot (each session's
+  /// series stay distinguishable by their {"session", ...} label).  Feed to
+  /// obs::render_prometheus for a combined exposition page.
+  obs::RegistrySnapshot metrics_snapshot() const;
+
  private:
   struct Hosted {
     std::shared_ptr<Server> server;

@@ -1,0 +1,219 @@
+// Heavy-tail-aware metrics registry.
+//
+// The paper's core statistical argument (§4–5) is that heavy-tailed
+// performance variability breaks mean-based reasoning: a Pareto tail with
+// α <= 2 has infinite variance, so "average latency" is a number that never
+// converges.  The telemetry layer takes that seriously:
+//
+//   * Histograms are *log-bucketed*: one bucket per power of two from 2^-16
+//     up to 2^40 (sized for nanosecond timings up to ~18 minutes, and equally
+//     happy with simulated seconds), so a Pareto tail is resolved across
+//     ~17 orders of magnitude instead of clipped into an overflow bin.
+//   * Snapshots expose p50/p90/p99/p99.9/max — deliberately *no mean*.
+//
+// Hot-path contract: recording on a pre-registered instrument is a relaxed
+// atomic add (histograms add one bucket increment and a CAS-max) with zero
+// heap allocation, so the PR 4 zero-allocation steady-state step survives
+// instrumentation.  Registry lookup/creation takes a mutex and allocates;
+// it happens once, at component construction, never per step.
+//
+// Thread model: any number of threads may record concurrently with any
+// number of snapshot readers.  All counters are relaxed atomics; a snapshot
+// taken mid-record may be a few events behind, which is fine for telemetry
+// (and race-free under TSan).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace protuner::obs {
+
+/// Label key/value pairs qualifying an instrument (Prometheus-style), e.g.
+/// {{"session", "gs2"}} or {{"tier", "exact"}}.  Order-sensitive: the same
+/// pairs in a different order name a different instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count.  add() is the hot path: one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, active sessions).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, with quantile estimation.  Quantiles
+/// are interpolated linearly inside the containing power-of-two bucket, so
+/// the relative error is bounded by the bucket ratio (2x) and is typically
+/// far smaller; max is exact.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  ///< one per bucket, underflow first
+  std::uint64_t count = 0;            ///< total recorded observations
+  double max = 0.0;                   ///< exact largest recorded value
+
+  /// Value below which a fraction q of the observations fall; 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+};
+
+/// Log-bucketed histogram: bucket i >= 1 covers [2^(kMinExp+i-1),
+/// 2^(kMinExp+i)); bucket 0 collects everything below 2^kMinExp (including
+/// zero, negatives and NaN — telemetry never throws); the last bucket is
+/// open-ended.  There is intentionally no sum and therefore no mean: under
+/// the paper's infinite-variance noise a mean is a lie, quantiles are not.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -16;
+  static constexpr int kMaxExp = 40;
+  /// Underflow bucket + one per exponent in [kMinExp, kMaxExp].
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 2);
+
+  /// Hot path: one relaxed add plus a relaxed CAS-max (the total count is
+  /// derived from the bucket sum at snapshot time).  No allocation.
+  void record(double v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    // Non-negative doubles order like their bit patterns, so the running
+    // max is a CAS loop over raw bits.
+    const double clamped = v > 0.0 ? v : 0.0;
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(clamped));
+    __builtin_memcpy(&bits, &clamped, sizeof(bits));
+    std::uint64_t cur = max_bits_.load(std::memory_order_relaxed);
+    while (bits > cur && !max_bits_.compare_exchange_weak(
+                             cur, bits, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Bucket that record(v) lands in.  Exposed for tests and exporters.
+  static std::size_t bucket_index(double v);
+  /// Inclusive lower edge of bucket i (0 for the underflow bucket).
+  static double bucket_lower(std::size_t i);
+  /// Exclusive upper edge of bucket i (+inf for the last bucket).
+  static double bucket_upper(std::size_t i);
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> max_bits_{0};
+};
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// One instrument's identity plus a point-in-time value.
+struct InstrumentSnapshot {
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::string name;
+  std::string help;
+  Labels labels;
+  double value = 0.0;       ///< counter / gauge reading
+  HistogramSnapshot hist;   ///< populated for kHistogram
+};
+
+struct RegistrySnapshot {
+  std::vector<InstrumentSnapshot> instruments;
+
+  /// First instrument with this exact name (and, when given, label value for
+  /// key "session"); nullptr when absent.  Convenience for dashboards/tests.
+  const InstrumentSnapshot* find(std::string_view name,
+                                 std::string_view session = {}) const;
+};
+
+/// Process-wide (or component-owned) instrument registry.  counter() /
+/// gauge() / histogram() return a reference that stays valid for the
+/// registry's lifetime; calling them again with the same (name, labels)
+/// returns the same instrument, and a kind mismatch throws std::logic_error.
+/// These lookups lock and allocate — do them once at construction time and
+/// keep the reference; record through the reference on the hot path.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The default process-wide registry every built-in subsystem records
+  /// into (database tiers, clean-time cache, thread pool, round engine,
+  /// harmony servers).  Never destroyed, so instrument references taken
+  /// from it are valid for the process lifetime.
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {},
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {},
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {},
+                       Labels labels = {});
+
+  std::size_t size() const;
+
+  /// Point-in-time copy of every instrument.
+  RegistrySnapshot snapshot() const;
+  /// Only the instruments carrying label `key` == `value` (the per-session
+  /// filter harmony::Server::metrics_snapshot uses).
+  RegistrySnapshot snapshot(std::string_view key,
+                            std::string_view value) const;
+
+ private:
+  struct Entry {
+    InstrumentKind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(InstrumentKind kind, std::string_view name,
+                        std::string_view help, Labels labels);
+  InstrumentSnapshot snapshot_entry(const Entry& e) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< pointer-stable storage
+};
+
+/// Renders a snapshot in the Prometheus v0 text exposition format
+/// (text/plain; version=0.0.4).  Counters and gauges map directly;
+/// histograms are exposed as summaries — quantile series for
+/// 0.5/0.9/0.99/0.999 plus `<name>_count` and `<name>_max` — because the
+/// registry refuses to carry a mean (`_sum`) for heavy-tailed data.
+void render_prometheus(std::ostream& out, const RegistrySnapshot& snapshot);
+
+}  // namespace protuner::obs

@@ -1,0 +1,54 @@
+#include "obs/session_observer.h"
+
+#include <utility>
+
+namespace protuner::obs {
+
+namespace {
+
+Labels session_labels(const std::string& session) {
+  if (session.empty()) return {};
+  return {{"session", session}};
+}
+
+}  // namespace
+
+ObservingSessionObserver::ObservingSessionObserver(std::string session,
+                                                   Registry* registry,
+                                                   core::SessionObserver* next)
+    : steps_((registry != nullptr ? *registry : Registry::global())
+                 .counter("protuner_session_steps_total",
+                          "Tuning steps observed on the session seam",
+                          session_labels(session))),
+      converged_((registry != nullptr ? *registry : Registry::global())
+                     .counter("protuner_session_converged_total",
+                              "Sessions that reported convergence",
+                              session_labels(session))),
+      step_cost_((registry != nullptr ? *registry : Registry::global())
+                     .histogram("protuner_step_cost",
+                                "Per-step cost T_k (simulated seconds)",
+                                session_labels(session))),
+      rank_time_((registry != nullptr ? *registry : Registry::global())
+                     .histogram("protuner_rank_time",
+                                "Individual per-rank observed times "
+                                "(simulated seconds)",
+                                session_labels(session))),
+      next_(next) {}
+
+void ObservingSessionObserver::on_step(std::size_t step,
+                                       std::span<const core::Point> configs,
+                                       std::span<const double> times,
+                                       double cost) {
+  steps_.add();
+  step_cost_.record(cost);
+  for (const double t : times) rank_time_.record(t);
+  if (next_ != nullptr) next_->on_step(step, configs, times, cost);
+}
+
+void ObservingSessionObserver::on_converged(std::size_t step,
+                                            const core::Point& best) {
+  converged_.add();
+  if (next_ != nullptr) next_->on_converged(step, best);
+}
+
+}  // namespace protuner::obs

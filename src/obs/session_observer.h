@@ -1,0 +1,46 @@
+// obs::ObservingSessionObserver — telemetry adapter for the single
+// core::SessionObserver seam.
+//
+// RoundEngine (and therefore run_session and harmony::Server) accepts one
+// observer pointer.  This adapter records step/convergence telemetry into an
+// obs::Registry and forwards every callback to an optional chained observer,
+// so CSV logging (core::CsvSessionLogger) and metrics can share the seam.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "core/session.h"
+#include "core/types.h"
+#include "obs/metrics.h"
+
+namespace protuner::obs {
+
+class ObservingSessionObserver final : public core::SessionObserver {
+ public:
+  /// Instruments are resolved once here (the registry lock + allocation);
+  /// the callbacks only touch pre-resolved references.  `session` becomes
+  /// the {"session", ...} label; empty means unlabelled (single-session
+  /// tools).  `registry` defaults to the process-wide one.
+  explicit ObservingSessionObserver(std::string session = {},
+                                    Registry* registry = nullptr,
+                                    core::SessionObserver* next = nullptr);
+
+  void on_step(std::size_t step, std::span<const core::Point> configs,
+               std::span<const double> times, double cost) override;
+  void on_converged(std::size_t step, const core::Point& best) override;
+
+  /// Chained observer invoked after telemetry on every callback.
+  core::SessionObserver* next() const { return next_; }
+  void set_next(core::SessionObserver* next) { next_ = next; }
+
+ private:
+  Counter& steps_;
+  Counter& converged_;
+  Histogram& step_cost_;   ///< T_k per step (simulated seconds)
+  Histogram& rank_time_;   ///< individual per-rank observed times
+  core::SessionObserver* next_;
+};
+
+}  // namespace protuner::obs

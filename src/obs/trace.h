@@ -1,0 +1,146 @@
+// Scoped-span tracing with per-thread ring buffers and a Chrome trace_event
+// exporter.
+//
+// Spans mark timed regions of the tuning stack — the round lifecycle
+// (Assigning -> Collecting -> Advancing), per-rank fetch/report in the
+// Harmony front end, database interpolation misses, PRO's expansion check
+// and shrink — and export as Chrome trace JSON loadable in chrome://tracing
+// or Perfetto (ui.perfetto.dev).
+//
+// Cost contract: tracing is off by default and *free when disabled* — a
+// ScopedSpan on a disabled tracer is one relaxed atomic load and nothing
+// else.  When enabled, each span is two steady_clock reads plus a write
+// into a preallocated per-thread ring (no heap allocation after the ring
+// exists; the ring is created on a thread's first recorded span).  Rings
+// wrap: the newest spans win, old ones are silently dropped — telemetry
+// never blocks or grows without bound.
+//
+// Sampling: the OBS_TRACE environment variable configures the global
+// tracer.  Unset or 0 disables tracing; N >= 1 enables it and records one
+// span in N per thread (OBS_TRACE=1 records everything).
+//
+// Thread model: recording is wait-free per thread (each thread owns its
+// ring).  snapshot()/write_chrome_trace() may run concurrently with
+// recording and see a consistent prefix; clear()/configure() must not race
+// with recording (quiesce first — stop drivers or disable the tracer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace protuner::obs {
+
+struct TraceSpan {
+  /// Static-storage name (string literal by convention): the tracer stores
+  /// the pointer, so it must outlive the tracer.
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since the tracer's epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< tracer-local thread id (1-based)
+  std::uint16_t depth = 0; ///< nesting depth among *recorded* spans, 0 = top
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every built-in span site records into.
+  /// Configured once, on first use, from OBS_TRACE (see file comment).
+  static Tracer& global();
+
+  /// Enables/disables recording and sets the sampling rate (record one
+  /// span in `sample_every`) and the per-thread ring capacity (applies to
+  /// rings created after the call).  Not safe concurrently with recording.
+  void configure(bool enabled, std::uint64_t sample_every = 1,
+                 std::size_t ring_capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer's construction (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Copies out every span currently held, all threads interleaved in ring
+  /// order (chronological per thread).
+  std::vector<TraceSpan> snapshot() const;
+
+  /// Spans recorded minus spans still held: how much the rings wrapped.
+  std::size_t dropped() const;
+
+  /// Empties every ring.  Not safe concurrently with recording.
+  void clear();
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
+  /// loadable in chrome://tracing and Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// One thread's span storage.  Public only so the implementation's
+  /// thread-local cache can name it; not part of the user-facing API.
+  struct Ring {
+    Ring(std::size_t capacity, std::uint32_t tid);
+    std::vector<TraceSpan> spans;     ///< fixed capacity, reused in place
+    std::atomic<std::uint64_t> head{0};  ///< spans ever pushed (mod = slot)
+    std::uint64_t sample_counter = 0;    ///< owner-thread only
+    std::uint16_t depth = 0;             ///< owner-thread only
+    std::uint32_t tid = 0;
+  };
+
+ private:
+  friend class ScopedSpan;
+
+  /// The calling thread's ring, created (with a lock + allocation) on
+  /// first use and cached thread-locally afterwards.
+  Ring& thread_ring();
+  void push(Ring& ring, const char* name, std::uint64_t start_ns,
+            std::uint64_t dur_ns);
+
+  const std::uint64_t id_;  ///< distinguishes tracer instances in TLS cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::size_t ring_capacity_ = kDefaultCapacity;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;              ///< guards rings_ growth + export
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: times its own lifetime and records it into `tracer` on
+/// destruction.  Inert (one relaxed load) when the tracer is disabled or
+/// the sampler skips this span.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name) {
+    if (!tracer.enabled()) return;
+    begin(tracer, name);
+  }
+  ~ScopedSpan() {
+    if (ring_ != nullptr) finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is actually being recorded (enabled + sampled).
+  bool active() const { return ring_ != nullptr; }
+
+ private:
+  void begin(Tracer& tracer, const char* name);
+  void finish();
+
+  Tracer* tracer_ = nullptr;
+  Tracer::Ring* ring_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace protuner::obs

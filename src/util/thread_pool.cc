@@ -1,9 +1,35 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace protuner::util {
+
+namespace {
+
+/// Pool telemetry, shared process-wide (pools are fungible workers) and
+/// resolved once on first use.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_ns;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      obs::Registry::global().counter("protuner_pool_tasks_total",
+                                      "Tasks executed by thread pools"),
+      obs::Registry::global().gauge("protuner_pool_queue_depth",
+                                    "Tasks queued and not yet started"),
+      obs::Registry::global().histogram("protuner_pool_task_ns",
+                                        "Task execution latency (ns)")};
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -30,6 +56,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
     }
     queue_.push_back(std::move(job));
   }
+  pool_metrics().queue_depth.add();
   cv_.notify_one();
 }
 
@@ -43,7 +70,15 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics& m = pool_metrics();
+    m.queue_depth.sub();
+    const auto start = std::chrono::steady_clock::now();
     job();  // packaged_task: exceptions land in the caller's future
+    const auto end = std::chrono::steady_clock::now();
+    m.tasks.add();
+    m.task_ns.record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
   }
 }
 

@@ -1,0 +1,313 @@
+// obs:: metrics registry contract tests: log-bucket boundaries, quantiles of
+// a known heavy mixture, registry identity/kind rules, the Prometheus
+// renderer, snapshot-while-recording under REPRO_THREADS hammering (the
+// tier1-tsan entry for this file), the harmony::Server protocol-error
+// counter regression, and — with a counting global operator new, the
+// test_step_alloc pattern — proof that recording on a pre-registered
+// instrument allocates nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/fixed.h"
+#include "harmony/server.h"
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace protuner {
+namespace {
+
+using obs::Histogram;
+using obs::InstrumentSnapshot;
+using obs::Registry;
+
+TEST(HistogramBuckets, ExactPowersOfTwoLandOnTheirLowerEdge) {
+  for (int e = Histogram::kMinExp; e <= Histogram::kMaxExp; ++e) {
+    const double v = std::ldexp(1.0, e);
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower(i), v) << "2^" << e;
+    EXPECT_GT(Histogram::bucket_upper(i), v) << "2^" << e;
+  }
+  // Just below a power of two belongs to the previous bucket.
+  const std::size_t at_one = Histogram::bucket_index(1.0);
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(1.0, 0.0)), at_one - 1);
+}
+
+TEST(HistogramBuckets, EdgeCasesGoToUnderflowAndOverflow) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExp - 1)),
+            0u);
+  const std::size_t last = Histogram::kBucketCount - 1;
+  EXPECT_EQ(Histogram::bucket_index(1e30), last);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            last);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper(last)));
+  EXPECT_EQ(Histogram::bucket_lower(0), 0.0);
+}
+
+TEST(HistogramBuckets, ParetoSamplesLandWhereIlogbSaysTheyShould) {
+  // Heavy-tailed inputs (alpha = 1.1: infinite variance) spread across many
+  // decades; every one must land in the bucket its exponent names.
+  util::Rng rng(7);
+  Histogram h;
+  std::vector<std::uint64_t> expected(Histogram::kBucketCount, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    const double v = 0.01 * std::pow(1.0 - u, -1.0 / 1.1);
+    h.record(v);
+    std::size_t b = 0;
+    if (v >= std::ldexp(1.0, Histogram::kMinExp)) {
+      const int e = std::min(std::ilogb(v), Histogram::kMaxExp);
+      b = static_cast<std::size_t>(e - Histogram::kMinExp + 1);
+    }
+    ++expected[b];
+    EXPECT_GE(v, Histogram::bucket_lower(Histogram::bucket_index(v)));
+    EXPECT_LT(v, Histogram::bucket_upper(Histogram::bucket_index(v)));
+  }
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 20000u);
+  for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(s.counts[b], expected[b]) << "bucket " << b;
+  }
+}
+
+TEST(HistogramQuantiles, KnownMixtureQuantilesLandInTheRightBuckets) {
+  // 500 x 1, 400 x 100, 90 x 5000, 10 x 1e9 — a Pareto-flavoured mixture
+  // with a tail 9 decades above the median.
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(1.0);
+  for (int i = 0; i < 400; ++i) h.record(100.0);
+  for (int i = 0; i < 90; ++i) h.record(5000.0);
+  for (int i = 0; i < 10; ++i) h.record(1e9);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.max, 1e9);
+  // The 500th sample sits exactly at the top of bucket [1, 2): linear
+  // interpolation reports the bucket's upper edge.
+  EXPECT_GE(s.p50(), 1.0);
+  EXPECT_LE(s.p50(), 2.0);
+  EXPECT_GE(s.p90(), 64.0);
+  EXPECT_LE(s.p90(), 128.0);
+  EXPECT_GE(s.p99(), 4096.0);
+  EXPECT_LE(s.p99(), 8192.0);
+  // p99.9 reaches the 1e9 spike's bucket [2^29, 2^30), interpolated toward
+  // the exact max.
+  EXPECT_GE(s.p999(), std::ldexp(1.0, 29));
+  EXPECT_LE(s.p999(), 1e9);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1e9);
+  EXPECT_EQ(Histogram().snapshot().p99(), 0.0) << "empty histogram";
+}
+
+TEST(RegistryContract, SameNameAndLabelsIsTheSameInstrument) {
+  Registry reg;
+  obs::Counter& a = reg.counter("hits", "help text");
+  obs::Counter& b = reg.counter("hits");
+  EXPECT_EQ(&a, &b);
+  obs::Counter& other = reg.counter("hits", "", {{"tier", "memo"}});
+  EXPECT_NE(&a, &other);
+  a.add(3);
+  other.add();
+  EXPECT_THROW(reg.histogram("hits"), std::logic_error)
+      << "kind mismatch on an existing name must throw";
+  EXPECT_EQ(reg.size(), 2u);
+
+  reg.gauge("depth").set(-4);
+  reg.histogram("lat", "", {{"session", "s1"}}).record(2.0);
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.instruments.size(), 4u);
+  const InstrumentSnapshot* hits = snap.find("hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, 3.0);
+  const InstrumentSnapshot* lat = snap.find("lat", "s1");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, 1u);
+  EXPECT_EQ(snap.find("lat", "nope"), nullptr);
+
+  const obs::RegistrySnapshot filtered = reg.snapshot("session", "s1");
+  EXPECT_EQ(filtered.instruments.size(), 1u);
+  EXPECT_EQ(filtered.instruments[0].name, "lat");
+}
+
+TEST(RegistryContract, PrometheusRenderIsWellFormed) {
+  Registry reg;
+  reg.counter("protuner_test_total", "a counter", {{"session", "a\"b"}})
+      .add(7);
+  reg.gauge("protuner_test_depth").set(-2);
+  obs::Histogram& h = reg.histogram("protuner_test_ns", "latency");
+  for (int i = 0; i < 100; ++i) h.record(1000.0);
+  std::ostringstream out;
+  obs::render_prometheus(out, reg.snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE protuner_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("protuner_test_total{session=\"a\\\"b\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("protuner_test_depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE protuner_test_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("protuner_test_ns{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("protuner_test_ns_count 100"), std::string::npos);
+  EXPECT_NE(text.find("protuner_test_ns_max 1000"), std::string::npos);
+  EXPECT_EQ(text.find("protuner_test_ns_sum"), std::string::npos)
+      << "no mean under heavy tails, so no _sum series";
+}
+
+TEST(RegistryConcurrency, SnapshotWhileRecordingIsRaceFreeAndExact) {
+  // REPRO_THREADS writers hammer one counter and one histogram while the
+  // main thread snapshots continuously; after the join, totals are exact.
+  const int threads =
+      static_cast<int>(util::env_long("REPRO_THREADS", 4));
+  constexpr int kPerThread = 20000;
+  Registry reg;
+  obs::Counter& hits = reg.counter("hits");
+  obs::Histogram& lat = reg.histogram("lat");
+  std::atomic<int> finished{0};
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    writers.emplace_back([&hits, &lat, &finished, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add();
+        lat.record(static_cast<double>((t + 1) * (i % 1000) + 1));
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::uint64_t last_count = 0;
+  while (finished.load(std::memory_order_relaxed) < threads) {
+    const obs::RegistrySnapshot snap = reg.snapshot();
+    const InstrumentSnapshot* l = snap.find("lat");
+    ASSERT_NE(l, nullptr);
+    // Buckets only grow, so consecutive snapshots are monotone.
+    EXPECT_GE(l->hist.count, last_count) << "bucket totals ran backwards";
+    last_count = l->hist.count;
+    std::this_thread::yield();
+  }
+  for (auto& w : writers) w.join();
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("hits")->value,
+            static_cast<double>(threads) * kPerThread);
+  EXPECT_EQ(snap.find("lat")->hist.count,
+            static_cast<std::uint64_t>(threads) * kPerThread);
+}
+
+TEST(ServerProtocolErrors, AreCountedWithoutDisturbingTheSession) {
+  // Regression for the satellite fix: protocol violations used to be thrown
+  // and forgotten; now each one increments the session's counter while the
+  // round state stays intact.
+  Registry reg;
+  harmony::ServerOptions options;
+  options.metrics = &reg;
+  options.session = "errs";
+  harmony::Server server(
+      std::make_unique<core::FixedStrategy>(core::Point{1.0}), 2, options);
+  const auto errors = [&reg] {
+    return static_cast<std::uint64_t>(
+        reg.snapshot()
+            .find("protuner_harmony_protocol_errors_total", "errs")
+            ->value);
+  };
+  EXPECT_EQ(errors(), 0u);
+
+  (void)server.fetch(0);
+  EXPECT_THROW((void)server.fetch(0), harmony::ProtocolError);  // double fetch
+  EXPECT_EQ(errors(), 1u);
+  EXPECT_THROW(server.report(1, 1.0), harmony::ProtocolError);  // no fetch
+  EXPECT_EQ(errors(), 2u);
+  EXPECT_THROW((void)server.fetch(7), harmony::ProtocolError);  // out of range
+  EXPECT_THROW(server.report(7, 1.0), harmony::ProtocolError);
+  EXPECT_EQ(errors(), 4u);
+
+  // The session is undisturbed: the open round completes normally.
+  (void)server.fetch(1);
+  server.report(0, 2.0);
+  server.report(1, 3.0);
+  EXPECT_EQ(server.rounds_completed(), 1u);
+  EXPECT_DOUBLE_EQ(server.total_time(), 3.0);
+  const obs::RegistrySnapshot snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.find("protuner_rounds_total", "errs")->value, 1.0);
+}
+
+TEST(RecordingAllocation, HotPathRecordingIsAllocationFree) {
+  // Instruments are resolved up front (that allocates); recording on the
+  // resolved references must not touch the heap at all.
+  Registry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h");
+  c.add();
+  g.set(1);
+  h.record(1.0);  // warm
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 10000; ++i) {
+    c.add(2);
+    g.add(1);
+    g.sub(1);
+    h.record(static_cast<double>(i) * 1e3);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "metric recording allocated on the heap";
+}
+
+}  // namespace
+}  // namespace protuner

@@ -1,0 +1,316 @@
+// obs::Tracer contract tests: span nesting across the RoundEngine phases,
+// Chrome trace_event JSON validity (parsed back by a minimal JSON reader),
+// sampling, ring wrap-around, and the disabled path recording nothing and
+// allocating nothing (counting global operator new, the test_step_alloc
+// pattern — this TU owns its executable).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/simulated_cluster.h"
+#include "core/fixed.h"
+#include "core/round_engine.h"
+#include "obs/trace.h"
+#include "varmodel/simple_noise.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace protuner {
+namespace {
+
+using obs::ScopedSpan;
+using obs::Tracer;
+using obs::TraceSpan;
+
+/// Minimal recursive-descent JSON reader: accepts exactly the RFC 8259
+/// grammar (objects, arrays, strings with escapes, numbers, literals) and
+/// nothing else.  Enough to prove the exporter emits parseable JSON.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++i_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == '}') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++i_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      if (peek() == ']') { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    }
+    return true;
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+/// Enables the global tracer for one test and restores "disabled" after —
+/// the engine's span sites record into Tracer::global() only.
+class GlobalTraceGuard {
+ public:
+  explicit GlobalTraceGuard(std::uint64_t sample_every = 1) {
+    Tracer::global().configure(true, sample_every);
+    Tracer::global().clear();
+  }
+  ~GlobalTraceGuard() { Tracer::global().configure(false); }
+};
+
+std::vector<TraceSpan> spans_named(const std::vector<TraceSpan>& spans,
+                                   const std::string& name) {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans) {
+    if (s.name != nullptr && name == s.name) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(Tracing, SpansNestAcrossRoundEnginePhases) {
+  const GlobalTraceGuard guard;
+  auto land = std::make_shared<core::QuadraticLandscape>(core::Point{2.0},
+                                                         1.0, 0.1);
+  cluster::SimulatedCluster machine(land,
+                                    std::make_shared<varmodel::NoNoise>(),
+                                    {.ranks = 4, .seed = 5});
+  core::FixedStrategy fx(core::Point{1.0});
+  core::RoundEngineOptions opts;
+  opts.width = 4;
+  core::RoundEngine engine(fx, opts);
+  constexpr int kSteps = 10;
+  for (int i = 0; i < kSteps; ++i) engine.step(machine);
+
+  const std::vector<TraceSpan> spans = Tracer::global().snapshot();
+  const auto steps = spans_named(spans, "round/step");
+  const auto assigns = spans_named(spans, "round/assign");
+  const auto collects = spans_named(spans, "round/collect");
+  const auto advances = spans_named(spans, "round/advance");
+  ASSERT_EQ(steps.size(), static_cast<std::size_t>(kSteps));
+  ASSERT_EQ(assigns.size(), static_cast<std::size_t>(kSteps));
+  ASSERT_EQ(collects.size(), static_cast<std::size_t>(kSteps));
+  ASSERT_EQ(advances.size(), static_cast<std::size_t>(kSteps));
+
+  for (const TraceSpan& s : steps) EXPECT_EQ(s.depth, 0);
+  // Every phase span sits strictly inside one step span, one level down.
+  for (const auto* phase : {&assigns, &collects, &advances}) {
+    for (const TraceSpan& p : *phase) {
+      EXPECT_EQ(p.depth, 1);
+      bool contained = false;
+      for (const TraceSpan& s : steps) {
+        if (p.start_ns >= s.start_ns &&
+            p.start_ns + p.dur_ns <= s.start_ns + s.dur_ns) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained) << p.name << " span not inside any round/step";
+    }
+  }
+  // Within one step: assign before collect before advance.
+  EXPECT_LE(assigns[0].start_ns + assigns[0].dur_ns, collects[0].start_ns);
+  EXPECT_LE(collects[0].start_ns + collects[0].dur_ns, advances[0].start_ns);
+}
+
+TEST(Tracing, ChromeExporterEmitsParseableJson) {
+  const GlobalTraceGuard guard;
+  {
+    const ScopedSpan outer(Tracer::global(), "outer \"quoted\"");
+    const ScopedSpan inner(Tracer::global(), "inner");
+  }
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonReader(text).parse()) << text;
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"protuner\""), std::string::npos);
+  // The span names survive into the JSON (escaped).
+  EXPECT_NE(text.find("inner"), std::string::npos);
+}
+
+TEST(Tracing, DisabledTracerRecordsNothingAndAllocatesNothing) {
+  Tracer tracer;  // disabled by default, like OBS_TRACE unset/0
+  ASSERT_FALSE(tracer.enabled());
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 10000; ++i) {
+    const ScopedSpan span(tracer, "noop");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "disabled tracing touched the heap";
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracing, EnabledSteadyStateDoesNotAllocateAfterRingCreation) {
+  Tracer tracer;
+  tracer.configure(true, 1, 1024);
+  { const ScopedSpan warm(tracer, "warm"); }  // creates this thread's ring
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 5000; ++i) {
+    const ScopedSpan span(tracer, "steady");
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state span recording allocated";
+  EXPECT_EQ(tracer.snapshot().size(), 1024u);  // ring full, wrapped
+}
+
+TEST(Tracing, SamplerRecordsOneInN) {
+  Tracer tracer;
+  tracer.configure(true, 3);
+  for (int i = 0; i < 9; ++i) {
+    const ScopedSpan span(tracer, "sampled");
+  }
+  EXPECT_EQ(tracer.snapshot().size(), 3u);
+}
+
+TEST(Tracing, RingWrapKeepsTheNewestSpans) {
+  Tracer tracer;
+  tracer.configure(true, 1, 8);
+  static const char* const kNames[20] = {
+      "s0",  "s1",  "s2",  "s3",  "s4",  "s5",  "s6",  "s7",  "s8",  "s9",
+      "s10", "s11", "s12", "s13", "s14", "s15", "s16", "s17", "s18", "s19"};
+  for (int i = 0; i < 20; ++i) {
+    const ScopedSpan span(tracer, kNames[i]);
+  }
+  const std::vector<TraceSpan> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Oldest surviving span is s12, newest s19, in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_STREQ(spans[static_cast<std::size_t>(i)].name, kNames[12 + i]);
+  }
+  tracer.clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace protuner

@@ -24,6 +24,8 @@
 #include "core/landscape.h"
 #include "core/round_engine.h"
 #include "gs2/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "varmodel/pareto_noise.h"
 #include "varmodel/simple_noise.h"
 
@@ -99,6 +101,37 @@ TEST(StepAllocation, SteadyStateSimulatedClusterStepIsAllocationFree) {
   EXPECT_EQ(allocation_count(), before)
       << "steady-state step allocated on the heap";
   EXPECT_EQ(engine.rounds_completed(), 205u);
+}
+
+TEST(StepAllocation, SteadyStateSurvivesFullInstrumentation) {
+  // Same steady-state contract with the telemetry stack fully on: session-
+  // labelled metrics (counter adds + histogram records per round) and the
+  // global tracer recording every engine span.  Instrument resolution and
+  // ring creation allocate once, during construction/warm-up; the measured
+  // window must stay silent.
+  obs::Tracer::global().configure(true, 1);
+  auto land = std::make_shared<QuadraticLandscape>(Point{4.0, 5.0, 6.0},
+                                                   1.0, 0.05);
+  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  cluster::SimulatedCluster machine(land, noise, {.ranks = 16, .seed = 9});
+  FixedStrategy fx(Point{3.0, 4.0, 5.0});
+  RoundEngineOptions opts;
+  opts.width = 16;
+  opts.record_series = false;
+  opts.session = "alloc-probe";
+  RoundEngine engine(fx, opts);
+  for (int i = 0; i < 5; ++i) engine.step(machine);  // warm buffers + ring
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 200; ++i) engine.step(machine);
+  EXPECT_EQ(allocation_count(), before)
+      << "instrumented steady-state step allocated on the heap";
+  obs::Tracer::global().configure(false);
+  const obs::RegistrySnapshot snap =
+      obs::Registry::global().snapshot("session", "alloc-probe");
+  const obs::InstrumentSnapshot* rounds =
+      snap.find("protuner_rounds_total", "alloc-probe");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->value, 205.0);
 }
 
 TEST(StepAllocation, SteadyStateTraceClusterStepIsAllocationFree) {
