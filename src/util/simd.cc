@@ -1,0 +1,408 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace protuner::util::simd {
+
+// ---------------------------------------------------------------------------
+// Fast-math knob.  -1 = uninitialised; resolved from the environment on
+// first query, overridable by set_fast_math (tests/benches toggle it
+// mid-process, hence an atomic rather than a plain static const).
+
+namespace {
+
+std::atomic<int> g_fast_math{-1};
+
+int fast_math_from_env() {
+#if defined(PROTUNER_FAST_MATH_DEFAULT)
+  constexpr int kDefault = 1;
+#else
+  constexpr int kDefault = 0;
+#endif
+  const char* v = std::getenv("PROTUNER_FAST_MATH");
+  if (v == nullptr || *v == '\0') return kDefault;
+  return (v[0] == '0' && v[1] == '\0') ? 0 : 1;
+}
+
+}  // namespace
+
+bool fast_math_enabled() {
+  int s = g_fast_math.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = fast_math_from_env();
+    // Racing first queries resolve the same env value; last store wins and
+    // all agree.
+    g_fast_math.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_fast_math(bool on) {
+  g_fast_math.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+
+#if defined(PROTUNER_SIMD_X86)
+
+bool vector_isa_available() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+const char* backend_name() { return vector_isa_available() ? "avx2" : "scalar"; }
+
+#elif defined(PROTUNER_SIMD_NEON)
+
+bool vector_isa_available() { return true; }
+const char* backend_name() { return "neon"; }
+
+#else
+
+bool vector_isa_available() { return false; }
+const char* backend_name() { return "scalar"; }
+
+#endif
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: 4-lane mirrors of detail::fast_exp / detail::fast_log.
+// Compiled with per-function target attributes so this TU builds at the
+// baseline -march; never executed unless __builtin_cpu_supports passes.
+
+#if defined(PROTUNER_SIMD_X86)
+
+namespace {
+
+PROTUNER_SIMD_TARGET inline __m256d exp4(__m256d x) {
+  using namespace detail;
+  x = _mm256_min_pd(_mm256_max_pd(x, _mm256_set1_pd(kExpLo)),
+                    _mm256_set1_pd(kExpHi));
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kLog2E)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Hi), x);
+  r = _mm256_fmadd_pd(n, _mm256_set1_pd(-kLn2Lo), r);
+  __m256d p = _mm256_set1_pd(kExpC[0]);
+  for (int i = 1; i < 12; ++i) {
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kExpC[i]));
+  }
+  const __m256d one = _mm256_set1_pd(1.0);
+  p = _mm256_fmadd_pd(p, r, one);
+  p = _mm256_fmadd_pd(p, r, one);
+  // 2^n via the exponent field: (int64(n) + 1023) << 52.  n is integral and
+  // within [-708*log2e - 1, 709*log2e + 1], so the int32 conversion is safe.
+  const __m128i n32 = _mm256_cvtpd_epi32(n);
+  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  const __m256i bits = _mm256_slli_epi64(
+      _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(p, _mm256_castsi256_pd(bits));
+}
+
+PROTUNER_SIMD_TARGET inline __m256d log4(__m256d x) {
+  using namespace detail;
+  const __m256i bits = _mm256_castpd_si256(x);
+  // Unbiased exponent as a double: (bits >> 52) - 1023.  The shifted value
+  // fits in 32 bits, so go through the int32 lane-compression converter.
+  const __m256i expo64 = _mm256_sub_epi64(
+      _mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(1023));
+  // Pack the four int64 lanes (each in [-1022, 1023]) into int32s: the low
+  // 32 bits of each lane, gathered by the shuffle, then cvt to double.
+  const __m256i lo32 = _mm256_shuffle_epi32(expo64, _MM_SHUFFLE(2, 0, 2, 0));
+  const __m128i packed = _mm_castps_si128(_mm_shuffle_ps(
+      _mm_castsi128_ps(_mm256_castsi256_si128(lo32)),
+      _mm_castsi128_ps(_mm256_extracti128_si256(lo32, 1)),
+      _MM_SHUFFLE(1, 0, 1, 0)));
+  __m256d e = _mm256_cvtepi32_pd(packed);
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+      _mm256_set1_epi64x(0x3FF0000000000000LL)));
+  // Fold m >= sqrt(2) down by one octave, exactly as the scalar kernel.
+  const __m256d fold = _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GE_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), fold);
+  e = _mm256_blendv_pd(e, _mm256_add_pd(e, _mm256_set1_pd(1.0)), fold);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d t =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d s = _mm256_mul_pd(t, t);
+  __m256d p = _mm256_set1_pd(kLogC[0]);
+  for (int i = 1; i < 9; ++i) {
+    p = _mm256_fmadd_pd(p, s, _mm256_set1_pd(kLogC[i]));
+  }
+  const __m256d t2 = _mm256_add_pd(t, t);
+  const __m256d poly = _mm256_fmadd_pd(t2, _mm256_mul_pd(s, p), t2);
+  return _mm256_fmadd_pd(
+      e, _mm256_set1_pd(kLn2Hi),
+      _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Lo), poly));
+}
+
+PROTUNER_SIMD_TARGET void exp_batch_vec(const double* x, double* out,
+                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, exp4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = detail::fast_exp(x[i]);
+}
+
+PROTUNER_SIMD_TARGET void log_batch_vec(const double* x, double* out,
+                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, log4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = detail::fast_log(x[i]);
+}
+
+PROTUNER_SIMD_TARGET void pow1m_scale_batch_vec(const double* u, double e,
+                                                double k, const double* scale,
+                                                double* out, std::size_t n) {
+  const __m256d ve = _mm256_set1_pd(e);
+  const __m256d vk = _mm256_set1_pd(k);
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d base = _mm256_sub_pd(one, _mm256_loadu_pd(u + i));
+    const __m256d p = exp4(_mm256_mul_pd(ve, log4(base)));
+    const __m256d ks = _mm256_mul_pd(vk, _mm256_loadu_pd(scale + i));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(ks, p));
+  }
+  for (; i < n; ++i) {
+    out[i] = (k * scale[i]) * detail::fast_pow(1.0 - u[i], e);
+  }
+}
+
+PROTUNER_SIMD_TARGET void neglog1m_scale_batch_vec(const double* u, double k,
+                                                   const double* scale,
+                                                   double* out,
+                                                   std::size_t n) {
+  const __m256d vk = _mm256_set1_pd(k);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d base = _mm256_sub_pd(one, _mm256_loadu_pd(u + i));
+    const __m256d l = _mm256_xor_pd(log4(base), neg);  // -log(1-u)
+    const __m256d ks = _mm256_mul_pd(vk, _mm256_loadu_pd(scale + i));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(ks, l));
+  }
+  for (; i < n; ++i) {
+    out[i] = (k * scale[i]) * -detail::fast_log(1.0 - u[i]);
+  }
+}
+
+PROTUNER_SIMD_TARGET void dist2_blocks_vec(const double* soa, std::size_t dim,
+                                           std::size_t block_begin,
+                                           std::size_t block_end,
+                                           const double* x,
+                                           const double* inv_range,
+                                           double* out) {
+  static_assert(kBlock == 4);
+  for (std::size_t b = block_begin; b < block_end; ++b) {
+    const double* block = soa + b * dim * kBlock;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256d p = _mm256_loadu_pd(block + d * kBlock);
+      const __m256d diff = _mm256_mul_pd(
+          _mm256_sub_pd(_mm256_set1_pd(x[d]), p),
+          _mm256_set1_pd(inv_range[d]));
+      acc = _mm256_fmadd_pd(diff, diff, acc);
+    }
+    _mm256_storeu_pd(out + (b - block_begin) * kBlock, acc);
+  }
+}
+
+}  // namespace
+
+#endif  // PROTUNER_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON backend: 2-lane mirrors, two passes per kBlock.  NEON is baseline on
+// aarch64, so no target attributes or cpuid checks are needed.
+
+#if defined(PROTUNER_SIMD_NEON)
+
+namespace {
+
+inline float64x2_t exp2l(float64x2_t x) {
+  using namespace detail;
+  x = vminq_f64(vmaxq_f64(x, vdupq_n_f64(kExpLo)), vdupq_n_f64(kExpHi));
+  const float64x2_t n = vrndnq_f64(vmulq_f64(x, vdupq_n_f64(kLog2E)));
+  // vfmaq_f64(a, b, c) = a + b*c, fused.
+  float64x2_t r = vfmaq_f64(x, n, vdupq_n_f64(-kLn2Hi));
+  r = vfmaq_f64(r, n, vdupq_n_f64(-kLn2Lo));
+  float64x2_t p = vdupq_n_f64(kExpC[0]);
+  for (int i = 1; i < 12; ++i) p = vfmaq_f64(vdupq_n_f64(kExpC[i]), p, r);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  p = vfmaq_f64(one, p, r);
+  p = vfmaq_f64(one, p, r);
+  const int64x2_t n64 = vcvtq_s64_f64(n);
+  const int64x2_t bits = vshlq_n_s64(vaddq_s64(n64, vdupq_n_s64(1023)), 52);
+  return vmulq_f64(p, vreinterpretq_f64_s64(bits));
+}
+
+inline float64x2_t log2l(float64x2_t x) {
+  using namespace detail;
+  const uint64x2_t bits = vreinterpretq_u64_f64(x);
+  const int64x2_t expo = vsubq_s64(
+      vreinterpretq_s64_u64(vshrq_n_u64(bits, 52)), vdupq_n_s64(1023));
+  float64x2_t e = vcvtq_f64_s64(expo);
+  float64x2_t m = vreinterpretq_f64_u64(vorrq_u64(
+      vandq_u64(bits, vdupq_n_u64(0x000FFFFFFFFFFFFFULL)),
+      vdupq_n_u64(0x3FF0000000000000ULL)));
+  const uint64x2_t fold = vcgeq_f64(m, vdupq_n_f64(kSqrt2));
+  m = vbslq_f64(fold, vmulq_f64(m, vdupq_n_f64(0.5)), m);
+  e = vbslq_f64(fold, vaddq_f64(e, vdupq_n_f64(1.0)), e);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t t = vdivq_f64(vsubq_f64(m, one), vaddq_f64(m, one));
+  const float64x2_t s = vmulq_f64(t, t);
+  float64x2_t p = vdupq_n_f64(kLogC[0]);
+  for (int i = 1; i < 9; ++i) p = vfmaq_f64(vdupq_n_f64(kLogC[i]), p, s);
+  const float64x2_t t2 = vaddq_f64(t, t);
+  const float64x2_t poly = vfmaq_f64(t2, t2, vmulq_f64(s, p));
+  return vfmaq_f64(vfmaq_f64(poly, e, vdupq_n_f64(kLn2Lo)), e,
+                   vdupq_n_f64(kLn2Hi));
+}
+
+void exp_batch_vec(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) vst1q_f64(out + i, exp2l(vld1q_f64(x + i)));
+  for (; i < n; ++i) out[i] = detail::fast_exp(x[i]);
+}
+
+void log_batch_vec(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) vst1q_f64(out + i, log2l(vld1q_f64(x + i)));
+  for (; i < n; ++i) out[i] = detail::fast_log(x[i]);
+}
+
+void pow1m_scale_batch_vec(const double* u, double e, double k,
+                           const double* scale, double* out, std::size_t n) {
+  const float64x2_t ve = vdupq_n_f64(e);
+  const float64x2_t vk = vdupq_n_f64(k);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t base = vsubq_f64(one, vld1q_f64(u + i));
+    const float64x2_t p = exp2l(vmulq_f64(ve, log2l(base)));
+    const float64x2_t ks = vmulq_f64(vk, vld1q_f64(scale + i));
+    vst1q_f64(out + i, vmulq_f64(ks, p));
+  }
+  for (; i < n; ++i) {
+    out[i] = (k * scale[i]) * detail::fast_pow(1.0 - u[i], e);
+  }
+}
+
+void neglog1m_scale_batch_vec(const double* u, double k, const double* scale,
+                              double* out, std::size_t n) {
+  const float64x2_t vk = vdupq_n_f64(k);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t base = vsubq_f64(one, vld1q_f64(u + i));
+    const float64x2_t l = vnegq_f64(log2l(base));
+    const float64x2_t ks = vmulq_f64(vk, vld1q_f64(scale + i));
+    vst1q_f64(out + i, vmulq_f64(ks, l));
+  }
+  for (; i < n; ++i) {
+    out[i] = (k * scale[i]) * -detail::fast_log(1.0 - u[i]);
+  }
+}
+
+void dist2_blocks_vec(const double* soa, std::size_t dim,
+                      std::size_t block_begin, std::size_t block_end,
+                      const double* x, const double* inv_range, double* out) {
+  static_assert(kBlock == 4);
+  for (std::size_t b = block_begin; b < block_end; ++b) {
+    const double* block = soa + b * dim * kBlock;
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float64x2_t xd = vdupq_n_f64(x[d]);
+      const float64x2_t ir = vdupq_n_f64(inv_range[d]);
+      const float64x2_t p0 = vld1q_f64(block + d * kBlock);
+      const float64x2_t p1 = vld1q_f64(block + d * kBlock + 2);
+      const float64x2_t d0 = vmulq_f64(vsubq_f64(xd, p0), ir);
+      const float64x2_t d1 = vmulq_f64(vsubq_f64(xd, p1), ir);
+      acc0 = vfmaq_f64(acc0, d0, d0);
+      acc1 = vfmaq_f64(acc1, d1, d1);
+    }
+    vst1q_f64(out + (b - block_begin) * kBlock, acc0);
+    vst1q_f64(out + (b - block_begin) * kBlock + 2, acc1);
+  }
+}
+
+}  // namespace
+
+#endif  // PROTUNER_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Public batch entry points: dispatch to the vector backend when present,
+// else run the scalar algorithm (bit-identical by contract).
+
+#if defined(PROTUNER_SIMD_X86)
+#define PROTUNER_SIMD_DISPATCH(call) \
+  if (vector_isa_available()) {      \
+    call;                            \
+    return;                          \
+  }
+#elif defined(PROTUNER_SIMD_NEON)
+#define PROTUNER_SIMD_DISPATCH(call) \
+  {                                  \
+    call;                            \
+    return;                          \
+  }
+#else
+#define PROTUNER_SIMD_DISPATCH(call)
+#endif
+
+void exp_batch(const double* x, double* out, std::size_t n) {
+  PROTUNER_SIMD_DISPATCH(exp_batch_vec(x, out, n));
+  for (std::size_t i = 0; i < n; ++i) out[i] = detail::fast_exp(x[i]);
+}
+
+void log_batch(const double* x, double* out, std::size_t n) {
+  PROTUNER_SIMD_DISPATCH(log_batch_vec(x, out, n));
+  for (std::size_t i = 0; i < n; ++i) out[i] = detail::fast_log(x[i]);
+}
+
+void pow1m_scale_batch(const double* u, double e, double k,
+                       const double* scale, double* out, std::size_t n) {
+  PROTUNER_SIMD_DISPATCH(pow1m_scale_batch_vec(u, e, k, scale, out, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (k * scale[i]) * detail::fast_pow(1.0 - u[i], e);
+  }
+}
+
+void neglog1m_scale_batch(const double* u, double k, const double* scale,
+                          double* out, std::size_t n) {
+  PROTUNER_SIMD_DISPATCH(neglog1m_scale_batch_vec(u, k, scale, out, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (k * scale[i]) * -detail::fast_log(1.0 - u[i]);
+  }
+}
+
+void dist2_blocks(const double* soa, std::size_t dim, std::size_t block_begin,
+                  std::size_t block_end, const double* x,
+                  const double* inv_range, double* out) {
+  PROTUNER_SIMD_DISPATCH(
+      dist2_blocks_vec(soa, dim, block_begin, block_end, x, inv_range, out));
+  for (std::size_t b = block_begin; b < block_end; ++b) {
+    const double* block = soa + b * dim * kBlock;
+    for (std::size_t lane = 0; lane < kBlock; ++lane) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff =
+            (x[d] - block[d * kBlock + lane]) * inv_range[d];
+        acc = std::fma(diff, diff, acc);
+      }
+      out[(b - block_begin) * kBlock + lane] = acc;
+    }
+  }
+}
+
+#undef PROTUNER_SIMD_DISPATCH
+
+}  // namespace protuner::util::simd

@@ -1,0 +1,203 @@
+// Thin, portable data-parallel kernels for the measured hot paths: batched
+// noise-sampling transforms (uniform draw -> transcendental inverse-CDF) and
+// k-NN distance scans over SoA coordinate blocks.
+//
+// Three backends behind one contract:
+//   - AVX2+FMA (x86-64): 4-lane __m256d kernels compiled via per-function
+//     target attributes, so the default (baseline -march) build still
+//     carries them; selected at runtime with __builtin_cpu_supports.
+//   - NEON (aarch64): 2-lane float64x2_t kernels (NEON is baseline there).
+//   - Scalar: the same algorithm, one lane at a time, with std::fma so every
+//     rounding step matches the fused vector arithmetic bit for bit.
+//
+// The contract that makes the backends interchangeable: every kernel runs
+// the SAME algorithm (same polynomial, same argument reduction, same fused
+// multiply-adds) on every backend, so a given input produces bit-identical
+// output whether the vector ISA is present, compiled out
+// (-DPROTUNER_FORCE_SCALAR_SIMD=ON / PROTUNER_SIMD_FORCE_SCALAR), or
+// unsupported by the CPU.  Loop tails use the scalar kernel, which is why
+// scalar/vector bit-agreement is load-bearing and unit-tested.
+//
+// Determinism contract (the reason callers must gate on fast_math_enabled):
+// the fast exp/log/pow are polynomial approximations, NOT libm.  They are
+// ULP-bounded against libm (see test_simd_math) but not bit-identical to
+// it, and the FMA distance reduction contracts the reference's mul-then-add
+// rounding.  Callers therefore keep their deterministic scalar path as the
+// default and consult fast_math_enabled() — off unless the PROTUNER_FAST_MATH
+// environment variable (or a set_fast_math(true) call) opts in — so
+// bit-pinned reproductions stay byte-identical.
+//
+// Domain contract for the transcendentals (asserted, not branched): inputs
+// are finite; exp arguments are clamped to [-708, 709] (beyond which the
+// result saturates to 0 / +inf monotonically); log/pow bases are strictly
+// positive normal doubles.  That covers both call sites: Pareto/Exponential
+// bases are 1-u in (0, 1], and distance inputs are normalised coordinates.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(PROTUNER_SIMD_FORCE_SCALAR)
+#if defined(__x86_64__) || defined(_M_X64)
+#define PROTUNER_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define PROTUNER_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+#if defined(PROTUNER_SIMD_X86)
+#define PROTUNER_SIMD_TARGET __attribute__((target("avx2,fma")))
+#else
+#define PROTUNER_SIMD_TARGET
+#endif
+
+namespace protuner::util::simd {
+
+/// Runtime fast-math knob.  Initialised once from the PROTUNER_FAST_MATH
+/// environment variable (unset/0 -> off, anything else -> on; a build with
+/// -DPROTUNER_FAST_MATH_DEFAULT=ON flips the unset default).  Tests and
+/// benches may override programmatically; the setter wins over the env.
+bool fast_math_enabled();
+void set_fast_math(bool on);
+
+/// True when a vector backend is compiled in AND the running CPU supports
+/// it.  Purely informational for callers (kernels dispatch internally);
+/// used by tests to report which backend the ULP bounds were checked on.
+bool vector_isa_available();
+
+/// Human-readable backend name for bench labels: "avx2", "neon", "scalar".
+const char* backend_name();
+
+/// SoA block width: coordinates are stored transposed in blocks of kBlock
+/// rows (lane-major within an axis), the layout dist2_blocks consumes.  One
+/// width for every backend so the layout — and therefore the index memory
+/// image — does not depend on the ISA; the 2-lane NEON kernel simply takes
+/// two passes per block.
+inline constexpr std::size_t kBlock = 4;
+
+// ---------------------------------------------------------------------------
+// Scalar reference algorithm.  Every backend must reproduce these bit for
+// bit; they are also the tail/fallback implementation.
+
+namespace detail {
+
+// exp via Cody&Waite range reduction (x = n ln2 + r, |r| <= ln2/2) and a
+// degree-13 Taylor polynomial in r, all fused.  Max observed error vs libm
+// is ~1 ulp on the contract domain (test_simd_math pins <= 4).
+inline constexpr double kLog2E = 1.4426950408889634074;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kExpLo = -708.0;
+inline constexpr double kExpHi = 709.0;
+// 1/k! for k = 13 .. 2 (Horner order), then the linear/constant terms are
+// folded in explicitly.
+inline constexpr double kExpC[] = {
+    1.6059043836821614599e-10,  // 1/13!
+    2.0876756987868098979e-9,   // 1/12!
+    2.5052108385441718775e-8,   // 1/11!
+    2.7557319223985890653e-7,   // 1/10!
+    2.7557319223985892510e-6,   // 1/9!
+    2.4801587301587301566e-5,   // 1/8!
+    1.9841269841269841253e-4,   // 1/7!
+    1.3888888888888889419e-3,   // 1/6!
+    8.3333333333333332177e-3,   // 1/5!
+    4.1666666666666664354e-2,   // 1/4!
+    1.6666666666666665741e-1,   // 1/3!
+    5.0e-1,                     // 1/2!
+};
+
+inline double fast_exp(double x) {
+  assert(std::isfinite(x));
+  x = x < kExpLo ? kExpLo : (x > kExpHi ? kExpHi : x);
+  const double n = std::nearbyint(x * kLog2E);
+  double r = std::fma(n, -kLn2Hi, x);
+  r = std::fma(n, -kLn2Lo, r);
+  double p = kExpC[0];
+  for (int i = 1; i < 12; ++i) p = std::fma(p, r, kExpC[i]);
+  // exp(r) = 1 + r + r^2 * P(r): two more fused steps, r(rP + 1) + 1.
+  p = std::fma(p, r, 1.0);
+  p = std::fma(p, r, 1.0);
+  // Scale by 2^n through the exponent field (n in [-1023, 1024) after the
+  // clamp, so the biased exponent stays in range).
+  const auto bits = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(n) + 1023)
+                    << 52;
+  return p * std::bit_cast<double>(bits);
+}
+
+// log via exponent extraction, mantissa normalised to [sqrt(1/2), sqrt(2)),
+// and the atanh series log(m) = 2t(1 + t^2/3 + t^4/5 + ...) with
+// t = (m-1)/(m+1), degree 9 in t^2.  Same fused evaluation order on every
+// backend.
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+inline constexpr double kLogC[] = {
+    1.0 / 19.0, 1.0 / 17.0, 1.0 / 15.0, 1.0 / 13.0, 1.0 / 11.0,
+    1.0 / 9.0,  1.0 / 7.0,  1.0 / 5.0,  1.0 / 3.0,
+};
+
+inline double fast_log(double x) {
+  assert(x > 0.0 && std::isfinite(x));
+  assert(std::bit_cast<std::uint64_t>(x) >= (1ULL << 52));  // normal
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  double e = static_cast<double>(
+      static_cast<std::int64_t>(bits >> 52) - 1023);
+  double m = std::bit_cast<double>(
+      (bits & 0x000FFFFFFFFFFFFFULL) | 0x3FF0000000000000ULL);
+  if (m >= kSqrt2) {  // fold [sqrt(2), 2) down: m ends in [sqrt(1/2), sqrt(2))
+    m *= 0.5;
+    e += 1.0;
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double s = t * t;
+  double p = kLogC[0];
+  for (int i = 1; i < 9; ++i) p = std::fma(p, s, kLogC[i]);
+  const double poly = std::fma(2.0 * t, s * p, 2.0 * t);  // 2t + 2t*s*P(s)
+  // e*ln2 + log(m), accumulated hi/lo so the exponent term does not swamp
+  // the mantissa term's low bits.
+  return std::fma(e, kLn2Hi, std::fma(e, kLn2Lo, poly));
+}
+
+inline double fast_pow(double base, double e) {
+  return fast_exp(e * fast_log(base));
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Batch kernels (runtime-dispatched; out may alias none of the inputs).
+
+/// out[i] = fast_exp(x[i]).
+void exp_batch(const double* x, double* out, std::size_t n);
+
+/// out[i] = fast_log(x[i]).
+void log_batch(const double* x, double* out, std::size_t n);
+
+/// out[i] = (k * scale[i]) * pow(1 - u[i], e) — the Pareto inverse-CDF
+/// transform shape: u is a uniform draw in [0, 1), k the hoisted Eq. 17
+/// constant, scale the per-rank clean time.
+void pow1m_scale_batch(const double* u, double e, double k,
+                       const double* scale, double* out, std::size_t n);
+
+/// out[i] = (k * scale[i]) * -log(1 - u[i]) — the exponential transform
+/// shape (the deterministic path uses log1p; this is the documented
+/// fast-math deviation, ULP-bounded in test_simd_math).
+void neglog1m_scale_batch(const double* u, double k, const double* scale,
+                          double* out, std::size_t n);
+
+/// Fused squared-distance reduction over SoA coordinate blocks:
+/// for each row r in [block_begin*kBlock, block_end*kBlock),
+///   out[r - block_begin*kBlock] =
+///       sum_d (fma(diff, diff, acc) with diff = (x[d] - p_r[d]) * inv_range[d])
+/// where the block layout stores soa[(b*dim + d)*kBlock + lane] for row
+/// b*kBlock + lane.  Rows are padded to a whole block by the index builder;
+/// padded lanes produce garbage distances the caller must ignore.
+void dist2_blocks(const double* soa, std::size_t dim, std::size_t block_begin,
+                  std::size_t block_end, const double* x,
+                  const double* inv_range, double* out);
+
+}  // namespace protuner::util::simd

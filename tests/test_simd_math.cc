@@ -1,0 +1,338 @@
+// ULP-bounded equivalence suite for the util::simd fast-math kernels.
+//
+// Three layers of contract, from strongest to weakest:
+//   1. Backend bit-identity: the batch entry points must reproduce the
+//      scalar detail:: reference kernels bit for bit on every size and
+//      tail length (on this machine that pins vector == scalar; on a
+//      forced-scalar build it pins the dispatch plumbing).
+//   2. ULP bounds vs libm: fast_exp/fast_log/fast_pow are polynomial
+//      approximations — close to libm, never bit-equal.  The bounds here
+//      carry slack over the measured maxima (exp ~1 ulp, log ~2, pow ~4)
+//      so a different libm cannot flake the suite.
+//   3. Opt-in isolation: with fast math OFF (the shipping default) the
+//      noise models and the database interpolation paths must reproduce
+//      golden values captured from the pre-simd binaries exactly; with it
+//      ON they must stay within tight relative bounds AND leave every rng
+//      stream in the bit-identical end state.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+#include "gs2/database.h"
+#include "gs2/surface.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "varmodel/composite_noise.h"
+#include "varmodel/noise_model.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/simple_noise.h"
+
+namespace protuner {
+namespace {
+
+namespace simd = util::simd;
+
+/// RAII knob guard: every test states its fast-math mode explicitly and
+/// restores the process-wide default on exit, so test order cannot leak
+/// state.
+class FastMathGuard {
+ public:
+  explicit FastMathGuard(bool on) : prev_(simd::fast_math_enabled()) {
+    simd::set_fast_math(on);
+  }
+  ~FastMathGuard() { simd::set_fast_math(prev_); }
+
+ private:
+  bool prev_;
+};
+
+/// ULP distance between two finite doubles via the ordered-integer mapping
+/// (monotone across exponent boundaries, 0 for +0.0 vs -0.0).
+std::uint64_t ulp_distance(double a, double b) {
+  auto ordered = [](double x) -> std::int64_t {
+    const std::int64_t bits = std::bit_cast<std::int64_t>(x);
+    return bits >= 0 ? bits : std::numeric_limits<std::int64_t>::min() - bits;
+  };
+  const std::int64_t ia = ordered(a);
+  const std::int64_t ib = ordered(b);
+  return ia > ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                 : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+constexpr std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 64, 257};
+
+TEST(SimdMath, KnobAndBackendReporting) {
+  {
+    FastMathGuard on(true);
+    EXPECT_TRUE(simd::fast_math_enabled());
+    {
+      FastMathGuard off(false);
+      EXPECT_FALSE(simd::fast_math_enabled());
+    }
+    EXPECT_TRUE(simd::fast_math_enabled());
+  }
+  ASSERT_NE(simd::backend_name(), nullptr);
+  if (simd::vector_isa_available()) {
+    EXPECT_STRNE(simd::backend_name(), "scalar");
+  } else {
+    EXPECT_STREQ(simd::backend_name(), "scalar");
+  }
+}
+
+TEST(SimdMath, FastExpMatchesLibmWithinUlps) {
+  util::Rng rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    // Dense around the noise-transform range, coarse across the full domain.
+    const double x = (i % 2 == 0) ? rng.uniform(-40.0, 40.0)
+                                  : rng.uniform(-700.0, 700.0);
+    const double got = simd::detail::fast_exp(x);
+    const double want = std::exp(x);
+    EXPECT_LE(ulp_distance(got, want), 8u) << "x=" << x;
+  }
+}
+
+TEST(SimdMath, FastLogMatchesLibmWithinUlps) {
+  util::Rng rng(102);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform positives, covering both tails of the normal range and
+    // the (0, 1] bases the noise transforms feed it.
+    const double x = (i % 2 == 0) ? 1.0 - rng.uniform()
+                                  : std::exp(rng.uniform(-600.0, 600.0));
+    if (x <= 0.0) continue;  // 1 - u can round to 0 only at u == 1, excluded
+    const double got = simd::detail::fast_log(x);
+    const double want = std::log(x);
+    EXPECT_LE(ulp_distance(got, want), 8u) << "x=" << x;
+  }
+}
+
+TEST(SimdMath, FastPowMatchesLibmWithinUlps) {
+  // The composed kernel on exactly the Pareto inverse-CDF shape.
+  util::Rng rng(103);
+  for (const double alpha : {1.1, 1.7, 2.5, 4.0}) {
+    const double e = -1.0 / alpha;
+    for (int i = 0; i < 5000; ++i) {
+      const double base = 1.0 - rng.uniform();
+      const double got = simd::detail::fast_pow(base, e);
+      const double want = std::pow(base, e);
+      EXPECT_LE(ulp_distance(got, want), 16u)
+          << "base=" << base << " e=" << e;
+    }
+  }
+}
+
+TEST(SimdMath, BatchKernelsMatchScalarReferenceBitForBit) {
+  // The load-bearing backend contract: whatever ISA dispatches, the batch
+  // output equals the scalar detail:: kernel per element, including every
+  // tail length in kSizes.
+  util::Rng rng(104);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> xe(n), xl(n), u(n), scale(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xe[i] = rng.uniform(-700.0, 700.0);
+      xl[i] = std::exp(rng.uniform(-500.0, 500.0));
+      u[i] = rng.uniform();
+      scale[i] = 0.25 + rng.uniform();
+    }
+    simd::exp_batch(xe.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], simd::detail::fast_exp(xe[i])) << "n=" << n;
+    }
+    simd::log_batch(xl.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], simd::detail::fast_log(xl[i])) << "n=" << n;
+    }
+    const double e = -1.0 / 1.7;
+    const double k = 0.3;
+    simd::pow1m_scale_batch(u.data(), e, k, scale.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], (k * scale[i]) * simd::detail::fast_pow(1.0 - u[i], e))
+          << "n=" << n;
+    }
+    simd::neglog1m_scale_batch(u.data(), k, scale.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], (k * scale[i]) * -simd::detail::fast_log(1.0 - u[i]))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdMath, Dist2BlocksMatchesScalarFmaReduction) {
+  util::Rng rng(105);
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{3},
+                                std::size_t{7}}) {
+    const std::size_t blocks = 9;
+    std::vector<double> soa(blocks * dim * simd::kBlock);
+    std::vector<double> x(dim), inv_range(dim);
+    for (double& v : soa) v = rng.uniform(-3.0, 3.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      x[d] = rng.uniform(-3.0, 3.0);
+      inv_range[d] = 1.0 / (0.5 + rng.uniform());
+    }
+    // Whole range and an offset sub-range (the leaf scan shape).
+    const std::pair<std::size_t, std::size_t> ranges[] = {{0, blocks}, {2, 7}};
+    for (const auto& [b0, b1] : ranges) {
+      std::vector<double> out((b1 - b0) * simd::kBlock);
+      simd::dist2_blocks(soa.data(), dim, b0, b1, x.data(), inv_range.data(),
+                         out.data());
+      for (std::size_t b = b0; b < b1; ++b) {
+        for (std::size_t lane = 0; lane < simd::kBlock; ++lane) {
+          double acc = 0.0;
+          for (std::size_t d = 0; d < dim; ++d) {
+            const double diff =
+                (x[d] - soa[(b * dim + d) * simd::kBlock + lane]) *
+                inv_range[d];
+            acc = std::fma(diff, diff, acc);
+          }
+          EXPECT_EQ(out[(b - b0) * simd::kBlock + lane], acc)
+              << "dim=" << dim << " b=" << b << " lane=" << lane;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Noise models: fast path vs deterministic path.
+
+void ExpectFastPathCloseAndStreamIdentical(const varmodel::NoiseModel& model) {
+  constexpr std::size_t kRankCounts[] = {1, 7, 64};
+  for (const std::size_t ranks : kRankCounts) {
+    std::vector<util::Rng> rngs_det = util::Rng(1234).split_streams(ranks);
+    std::vector<util::Rng> rngs_fast = util::Rng(1234).split_streams(ranks);
+    std::vector<double> clean(ranks), out_det(ranks), out_fast(ranks);
+    for (std::size_t i = 0; i < ranks; ++i) {
+      clean[i] = 0.5 + 0.37 * static_cast<double>(i % 9);
+    }
+    for (int round = 0; round < 5; ++round) {
+      {
+        FastMathGuard off(false);
+        model.sample_batch({clean.data(), ranks}, {rngs_det.data(), ranks},
+                           {out_det.data(), ranks});
+      }
+      {
+        FastMathGuard on(true);
+        model.sample_batch({clean.data(), ranks}, {rngs_fast.data(), ranks},
+                           {out_fast.data(), ranks});
+      }
+      for (std::size_t i = 0; i < ranks; ++i) {
+        // The draws are the contract (bit-identical streams); the transform
+        // is the ULP-bounded approximation.
+        EXPECT_TRUE(rngs_det[i] == rngs_fast[i])
+            << model.name() << ": rng state diverged at rank " << i
+            << " of " << ranks << ", round " << round;
+        EXPECT_NEAR(out_fast[i], out_det[i],
+                    1e-10 * std::max(1.0, std::abs(out_det[i])))
+            << model.name() << ": rank " << i << " of " << ranks << ", round "
+            << round;
+      }
+    }
+  }
+}
+
+TEST(SimdMath, ParetoFastPathUlpBoundedAndStreamIdentical) {
+  ExpectFastPathCloseAndStreamIdentical(varmodel::ParetoNoise(0.3, 1.7));
+}
+
+TEST(SimdMath, ExponentialFastPathUlpBoundedAndStreamIdentical) {
+  ExpectFastPathCloseAndStreamIdentical(varmodel::ExponentialNoise(0.3));
+}
+
+TEST(SimdMath, CompositeFastPathUlpBoundedAndStreamIdentical) {
+  ExpectFastPathCloseAndStreamIdentical(varmodel::CompositeNoise(
+      std::make_shared<varmodel::ExponentialNoise>(0.1),
+      std::make_shared<varmodel::ParetoNoise>(0.2, 1.7)));
+}
+
+// ---------------------------------------------------------------------------
+// Database interpolation: fast path vs deterministic path, across the same
+// (stride, k, power) settings the bit-identity suite uses.
+
+TEST(SimdMath, DatabaseFastPathStaysWithinRelativeBound) {
+  const gs2::Gs2Surface surface;
+  const auto space = gs2::gs2_space();
+  struct Setting {
+    std::size_t stride;
+    std::size_t neighbors;
+    double power;
+  };
+  const Setting settings[] = {
+      {2, 4, 2.0}, {1, 1, 2.0}, {2, 8, 1.0}, {3, 3, 3.0}};
+  util::Rng rng(20260808);
+  for (const Setting& s : settings) {
+    const gs2::DatabaseOptions opt{.stride = s.stride,
+                                   .interpolation_neighbors = s.neighbors,
+                                   .idw_power = s.power};
+    const gs2::Database db = gs2::Database::measure(space, surface, opt);
+    for (int i = 0; i < 200; ++i) {
+      core::Point x(space.size());
+      for (std::size_t d = 0; d < space.size(); ++d) {
+        x[d] = rng.uniform(space.param(d).lower(), space.param(d).upper());
+      }
+      double ref_det, idx_det, ref_fast, idx_fast;
+      {
+        FastMathGuard off(false);
+        ref_det = db.interpolate_reference(x);
+        idx_det = db.interpolate_uncached(x);
+      }
+      {
+        FastMathGuard on(true);
+        ref_fast = db.interpolate_reference(x);
+        idx_fast = db.interpolate_uncached(x);
+      }
+      // Deterministic paths agree bit for bit (also pinned elsewhere); the
+      // fast paths deviate only at the fma/inv-range rounding level, which
+      // stays far inside 1e-9 relative after the IDW power.
+      EXPECT_EQ(idx_det, ref_det) << "stride=" << s.stride;
+      const double tol = 1e-9 * std::max(1.0, std::abs(ref_det));
+      EXPECT_NEAR(ref_fast, ref_det, tol)
+          << "stride=" << s.stride << " k=" << s.neighbors << " i=" << i;
+      EXPECT_NEAR(idx_fast, ref_det, tol)
+          << "stride=" << s.stride << " k=" << s.neighbors << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Default-path regression: with fast math off (the shipping default) the
+// noise and database hot paths must reproduce these golden values, captured
+// from the pre-simd binaries, bit for bit.
+
+TEST(SimdMath, DefaultPathReproducesPreSimdGoldenValues) {
+  FastMathGuard off(false);
+  std::vector<util::Rng> rngs = util::Rng(42).split_streams(7);
+  std::vector<double> clean(7), out(7);
+  for (int i = 0; i < 7; ++i) clean[i] = 0.5 + 0.37 * (i % 9);
+  const varmodel::ParetoNoise pareto(0.3, 1.7);
+  pareto.sample_batch({clean.data(), 7}, {rngs.data(), 7}, {out.data(), 7});
+  const double golden_pareto[7] = {
+      0.20075393242002817, 0.33809339844711522, 0.30314860813344785,
+      0.81466970856365439, 1.3543098674330833,  0.42093449252586862,
+      0.69455676648183851};
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], golden_pareto[i]) << i;
+  const varmodel::ExponentialNoise expo(0.3);
+  expo.sample_batch({clean.data(), 7}, {rngs.data(), 7}, {out.data(), 7});
+  const double golden_exp[7] = {
+      0.097660069129870644, 0.17359023603490623, 0.26449747702189835,
+      0.88034193357865254,  0.26866906642551858, 0.94692371419231647,
+      0.53605106239270184};
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], golden_exp[i]) << i;
+
+  const gs2::Gs2Surface surface;
+  const auto space = gs2::gs2_space();
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  const core::Point q1{16.0, 9.0, 4.0};
+  const core::Point q2{33.3, 17.7, 40.1};
+  EXPECT_EQ(db.clean_time(q1), 0.3688857509110009);
+  EXPECT_EQ(db.clean_time(q2), 0.59795764025428988);
+  EXPECT_EQ(db.interpolate_reference(q2), 0.59795764025428988);
+}
+
+}  // namespace
+}  // namespace protuner

@@ -24,6 +24,7 @@
 #include "core/landscape.h"
 #include "core/round_engine.h"
 #include "gs2/database.h"
+#include "gs2/surface.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "varmodel/pareto_noise.h"
@@ -167,6 +168,25 @@ TEST(StepAllocation, PaddedEngineSteadyStateIsAllocationFree) {
   const std::size_t before = allocation_count();
   for (int i = 0; i < 200; ++i) engine.step(machine);
   EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(StepAllocation, WarmedReferenceInterpolationIsAllocationFree) {
+  // interpolate_reference used to materialise an O(N) scratch vector per
+  // query; the bounded-heap selection keeps the per-thread scratch at k
+  // entries and reuses it, so a warmed query loop must be silent.
+  const gs2::Gs2Surface surface;
+  const auto space = gs2::gs2_space();
+  const gs2::Database db = gs2::Database::measure(space, surface, {});
+  const Point q1{16.2, 9.1, 4.7};
+  const Point q2{33.3, 17.7, 40.1};
+  double acc = db.interpolate_reference(q1);  // warm the scratch heap
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 100; ++i) {
+    acc += db.interpolate_reference(i % 2 == 0 ? q1 : q2);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "warmed interpolate_reference allocated on the heap";
+  EXPECT_GT(acc, 0.0);
 }
 
 TEST(StepAllocation, RunStepWrapperMatchesRunStepInto) {
