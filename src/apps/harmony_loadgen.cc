@@ -1,0 +1,246 @@
+#include "apps/harmony_loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/fixed.h"
+#include "harmony/session_manager.h"
+#include "util/rng.h"
+#include "varmodel/noise_model.h"
+#include "varmodel/pareto_noise.h"
+
+namespace protuner::apps {
+
+namespace {
+
+varmodel::NoiseModelPtr make_think_model(const LoadgenOptions& options) {
+  if (options.heavy_tail) {
+    return std::make_unique<varmodel::ParetoNoise>(options.rho,
+                                                   options.alpha);
+  }
+  return std::make_unique<varmodel::NoNoise>();
+}
+
+void spin_for(std::chrono::duration<double> d) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(d);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+obs::HistogramSnapshot aggregate_histogram(
+    const obs::RegistrySnapshot& snapshot, std::string_view name) {
+  obs::HistogramSnapshot out;
+  for (const obs::InstrumentSnapshot& inst : snapshot.instruments) {
+    if (inst.name != name || inst.kind != obs::InstrumentKind::kHistogram) {
+      continue;
+    }
+    if (out.counts.empty()) {
+      out.counts.assign(inst.hist.counts.size(), 0);
+    }
+    for (std::size_t b = 0;
+         b < out.counts.size() && b < inst.hist.counts.size(); ++b) {
+      out.counts[b] += inst.hist.counts[b];
+    }
+    out.count += inst.hist.count;
+    out.max = std::max(out.max, inst.hist.max);
+  }
+  return out;
+}
+
+std::uint64_t aggregate_counter(const obs::RegistrySnapshot& snapshot,
+                                std::string_view name) {
+  std::uint64_t total = 0;
+  for (const obs::InstrumentSnapshot& inst : snapshot.instruments) {
+    if (inst.name == name && inst.kind == obs::InstrumentKind::kCounter) {
+      total += static_cast<std::uint64_t>(inst.value);
+    }
+  }
+  return total;
+}
+
+LoadgenReport run_loadgen(const LoadgenOptions& options) {
+  const std::size_t sessions = std::max<std::size_t>(1, options.sessions);
+  const std::size_t ranks = std::max<std::size_t>(1, options.ranks);
+  const std::size_t workers =
+      std::clamp<std::size_t>(options.workers, 1, ranks);
+  const std::size_t dims = std::max<std::size_t>(1, options.dims);
+
+  obs::Registry registry;
+  harmony::SessionManager manager;
+  const varmodel::NoiseModelPtr think_model = make_think_model(options);
+
+  std::vector<std::shared_ptr<harmony::Server>> servers;
+  servers.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    harmony::ServerOptions so;
+    so.metrics = &registry;
+    so.record_series = false;
+    so.report_timeout = options.report_timeout;
+    servers.push_back(manager.create(
+        "soak-" + std::to_string(s),
+        std::make_unique<core::FixedStrategy>(core::Point(dims, 1.0)),
+        ranks, so));
+  }
+
+  std::latch start(1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> fetch_ops{0};
+  std::atomic<std::uint64_t> report_ops{0};
+  std::atomic<std::uint64_t> monitor_sweeps{0};
+  std::atomic<std::uint64_t> ticks{0};
+
+  // One phase-locked multiplexing worker per (session, slice): fetch every
+  // owned rank, think, report every owned rank.  Each session's ranks are
+  // partitioned across its workers, so no worker ever waits on a rank
+  // another thread must report first — deadlock-free regardless of how
+  // rounds interleave across sessions.
+  std::vector<std::jthread> threads;
+  threads.reserve(sessions * workers + 2);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, s, w] {
+        harmony::Server& server = *servers[s];
+        const std::size_t lo = w * ranks / workers;
+        const std::size_t hi = (w + 1) * ranks / workers;
+        util::Rng rng(options.seed +
+                      0x9e3779b97f4a7c15ULL * (s * workers + w + 1));
+        core::Point scratch;
+        std::vector<double> thinks(hi - lo);
+        std::uint64_t fetched = 0;
+        std::uint64_t reported = 0;
+        start.wait();
+        try {
+          for (std::size_t round = 0; round < options.rounds; ++round) {
+            for (std::size_t r = lo; r < hi; ++r) {
+              server.fetch_into(r, scratch);
+              ++fetched;
+              thinks[r - lo] = think_model->observe(options.think_mean, rng);
+            }
+            if (options.think_pacing) {
+              // The owned ranks think concurrently in the modelled system;
+              // the multiplexing worker waits out the slowest of them.
+              spin_for(std::chrono::duration<double>(
+                  *std::max_element(thinks.begin(), thinks.end())));
+            }
+            for (std::size_t r = lo; r < hi; ++r) {
+              server.report(r, thinks[r - lo]);
+              ++reported;
+            }
+          }
+        } catch (const harmony::ProtocolError&) {
+          // Session poisoned (kFail deadline) — stop driving it.
+        }
+        fetch_ops.fetch_add(fetched, std::memory_order_relaxed);
+        report_ops.fetch_add(reported, std::memory_order_relaxed);
+      });
+    }
+  }
+
+  if (options.tick_hz > 0.0) {
+    threads.emplace_back([&] {
+      const auto period = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / options.tick_hz));
+      start.wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const auto& server : servers) {
+          try {
+            server->tick();
+          } catch (const harmony::ProtocolError&) {
+          }
+          ticks.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(period);
+      }
+    });
+  }
+
+  if (options.monitor) {
+    threads.emplace_back([&] {
+      start.wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The production exporter loop: a full stats sweep plus a merged
+        // metrics snapshot, as fast as it can go.
+        (void)manager.stats_all();
+        (void)manager.metrics_snapshot();
+        monitor_sweeps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start.count_down();
+  // Workers self-terminate after `rounds`; join them first, then release
+  // the antagonists.
+  for (std::size_t i = 0; i < sessions * workers; ++i) threads[i].join();
+  const auto t1 = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  threads.clear();  // joins ticker/monitor
+
+  LoadgenReport rep;
+  rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  rep.fetch_ops = fetch_ops.load(std::memory_order_relaxed);
+  rep.report_ops = report_ops.load(std::memory_order_relaxed);
+  rep.ops_per_sec = rep.wall_seconds > 0.0
+                        ? static_cast<double>(rep.fetch_ops + rep.report_ops) /
+                              rep.wall_seconds
+                        : 0.0;
+  rep.monitor_sweeps = monitor_sweeps.load(std::memory_order_relaxed);
+  rep.ticks = ticks.load(std::memory_order_relaxed);
+  for (const auto& server : servers) {
+    rep.rounds_completed += server->rounds_completed();
+  }
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const obs::HistogramSnapshot fetch =
+      aggregate_histogram(snap, "protuner_harmony_fetch_ns");
+  rep.fetch_p50_ns = fetch.p50();
+  rep.fetch_p99_ns = fetch.p99();
+  rep.fetch_p999_ns = fetch.p999();
+  rep.fetch_max_ns = fetch.max;
+  const obs::HistogramSnapshot round_wall =
+      aggregate_histogram(snap, "protuner_harmony_round_wall_ns");
+  rep.round_wall_p50_ns = round_wall.p50();
+  rep.round_wall_p99_ns = round_wall.p99();
+  rep.round_wall_p999_ns = round_wall.p999();
+  rep.deadline_expiries =
+      aggregate_counter(snap, "protuner_harmony_deadline_expiries_total");
+  rep.discarded_reports =
+      aggregate_counter(snap, "protuner_harmony_discarded_reports_total");
+  rep.protocol_errors =
+      aggregate_counter(snap, "protuner_harmony_protocol_errors_total");
+  return rep;
+}
+
+std::string LoadgenReport::summary() const {
+  std::ostringstream out;
+  out << "wall            " << wall_seconds << " s\n"
+      << "ops             " << (fetch_ops + report_ops) << " (" << fetch_ops
+      << " fetch + " << report_ops << " report)\n"
+      << "throughput      " << ops_per_sec << " ops/s\n"
+      << "rounds          " << rounds_completed << "\n"
+      << "fetch latency   p50 " << fetch_p50_ns << " ns · p99 "
+      << fetch_p99_ns << " ns · p99.9 " << fetch_p999_ns << " ns · max "
+      << fetch_max_ns << " ns\n"
+      << "round wall      p50 " << round_wall_p50_ns << " ns · p99 "
+      << round_wall_p99_ns << " ns · p99.9 " << round_wall_p999_ns
+      << " ns\n"
+      << "deadline        " << deadline_expiries << " expiries, "
+      << discarded_reports << " discarded reports\n"
+      << "protocol errors " << protocol_errors << "\n"
+      << "antagonists     " << monitor_sweeps << " monitor sweeps, "
+      << ticks << " ticks\n";
+  return out.str();
+}
+
+}  // namespace protuner::apps

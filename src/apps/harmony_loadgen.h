@@ -1,0 +1,109 @@
+// Many-session serving soak for the Harmony front end (ROADMAP item 2):
+// N sessions × P ranks of fetch/report traffic with heavy-tailed think
+// times drawn from the paper's own varmodel:: noise processes — the
+// premise of the paper is tuning *under load*, so its noise model is the
+// right traffic model for the serving tier too.
+//
+// Workload shape: each session is driven by W worker threads, each owning
+// a contiguous slice of the session's ranks and multiplexing them
+// phase-locked — fetch every owned rank's assignment, think, then report
+// every owned rank (deadlock-free by construction: a worker never blocks
+// on a rank another worker must report first).  The reported measurement
+// is the drawn think time y = f + n(f), n ~ Pareto(alpha) by default
+// (Eq. 5/17), so round-close accounting sees the paper's heavy tail.  The
+// think draw is reported as virtual seconds; wall-clock pacing
+// (`think_pacing`) is optional and off by default, which makes the soak a
+// saturation (closed-loop) benchmark — see EXPERIMENTS.md for when each
+// mode is meaningful.
+//
+// Optional antagonist threads reproduce the serving environment the
+// contention work in DESIGN.md §12 targets:
+//   * a ticker calling Server::tick() at `tick_hz` (deadline enforcement
+//     must not perturb the fast path), and
+//   * a monitor sweeping SessionManager::stats_all() +
+//     metrics_snapshot() in a tight loop (exporters must not stall
+//     traffic).
+//
+// Results come from the PR-5 obs:: instruments, aggregated across the
+// per-session labels by summing histogram buckets — not from a second
+// measurement path, so the loadgen exercises exactly the telemetry a
+// production deployment would read.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace protuner::apps {
+
+struct LoadgenOptions {
+  std::size_t sessions = 4;   ///< concurrent tuning sessions
+  std::size_t ranks = 16;     ///< ranks (clients) per session
+  std::size_t workers = 2;    ///< worker threads per session (>= 1, <= ranks)
+  std::size_t rounds = 200;   ///< rounds each session must complete
+  std::size_t dims = 4;       ///< configuration dimensionality
+
+  double think_mean = 50e-6;  ///< clean think time f (virtual seconds)
+  double rho = 0.3;           ///< idle-system throughput of the noise model
+  double alpha = 1.7;         ///< Pareto tail (alpha < 2: infinite variance)
+  bool heavy_tail = true;     ///< false = NoNoise (deterministic think)
+  /// Busy-wait for the drawn think time (open-loop-ish pacing).  Off by
+  /// default: the soak then measures serving capacity, not think time.
+  bool think_pacing = false;
+
+  std::uint64_t seed = 42;
+
+  /// Round deadline forwarded to ServerOptions (0 disables).
+  std::chrono::duration<double> report_timeout{0.0};
+  /// Ticker thread frequency for Server::tick() (0 = no ticker).
+  double tick_hz = 0.0;
+  /// Run a monitor thread sweeping stats_all()/metrics_snapshot().
+  bool monitor = false;
+};
+
+/// One soak's results.  Latencies are nanoseconds from the obs::
+/// histograms (log2 buckets: quantile error bounded by 2x, max exact).
+struct LoadgenReport {
+  double wall_seconds = 0.0;
+  std::uint64_t fetch_ops = 0;
+  std::uint64_t report_ops = 0;
+  double ops_per_sec = 0.0;  ///< (fetch + report) / wall
+
+  double fetch_p50_ns = 0.0;
+  double fetch_p99_ns = 0.0;
+  double fetch_p999_ns = 0.0;
+  double fetch_max_ns = 0.0;
+
+  double round_wall_p50_ns = 0.0;
+  double round_wall_p99_ns = 0.0;
+  double round_wall_p999_ns = 0.0;
+
+  std::uint64_t rounds_completed = 0;  ///< summed over sessions
+  std::uint64_t deadline_expiries = 0;
+  std::uint64_t discarded_reports = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t monitor_sweeps = 0;  ///< stats+snapshot loops completed
+  std::uint64_t ticks = 0;           ///< Server::tick() calls issued
+
+  std::string summary() const;  ///< human-readable one-screen rendering
+};
+
+/// Runs the soak to completion and aggregates the report.  The run uses a
+/// private obs::Registry, so repeated runs in one process do not pollute
+/// each other (or the global registry).
+LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+/// Sums one named histogram across every {"session", ...} label in the
+/// snapshot (bucket-wise; max of maxes).  Exposed for the bench harness
+/// and tests.
+obs::HistogramSnapshot aggregate_histogram(
+    const obs::RegistrySnapshot& snapshot, std::string_view name);
+
+/// Sums one named counter across every session label.
+std::uint64_t aggregate_counter(const obs::RegistrySnapshot& snapshot,
+                                std::string_view name);
+
+}  // namespace protuner::apps

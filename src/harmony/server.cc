@@ -1,6 +1,8 @@
 #include "harmony/server.h"
 
+#include <cassert>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/trace.h"
@@ -17,7 +19,7 @@ core::RoundEngineOptions engine_options(std::size_t clients,
   core::RoundEngineOptions eo;
   eo.width = clients;
   eo.pad_assignment = true;
-  eo.record_series = options.record_series;
+  eo.record_series = false;  // the server keeps its own series (stats cache)
   eo.observer = options.observer;
   eo.impute_penalty = options.impute_penalty;
   eo.metrics = options.metrics;
@@ -42,7 +44,23 @@ double elapsed_ns(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+double elapsed_ns(std::uint64_t entered_ticks) {
+  return obs::LatencyClock::to_ns(obs::LatencyClock::now() - entered_ticks);
+}
+
 }  // namespace
+
+void Server::gate_lock(RoundBuffer& buf) {
+  std::int32_t expected = 0;
+  while (!buf.gate.compare_exchange_weak(expected, kGateLocked,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    expected = 0;
+    // Read holds are nanosecond-scale; a non-zero count means the holder
+    // is mid-copy (or preempted, which the yield resolves on small boxes).
+    std::this_thread::yield();
+  }
+}
 
 Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
                ServerOptions options)
@@ -76,12 +94,20 @@ Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
                    ? throw std::invalid_argument(
                          "Server: strategy must not be null")
                    : *strategy_),
-              engine_options(clients, options_)) {
-  rank_round_.assign(clients_, 0);
-  fetched_.assign(clients_, false);
+              engine_options(clients, options_)),
+      strategy_name_(strategy_->name()) {
+  ranks_.resize(clients_);
+  for (RoundBuffer& buf : buffers_) {
+    buf.assignment.resize(clients_);
+    buf.slots = std::make_unique<Slot[]>(clients_);
+  }
+  // Pre-pay the one-time TSC calibration spin so the first fetch's latency
+  // stamp is not inflated by ~200µs of calibration.
+  obs::LatencyClock::ns_per_tick();
   const std::scoped_lock lock(mutex_);
   engine_.open_round();
-  round_opened_ = std::chrono::steady_clock::now();
+  refresh_stats_cache_locked(0.0);
+  publish_round_locked(0);
 }
 
 void Server::throw_if_failed_locked() const {
@@ -92,17 +118,84 @@ void Server::throw_if_failed_locked() const {
 
 void Server::fail_locked(const std::string& why) {
   failure_ = why;
+  failed_.store(true, std::memory_order_release);
   round_ready_.notify_all();
   throw ProtocolError("harmony session failed: " + failure_);
 }
 
+void Server::refresh_stats_cache_locked(double last_cost) {
+  stat_rounds_.store(engine_.rounds_completed(), std::memory_order_relaxed);
+  stat_total_time_.store(engine_.total_time(), std::memory_order_relaxed);
+  stat_converged_.store(strategy_->converged(), std::memory_order_relaxed);
+  stat_convergence_round_.store(engine_.convergence_round().value_or(0),
+                                std::memory_order_relaxed);
+  stat_active_.store(engine_.active_count(), std::memory_order_relaxed);
+  const std::scoped_lock stats(stats_mutex_);
+  stat_best_ = strategy_->best_point();
+  if (options_.record_series && engine_.rounds_completed() > 0) {
+    stat_costs_.push_back(last_cost);
+  }
+}
+
+void Server::publish_round_locked(std::uint64_t round) {
+  RoundBuffer& buf = buffers_[round & 1];
+  // Drain stragglers still reading this buffer's previous tenant
+  // (round - 2); their read share blocks the recycle, never the reverse.
+  gate_lock(buf);
+  std::size_t expected = 0;
+  for (std::size_t s = 0; s < clients_; ++s) {
+    buf.assignment[s] = engine_.assignment_for(s);
+    const bool exp = engine_.expected(s);
+    buf.slots[s].state.store(exp ? kSlotPending : kSlotIdle,
+                             std::memory_order_relaxed);
+    if (exp) ++expected;
+  }
+  buf.pending.store(expected, std::memory_order_relaxed);
+  gate_unlock(buf);
+  round_opened_ = std::chrono::steady_clock::now();
+  // Release-publish: a fast-path reader that observes `round` here also
+  // observes the buffer contents written above.
+  round_.store(round, std::memory_order_release);
+  round_ready_.notify_all();
+}
+
 void Server::advance_locked() {
   obs_round_wall_ns_.record(elapsed_ns(round_opened_));
-  engine_.close_round();
+  const double cost = engine_.close_round();
   engine_.open_round();
-  round_ = engine_.rounds_completed();
-  round_opened_ = std::chrono::steady_clock::now();
-  round_ready_.notify_all();
+  refresh_stats_cache_locked(cost);
+  publish_round_locked(round_.load(std::memory_order_relaxed) + 1);
+}
+
+void Server::finish_round_locked(std::uint64_t round) {
+  assert(round_.load(std::memory_order_relaxed) == round);
+  throw_if_failed_locked();
+  RoundBuffer& buf = buffers_[round & 1];
+  // Every expected slot is claimed (pending == 0), so each slot's state is
+  // final and a kSlotReported acquire load synchronizes with the owning
+  // rank's release CAS — its time write is visible.
+  bool any_imputed = false;
+  for (std::size_t s = 0; s < clients_; ++s) {
+    const std::uint8_t st = buf.slots[s].state.load(std::memory_order_acquire);
+    if (st == kSlotReported) {
+      engine_.submit(s, buf.slots[s].time);
+    } else if (st == kSlotImputed) {
+      any_imputed = true;
+    }
+  }
+  if (any_imputed) {
+    // kShrink: close the round with the missing times imputed
+    // (max-of-observed × penalty) and drop the stragglers from future
+    // rounds.  The deadline sweep pre-checked that an impute base exists.
+    for (const std::size_t slot : engine_.impute_missing()) {
+      engine_.deactivate(slot);
+    }
+    if (engine_.active_count() == 0) {
+      fail_locked("every rank missed the report deadline in round " +
+                  std::to_string(round));
+    }
+  }
+  advance_locked();
 }
 
 bool Server::deadline_enabled() const {
@@ -117,65 +210,127 @@ std::chrono::steady_clock::time_point Server::deadline_locked() const {
 
 bool Server::close_by_deadline_locked() {
   if (!deadline_enabled() || !failure_.empty()) return false;
-  if (engine_.pending() == 0) return false;  // closed by the report path
+  const std::uint64_t round = round_.load(std::memory_order_relaxed);
+  RoundBuffer& buf = buffers_[round & 1];
+  // pending == 0 means the closing report already owns the round: it is
+  // waiting on mutex_ behind us and will advance the moment we release.
+  if (buf.pending.load(std::memory_order_acquire) == 0) return false;
   if (std::chrono::steady_clock::now() < deadline_locked()) return false;
 
   obs_deadline_expiries_.add();
   if (options_.straggler_policy == StragglerPolicy::kFail) {
-    fail_locked("round " + std::to_string(round_) +
+    fail_locked("round " + std::to_string(round) +
                 " report deadline expired with " +
-                std::to_string(engine_.pending()) + " rank(s) missing");
+                std::to_string(buf.pending.load(std::memory_order_relaxed)) +
+                " rank(s) missing");
   }
 
-  // kShrink: close the round with the missing times imputed
-  // (max-of-observed × penalty) and drop the stragglers from future rounds.
-  std::vector<std::size_t> imputed;
-  try {
-    imputed = engine_.impute_missing();
-  } catch (const core::EngineError&) {
-    // Nothing observed this round and no completed round to extrapolate
-    // from: there is no defensible imputation — restart the deadline
-    // rather than invent a number.
+  // Nothing observed this round and no completed round to extrapolate
+  // from: there is no defensible imputation — restart the deadline rather
+  // than invent a number.  (Reports only accumulate, so a positive check
+  // here cannot be invalidated before the sweep below.)
+  bool have_base = engine_.rounds_completed() > 0;
+  for (std::size_t s = 0; !have_base && s < clients_; ++s) {
+    have_base =
+        buf.slots[s].state.load(std::memory_order_acquire) == kSlotReported;
+  }
+  if (!have_base) {
     round_opened_ = std::chrono::steady_clock::now();
     return false;
   }
-  for (const std::size_t slot : imputed) engine_.deactivate(slot);
-  if (engine_.active_count() == 0) {
-    fail_locked("every rank missed the report deadline in round " +
-                std::to_string(round_));
+
+  // Sweep: claim every still-pending slot as imputed.  A rank racing us
+  // with a real report wins or loses each slot atomically; losers discard
+  // their measurement (it arrived too late to count).
+  bool closed_here = false;
+  for (std::size_t s = 0; s < clients_; ++s) {
+    std::uint8_t expect = kSlotPending;
+    if (buf.slots[s].state.compare_exchange_strong(
+            expect, kSlotImputed, std::memory_order_acq_rel)) {
+      if (buf.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        closed_here = true;
+      }
+    }
   }
-  advance_locked();
+  if (!closed_here) {
+    // A concurrent report made the final claim; that rank closes the round
+    // as soon as we release the lock.
+    return false;
+  }
+  finish_round_locked(round);
   return true;
 }
 
 core::Point Server::fetch(std::size_t rank) {
+  core::Point out;
+  fetch_into(rank, out);
+  return out;
+}
+
+void Server::fetch_into(std::size_t rank, core::Point& out) {
   const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
-  const auto entered = std::chrono::steady_clock::now();
-  std::unique_lock lock(mutex_);
+  const std::uint64_t entered = obs::LatencyClock::now();
   if (rank >= clients_) {
     obs_protocol_errors_.add();
     throw ProtocolError("fetch: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
   }
-  throw_if_failed_locked();
-  if (fetched_[rank] && rank_round_[rank] == round_ &&
-      engine_.expected(rank)) {
-    obs_protocol_errors_.add();
-    throw ProtocolError("fetch: rank " + std::to_string(rank) +
-                        " fetched twice without reporting");
+  RankState& rs = ranks_[rank];
+  if (!failed_.load(std::memory_order_acquire)) {
+    const std::uint64_t cur = round_.load(std::memory_order_acquire);
+    if (rs.round == cur) {
+      RoundBuffer& buf = buffers_[cur & 1];
+      if (gate_enter(buf)) {
+        // Revalidate while holding a read share: the buffer is recycled
+        // only with the gate locked and republished before round_ moves
+        // again, so content version == cur iff round_ still reads cur.
+        if (round_.load(std::memory_order_acquire) == cur &&
+            buf.slots[rank].state.load(std::memory_order_acquire) !=
+                kSlotIdle) {
+          if (rs.fetched) {
+            gate_exit(buf);
+            obs_protocol_errors_.add();
+            throw ProtocolError("fetch: rank " + std::to_string(rank) +
+                                " fetched twice without reporting");
+          }
+          rs.fetched = true;
+          out = buf.assignment[rank];
+          gate_exit(buf);
+          obs_fetch_ns_.record(elapsed_ns(entered));
+          return;
+        }
+        gate_exit(buf);
+      }
+    }
   }
+  fetch_slow(rank, out, entered);
+}
+
+void Server::fetch_slow(std::size_t rank, core::Point& out,
+                        std::uint64_t entered) {
+  std::unique_lock lock(mutex_);
+  RankState& rs = ranks_[rank];
   // A rank may only fetch for the round it is in; it advances its round on
   // report.  The server's round counter trails the slowest expected rank.
   for (;;) {
     throw_if_failed_locked();
-    if (rank_round_[rank] == round_ && engine_.expected(rank)) break;
-    if (rank_round_[rank] <= round_) {
+    const std::uint64_t cur = round_.load(std::memory_order_relaxed);
+    if (rs.round == cur && engine_.expected(rank)) {
+      if (rs.fetched) {
+        obs_protocol_errors_.add();
+        throw ProtocolError("fetch: rank " + std::to_string(rank) +
+                            " fetched twice without reporting");
+      }
+      break;
+    }
+    if (rs.round <= cur) {
       // Dropped, or overtaken because its round was deadline-closed
       // beneath it: re-enter the session at the next round.
-      fetched_[rank] = false;
+      rs.fetched = false;
       engine_.reactivate(rank);
-      rank_round_[rank] = round_ + 1;
+      stat_active_.store(engine_.active_count(), std::memory_order_relaxed);
+      rs.round = cur + 1;
     }
     if (deadline_enabled()) {
       if (round_ready_.wait_until(lock, deadline_locked()) ==
@@ -186,38 +341,75 @@ core::Point Server::fetch(std::size_t rank) {
       round_ready_.wait(lock);
     }
   }
-  fetched_[rank] = true;
+  rs.fetched = true;
+  out = engine_.assignment_for(rank);
   obs_fetch_ns_.record(elapsed_ns(entered));
-  return engine_.assignment_for(rank);
 }
 
 void Server::report(std::size_t rank, double time) {
   const obs::ScopedSpan span(obs::Tracer::global(), "harmony/report");
-  const auto entered = std::chrono::steady_clock::now();
-  const std::scoped_lock lock(mutex_);
+  const std::uint64_t entered = obs::LatencyClock::now();
   if (rank >= clients_) {
     obs_protocol_errors_.add();
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
   }
-  throw_if_failed_locked();
-  if (!fetched_[rank]) {
+  if (failed_.load(std::memory_order_acquire)) {
+    const std::scoped_lock lock(mutex_);
+    throw_if_failed_locked();
+  }
+  RankState& rs = ranks_[rank];
+  if (!rs.fetched) {
     obs_protocol_errors_.add();
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " reported without fetching first");
   }
-  fetched_[rank] = false;
-  if (rank_round_[rank] < round_) {
-    // The rank's round was deadline-closed beneath it; its measurement
-    // arrived too late to count and is discarded.
-    obs_discarded_reports_.add();
-    ++rank_round_[rank];
-    return;
+  bool last = false;
+  std::uint64_t round = 0;
+  for (;;) {
+    const std::uint64_t cur = round_.load(std::memory_order_acquire);
+    if (rs.round < cur) {
+      // The rank's round was deadline-closed beneath it; its measurement
+      // arrived too late to count and is discarded.
+      rs.fetched = false;
+      ++rs.round;
+      obs_discarded_reports_.add();
+      return;
+    }
+    // rs.round == cur: a rank can never lead the open round — it advances
+    // past it only by reporting, after which fetch blocks until the round
+    // catches up.
+    RoundBuffer& buf = buffers_[cur & 1];
+    if (!gate_enter(buf)) continue;  // recycler holds it; round_ has moved
+    if (round_.load(std::memory_order_acquire) != cur) {
+      gate_exit(buf);
+      continue;
+    }
+    buf.slots[rank].time = time;
+    std::uint8_t expect = kSlotPending;
+    if (!buf.slots[rank].state.compare_exchange_strong(
+            expect, kSlotReported, std::memory_order_release,
+            std::memory_order_acquire)) {
+      // The deadline sweep claimed this slot first: too late to count.
+      gate_exit(buf);
+      rs.fetched = false;
+      rs.round = cur + 1;
+      obs_discarded_reports_.add();
+      return;
+    }
+    rs.fetched = false;
+    rs.round = cur + 1;
+    last = buf.pending.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    gate_exit(buf);
+    round = cur;
+    break;
   }
-  engine_.submit(rank, time);
-  rank_round_[rank] = round_ + 1;
-  if (engine_.complete()) advance_locked();
+  if (last) {
+    // This report completed the round: take the barrier lock and advance.
+    const std::scoped_lock lock(mutex_);
+    finish_round_locked(round);
+  }
   obs_report_ns_.record(elapsed_ns(entered));
 }
 
@@ -228,44 +420,39 @@ bool Server::tick() {
 }
 
 double Server::total_time() const {
-  const std::scoped_lock lock(mutex_);
-  return engine_.total_time();
+  return stat_total_time_.load(std::memory_order_relaxed);
 }
 
 std::size_t Server::rounds_completed() const {
-  const std::scoped_lock lock(mutex_);
-  return engine_.rounds_completed();
+  return stat_rounds_.load(std::memory_order_relaxed);
 }
 
 core::Point Server::best_point() const {
-  const std::scoped_lock lock(mutex_);
-  return strategy_->best_point();
+  const std::scoped_lock stats(stats_mutex_);
+  return stat_best_;
 }
 
 bool Server::converged() const {
-  const std::scoped_lock lock(mutex_);
-  return strategy_->converged();
+  return stat_converged_.load(std::memory_order_relaxed);
 }
 
 std::vector<double> Server::step_costs() const {
-  const std::scoped_lock lock(mutex_);
-  return engine_.step_costs();
+  const std::scoped_lock stats(stats_mutex_);
+  return stat_costs_;
 }
 
 std::optional<std::size_t> Server::convergence_round() const {
-  const std::scoped_lock lock(mutex_);
-  return engine_.convergence_round();
+  const std::size_t r =
+      stat_convergence_round_.load(std::memory_order_relaxed);
+  if (r == 0) return std::nullopt;
+  return r;
 }
 
 std::size_t Server::active_ranks() const {
-  const std::scoped_lock lock(mutex_);
-  return engine_.active_count();
+  return stat_active_.load(std::memory_order_relaxed);
 }
 
-std::string Server::strategy_name() const {
-  const std::scoped_lock lock(mutex_);
-  return strategy_->name();
-}
+std::string Server::strategy_name() const { return strategy_name_; }
 
 obs::RegistrySnapshot Server::metrics_snapshot() const {
   obs::Registry& registry = server_registry(options_);

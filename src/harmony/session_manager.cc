@@ -1,9 +1,44 @@
 #include "harmony/session_manager.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 #include <utility>
 
 namespace protuner::harmony {
+
+SessionManager::Shard& SessionManager::shard_for(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShardCount];
+}
+
+const SessionManager::Shard& SessionManager::shard_for(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShardCount];
+}
+
+std::shared_ptr<SessionManager::Hosted> SessionManager::find_hosted(
+    const std::string& name) const {
+  const Shard& shard = shard_for(name);
+  const std::shared_lock lock(shard.mutex);
+  const auto it = shard.sessions.find(name);
+  return it == shard.sessions.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<SessionManager::Hosted>>>
+SessionManager::pin_all() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Hosted>>> out;
+  for (const Shard& shard : shards_) {
+    const std::shared_lock lock(shard.mutex);
+    for (const auto& [name, hosted] : shard.sessions) {
+      out.emplace_back(name, hosted);
+    }
+  }
+  // Shards split the namespace by hash; re-establish the global name order
+  // callers of names()/stats_all() rely on.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
 
 std::shared_ptr<Server> SessionManager::create(const std::string& name,
                                                core::TuningStrategyPtr
@@ -17,78 +52,97 @@ std::shared_ptr<Server> SessionManager::create(const std::string& name,
   // strategy's first proposal, which can be arbitrarily expensive.
   auto server =
       std::make_shared<Server>(std::move(strategy), clients, options);
-  const std::scoped_lock lock(mutex_);
+  auto hosted = std::make_shared<Hosted>();
+  hosted->server = std::move(server);
+  Shard& shard = shard_for(name);
+  const std::unique_lock lock(shard.mutex);
   const auto [it, inserted] =
-      sessions_.try_emplace(name, Hosted{std::move(server), 0});
+      shard.sessions.try_emplace(name, std::move(hosted));
   if (!inserted) {
     throw SessionError("create: session '" + name + "' already exists");
   }
-  return it->second.server;
+  return it->second->server;
 }
 
 std::shared_ptr<Server> SessionManager::attach(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(name);
-  if (it == sessions_.end()) {
+  const Shard& shard = shard_for(name);
+  const std::shared_lock lock(shard.mutex);
+  const auto it = shard.sessions.find(name);
+  if (it == shard.sessions.end()) {
     throw SessionError("attach: no session named '" + name + "'");
   }
-  ++it->second.attached;
-  return it->second.server;
+  // Reader lock suffices: remove() takes the writer lock, so its
+  // attached==0 check cannot interleave with this increment.
+  it->second->attached.fetch_add(1, std::memory_order_relaxed);
+  return it->second->server;
 }
 
 void SessionManager::detach(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(name);
-  if (it == sessions_.end()) {
+  const Shard& shard = shard_for(name);
+  const std::shared_lock lock(shard.mutex);
+  const auto it = shard.sessions.find(name);
+  if (it == shard.sessions.end()) {
     throw SessionError("detach: no session named '" + name + "'");
   }
-  if (it->second.attached == 0) {
-    throw SessionError("detach: session '" + name + "' is not attached");
-  }
-  --it->second.attached;
+  // CAS loop rather than blind decrement: concurrent over-detach must not
+  // wrap the count below zero before the error is raised.
+  std::atomic<std::size_t>& attached = it->second->attached;
+  std::size_t have = attached.load(std::memory_order_relaxed);
+  do {
+    if (have == 0) {
+      throw SessionError("detach: session '" + name + "' is not attached");
+    }
+  } while (!attached.compare_exchange_weak(have, have - 1,
+                                           std::memory_order_relaxed));
 }
 
 std::shared_ptr<Server> SessionManager::find(const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(name);
-  return it == sessions_.end() ? nullptr : it->second.server;
+  const auto hosted = find_hosted(name);
+  return hosted == nullptr ? nullptr : hosted->server;
 }
 
 bool SessionManager::remove(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(name);
-  if (it == sessions_.end()) return false;
-  if (it->second.attached > 0) {
+  Shard& shard = shard_for(name);
+  const std::unique_lock lock(shard.mutex);
+  const auto it = shard.sessions.find(name);
+  if (it == shard.sessions.end()) return false;
+  // Writer lock excludes attach(), so this check is race-free.
+  const std::size_t attached =
+      it->second->attached.load(std::memory_order_relaxed);
+  if (attached > 0) {
     throw SessionError("remove: session '" + name + "' still has " +
-                       std::to_string(it->second.attached) +
-                       " attachment(s)");
+                       std::to_string(attached) + " attachment(s)");
   }
-  sessions_.erase(it);
+  shard.sessions.erase(it);
   return true;
 }
 
 std::vector<std::string> SessionManager::names() const {
-  const std::scoped_lock lock(mutex_);
+  const auto pinned = pin_all();
   std::vector<std::string> out;
-  out.reserve(sessions_.size());
-  for (const auto& [name, hosted] : sessions_) out.push_back(name);
+  out.reserve(pinned.size());
+  for (const auto& [name, hosted] : pinned) out.push_back(name);
   return out;
 }
 
 std::size_t SessionManager::size() const {
-  const std::scoped_lock lock(mutex_);
-  return sessions_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::shared_lock lock(shard.mutex);
+    total += shard.sessions.size();
+  }
+  return total;
 }
 
-SessionManager::SessionStats SessionManager::stats_locked(
-    const std::string& name, const Hosted& hosted) const {
+SessionManager::SessionStats SessionManager::stats_of(
+    const std::string& name, const Hosted& hosted) {
   const Server& server = *hosted.server;
   SessionStats s;
   s.name = name;
   s.strategy = server.strategy_name();
   s.clients = server.clients();
   s.active_ranks = server.active_ranks();
-  s.attached = hosted.attached;
+  s.attached = hosted.attached.load(std::memory_order_relaxed);
   s.rounds = server.rounds_completed();
   s.total_time = server.total_time();
   s.converged = server.converged();
@@ -99,34 +153,30 @@ SessionManager::SessionStats SessionManager::stats_locked(
 
 SessionManager::SessionStats SessionManager::stats(
     const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
-  const auto it = sessions_.find(name);
-  if (it == sessions_.end()) {
+  // Pin the record under the shard's reader lock, aggregate after release:
+  // the server accessor calls must never extend the registry critical
+  // section (they are cheap today, but stats must not be able to block
+  // create/remove however slow the session is).
+  const auto hosted = find_hosted(name);
+  if (hosted == nullptr) {
     throw SessionError("stats: no session named '" + name + "'");
   }
-  return stats_locked(name, it->second);
+  return stats_of(name, *hosted);
 }
 
 std::vector<SessionManager::SessionStats> SessionManager::stats_all() const {
-  const std::scoped_lock lock(mutex_);
+  const auto pinned = pin_all();
   std::vector<SessionStats> out;
-  out.reserve(sessions_.size());
-  for (const auto& [name, hosted] : sessions_) {
-    out.push_back(stats_locked(name, hosted));
+  out.reserve(pinned.size());
+  for (const auto& [name, hosted] : pinned) {
+    out.push_back(stats_of(name, *hosted));
   }
   return out;
 }
 
 obs::RegistrySnapshot SessionManager::metrics_snapshot() const {
-  std::vector<std::shared_ptr<Server>> servers;
-  {
-    const std::scoped_lock lock(mutex_);
-    servers.reserve(sessions_.size());
-    for (const auto& [name, hosted] : sessions_) {
-      servers.push_back(hosted.server);
-    }
-  }
-  // Snapshot outside the registry lock; sessions sharing one obs::Registry
+  const auto pinned = pin_all();
+  // Snapshot outside the registry locks; sessions sharing one obs::Registry
   // may overlap, so duplicate (name, labels) series are dropped.
   obs::RegistrySnapshot out;
   const auto merge = [&out](obs::RegistrySnapshot s) {
@@ -139,7 +189,9 @@ obs::RegistrySnapshot SessionManager::metrics_snapshot() const {
       if (!seen) out.instruments.push_back(std::move(inst));
     }
   };
-  for (const auto& server : servers) merge(server->metrics_snapshot());
+  for (const auto& [name, hosted] : pinned) {
+    merge(hosted->server->metrics_snapshot());
+  }
   // Process-wide subsystem telemetry (database tiers, clean-time cache,
   // thread pools) carries no session label but belongs on the serving
   // process's exposition page alongside its sessions.

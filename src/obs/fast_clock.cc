@@ -1,0 +1,36 @@
+#include "obs/fast_clock.h"
+
+namespace protuner::obs {
+
+double LatencyClock::ns_per_tick() {
+  static const double factor = calibrate();
+  return factor;
+}
+
+double LatencyClock::calibrate() {
+#if defined(__x86_64__) || defined(__i386__)
+  using clock = std::chrono::steady_clock;
+  const auto s0 = clock::now();
+  const std::uint64_t t0 = now();
+  // Long enough that vDSO clock resolution and preemption jitter are ppm-
+  // level; short enough to be invisible at process start.
+  while (clock::now() - s0 < std::chrono::microseconds(200)) {
+  }
+  const auto s1 = clock::now();
+  const std::uint64_t t1 = now();
+  const double ns = std::chrono::duration<double, std::nano>(s1 - s0).count();
+  const double dticks = static_cast<double>(t1 - t0);
+  const double factor = ns / dticks;
+  // A TSC slower than 1MHz or faster than 100GHz means the counter is not
+  // behaving (emulator, stopped TSC): treat ticks as nanoseconds rather
+  // than publish garbage latencies.
+  if (!(factor > 1e-2) || !(factor < 1e3)) return 1.0;
+  return factor;
+#else
+  using period = std::chrono::steady_clock::period;
+  return 1e9 * static_cast<double>(period::num) /
+         static_cast<double>(period::den);
+#endif
+}
+
+}  // namespace protuner::obs

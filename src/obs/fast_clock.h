@@ -1,0 +1,51 @@
+// Cheap monotonic tick source for latency telemetry.
+//
+// The serving hot path stamps every fetch/report twice (entry + exit) to
+// feed the latency histograms; at production op rates the stamping itself
+// becomes a first-order cost — clock_gettime via the vDSO is ~25ns, four
+// of them per fetch/report pair is more than the entire protocol work.
+// On x86 the TSC is invariant (constant rate, monotonic per-core and
+// synchronized across cores on anything modern), so a raw rdtsc (~7ns)
+// plus one lazily-calibrated ticks→ns factor gives the same histograms at
+// a third of the cost.  Telemetry only: deadlines and round accounting
+// stay on std::chrono::steady_clock — a latency histogram tolerates the
+// TSC's ppm-level calibration error, a deadline contract should not.
+//
+// Non-x86 (and any build where rdtsc is unavailable) falls back to
+// steady_clock ticks with the factor derived from its period, so callers
+// never branch: LatencyClock::now() for stamps, to_ns() for durations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace protuner::obs {
+
+class LatencyClock {
+ public:
+  /// Raw tick stamp.  Only differences are meaningful, and only after
+  /// conversion through to_ns().
+  static std::uint64_t now() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  }
+
+  /// Converts a tick *difference* to nanoseconds.
+  static double to_ns(std::uint64_t ticks) {
+    return static_cast<double>(ticks) * ns_per_tick();
+  }
+
+  /// Lazily calibrated ticks→ns factor (~200µs one-time spin against
+  /// steady_clock on first use; call once at construction time to keep it
+  /// off the first request's latency).  Thread-safe.
+  static double ns_per_tick();
+
+ private:
+  static double calibrate();
+};
+
+}  // namespace protuner::obs

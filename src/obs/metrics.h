@@ -183,7 +183,10 @@ class Registry {
 
   std::size_t size() const;
 
-  /// Point-in-time copy of every instrument.
+  /// Point-in-time copy of every instrument.  Not stop-the-world: the
+  /// registry mutex is held only to collect the (pointer-stable) entry
+  /// list; bucket reads, string copies and allocation happen after
+  /// release, so a slow consumer never blocks instrument registration.
   RegistrySnapshot snapshot() const;
   /// Only the instruments carrying label `key` == `value` (the per-session
   /// filter harmony::Server::metrics_snapshot uses).
@@ -204,6 +207,7 @@ class Registry {
   Entry& find_or_create(InstrumentKind kind, std::string_view name,
                         std::string_view help, Labels labels);
   InstrumentSnapshot snapshot_entry(const Entry& e) const;
+  std::vector<const Entry*> collect_entries() const;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;  ///< pointer-stable storage

@@ -25,6 +25,7 @@
 #include "core/round_engine.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
+#include "harmony/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "varmodel/pareto_noise.h"
@@ -168,6 +169,38 @@ TEST(StepAllocation, PaddedEngineSteadyStateIsAllocationFree) {
   const std::size_t before = allocation_count();
   for (int i = 0; i < 200; ++i) engine.step(machine);
   EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(StepAllocation, ServingFetchReportPathIsAllocationFree) {
+  // The serving hot path: once a Server's double buffers, rank states and
+  // latency instruments are warm, fetch_into + report — including the
+  // inline round close, strategy re-proposal and next-round publication —
+  // must never touch the heap.  This is what lets the sharded server run
+  // at memory-bandwidth speeds instead of malloc-lock speeds under load.
+  obs::Registry registry;
+  harmony::ServerOptions so;
+  so.metrics = &registry;
+  so.record_series = false;  // the cost series grows by design
+  so.session = "alloc-serving";
+  harmony::Server server(std::make_unique<FixedStrategy>(Point{1.0, 2.0}),
+                         16, so);
+  Point scratch;
+  for (int k = 0; k < 5; ++k) {  // warm buffers, scratch and instruments
+    for (std::size_t r = 0; r < 16; ++r) {
+      server.fetch_into(r, scratch);
+      server.report(r, 1.0 + static_cast<double>(r));
+    }
+  }
+  const std::size_t before = allocation_count();
+  for (int k = 0; k < 200; ++k) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      server.fetch_into(r, scratch);
+      server.report(r, 1.0 + static_cast<double>(r));
+    }
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state fetch/report allocated on the heap";
+  EXPECT_EQ(server.rounds_completed(), 205u);
 }
 
 TEST(StepAllocation, WarmedReferenceInterpolationIsAllocationFree) {
