@@ -10,15 +10,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/annealing.h"
-#include "core/compass.h"
-#include "core/fixed.h"
-#include "core/genetic.h"
-#include "core/nelder_mead.h"
-#include "core/pro.h"
-#include "core/random_search.h"
 #include "core/session.h"
-#include "core/sro.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/csv.h"
@@ -28,44 +21,12 @@ using namespace protuner;
 
 namespace {
 
-core::TuningStrategyPtr make(const std::string& which,
-                             const core::ParameterSpace& space,
-                             std::uint64_t seed) {
-  if (which == "PRO") {
-    return std::make_unique<core::ProStrategy>(space, core::ProOptions{});
-  }
-  if (which == "PRO-K3") {
-    core::ProOptions o;
-    o.samples = 3;
-    return std::make_unique<core::ProStrategy>(space, o);
-  }
-  if (which == "SRO") {
-    return std::make_unique<core::SroStrategy>(space, core::SroOptions{});
-  }
-  if (which == "NelderMead") {
-    core::NelderMeadOptions o;
-    o.max_iterations = 200;
-    return std::make_unique<core::NelderMeadStrategy>(space, o);
-  }
-  if (which == "Compass") {
-    return std::make_unique<core::CompassStrategy>(space,
-                                                   core::CompassOptions{});
-  }
-  if (which == "Annealing") {
-    core::AnnealingOptions o;
-    o.seed = seed;
-    return std::make_unique<core::AnnealingStrategy>(space, o);
-  }
-  if (which == "Genetic") {
-    core::GeneticOptions o;
-    o.seed = seed;
-    return std::make_unique<core::GeneticStrategy>(space, o);
-  }
-  if (which == "Random") {
-    return std::make_unique<core::RandomSearchStrategy>(space, seed);
-  }
-  return std::make_unique<core::FixedStrategy>(space.center());
-}
+// Display label + declarative spec (DESIGN.md §13); the per-rep seed feeds
+// the stochastic strategies exactly as the hand-rolled factories did.
+struct Algo {
+  std::string label;
+  std::string spec;
+};
 
 }  // namespace
 
@@ -81,9 +42,12 @@ int main() {
       gs2::Database::measure(space, surface, {}));
   auto noise = std::make_shared<varmodel::ParetoNoise>(0.1, 1.7);
 
-  const std::vector<std::string> algos{"PRO",     "PRO-K3",  "SRO",
-                                       "NelderMead", "Compass", "Annealing",
-                                       "Genetic", "Random",  "NoTuning"};
+  const std::vector<Algo> algos{
+      {"PRO", "pro"},           {"PRO-K3", "pro:k=3"},
+      {"SRO", "sro"},           {"NelderMead", "nm:iters=200"},
+      {"Compass", "compass"},   {"Annealing", "anneal"},
+      {"Genetic", "genetic"},   {"Random", "random"},
+      {"NoTuning", "fixed"}};
 
   util::CsvWriter csv(std::cout);
   csv.header({"algorithm", "avg_ntt_100", "avg_best_clean",
@@ -98,7 +62,8 @@ int main() {
       const std::uint64_t seed =
           bench::seed() + 61ULL * static_cast<std::uint64_t>(rep);
       cluster::SimulatedCluster machine(db, noise, {.ranks = 8, .seed = seed});
-      auto strategy = make(algos[a], space, seed ^ 0xabcdULL);
+      auto strategy = core::make_strategy(algos[a].spec, space,
+                                          seed ^ 0xabcdULL);
       const core::SessionResult r = core::run_session(
           *strategy, machine, {.steps = 100, .record_series = false});
       return RepOut{r.ntt, r.best_clean,
@@ -111,13 +76,13 @@ int main() {
       acc_conv += o.conv;
     }
     ntt[a] = acc_ntt / static_cast<double>(reps);
-    csv.row(algos[a], ntt[a], acc_clean / static_cast<double>(reps),
+    csv.row(algos[a].label, ntt[a], acc_clean / static_cast<double>(reps),
             acc_conv / static_cast<double>(reps));
   }
 
   const auto idx = [&](const std::string& n) {
     for (std::size_t i = 0; i < algos.size(); ++i) {
-      if (algos[i] == n) return i;
+      if (algos[i].label == n) return i;
     }
     return std::size_t{0};
   };

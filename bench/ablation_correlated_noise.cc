@@ -14,16 +14,15 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "cluster/simulated_cluster.h"
-#include "cluster/trace_cluster.h"
-#include "core/pro.h"
+#include "cluster/evaluator_spec.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "stats/pareto.h"
 #include "util/csv.h"
 #include "util/rng.h"
-#include "varmodel/pareto_noise.h"
+#include "varmodel/noise_spec.h"
 
 using namespace protuner;
 
@@ -51,26 +50,21 @@ int main() {
       const auto outs = bench::per_rep(reps, [&](long rep) {
         const std::uint64_t seed =
             bench::seed() + 211ULL * static_cast<std::uint64_t>(rep);
-        core::ProOptions opts;
-        opts.samples = k;
-        core::ProStrategy pro(space, opts);
-        core::SessionResult r;
-        if (kind == 0) {
-          auto noise = std::make_shared<varmodel::ParetoNoise>(0.25, 1.7);
-          cluster::SimulatedCluster machine(db, noise,
-                                            {.ranks = 6, .seed = seed});
-          r = core::run_session(pro, machine,
-                                {.steps = 200, .record_series = false});
-        } else {
-          cluster::TraceClusterConfig cfg;
-          cfg.ranks = 6;
-          cfg.seed = seed;
-          cfg.shocks.big_prob = 0.04;   // shared system-wide events
-          cfg.shocks.small_prob = 0.04; // per-rank events
-          cluster::TraceCluster machine(db, cfg);
-          r = core::run_session(pro, machine,
-                                {.steps = 200, .record_series = false});
-        }
+        auto pro = core::make_strategy("pro:k=" + std::to_string(k), space,
+                                       bench::seed());
+        // kind 0: i.i.d. per-rank Pareto noise; kind 1: the correlated
+        // shock trace (shared system-wide + per-rank events).
+        auto machine =
+            kind == 0
+                ? cluster::make_evaluator(
+                      "simulated:ranks=6", db,
+                      varmodel::make_noise("pareto:rho=0.25,alpha=1.7"),
+                      seed)
+                : cluster::make_evaluator(
+                      "trace:ranks=6,big_p=0.04,small_p=0.04", db, nullptr,
+                      seed);
+        const core::SessionResult r = core::run_session(
+            *pro, *machine, {.steps = 200, .record_series = false});
         return RepOut{r.total_time, r.best_clean};
       });
       double acc_total = 0.0, acc_clean = 0.0;

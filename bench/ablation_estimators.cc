@@ -15,13 +15,13 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
+#include "core/estimator.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/csv.h"
-#include "varmodel/pareto_noise.h"
-#include "varmodel/simple_noise.h"
+#include "varmodel/noise_spec.h"
 
 using namespace protuner;
 
@@ -55,16 +55,15 @@ int main() {
       "operator converges (Pareto min-of-K is Pareto(K alpha))");
 
   const std::vector<std::pair<const char*,
-                              std::shared_ptr<varmodel::NoiseModel>>>
+                              std::shared_ptr<const varmodel::NoiseModel>>>
       noises{
           {"pareto(rho=0.3,a=1.7)",
-           std::make_shared<varmodel::ParetoNoise>(0.3, 1.7)},
+           varmodel::make_noise("pareto:rho=0.3,alpha=1.7")},
           {"pareto(rho=0.3,a=1.3)",
-           std::make_shared<varmodel::ParetoNoise>(0.3, 1.3)},
-          {"exponential(rho=0.3)",
-           std::make_shared<varmodel::ExponentialNoise>(0.3)},
+           varmodel::make_noise("pareto:rho=0.3,alpha=1.3")},
+          {"exponential(rho=0.3)", varmodel::make_noise("exp:rho=0.3")},
           {"gaussian(rho=0.3,cv=0.5)",
-           std::make_shared<varmodel::GaussianNoise>(0.3, 0.5)},
+           varmodel::make_noise("gauss:rho=0.3,cv=0.5")},
       };
   const std::vector<std::pair<const char*, core::EstimatorKind>> kinds{
       {"min", core::EstimatorKind::kMin},
@@ -102,7 +101,7 @@ int main() {
   const gs2::Gs2Surface surface;
   auto db = std::make_shared<gs2::Database>(
       gs2::Database::measure(space, surface, {}));
-  auto pnoise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
+  auto pnoise = varmodel::make_noise("pareto:rho=0.3,alpha=1.7");
 
   util::CsvWriter csv2(std::cout);
   csv2.header({"estimator", "avg_ntt", "avg_best_clean"});
@@ -111,18 +110,16 @@ int main() {
     struct RepOut {
       double ntt, clean;
     };
-    const auto outs = bench::per_rep(reps, [&, kind](long rep) {
+    const auto outs = bench::per_rep(reps, [&, ename](long rep) {
       cluster::SimulatedCluster machine(
           db, pnoise,
           {.ranks = 6,
            .seed = bench::seed() + 17ULL * static_cast<std::uint64_t>(rep)});
-      core::ProOptions opts;
-      opts.samples = 3;
-      opts.estimator = kind;
-      opts.refresh_best = false;
-      core::ProStrategy pro(space, opts);
+      auto pro = core::make_strategy(
+          std::string("pro:k=3,refresh=0,est=") + ename, space,
+          bench::seed());
       const core::SessionResult r = core::run_session(
-          pro, machine, {.steps = 400, .record_series = false});
+          *pro, machine, {.steps = 400, .record_series = false});
       return RepOut{r.ntt, r.best_clean};
     });
     double acc_ntt = 0.0, acc_clean = 0.0;

@@ -12,8 +12,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "stats/pareto.h"
@@ -63,11 +63,10 @@ int main() {
             db, noise,
             {.ranks = 6,
              .seed = bench::seed() + 503ULL * static_cast<std::uint64_t>(rep)});
-        core::ProOptions opts;
-        opts.samples = k;
-        core::ProStrategy pro(space, opts);
+        auto pro = core::make_strategy("pro:k=" + std::to_string(k), space,
+                                       bench::seed());
         const core::SessionResult r = core::run_session(
-            pro, machine, {.steps = 200, .record_series = false});
+            *pro, machine, {.steps = 200, .record_series = false});
         return RepOut{r.ntt, r.best_clean};
       });
       double acc_ntt = 0.0, acc_clean = 0.0;

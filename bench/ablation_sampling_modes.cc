@@ -10,8 +10,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/csv.h"
@@ -23,9 +23,7 @@ namespace {
 
 struct Variant {
   const char* name;
-  int samples;
-  bool replicas;
-  bool refresh;
+  const char* spec;  ///< declarative PRO spec (DESIGN.md §13)
   std::size_t ranks;
 };
 
@@ -45,12 +43,12 @@ int main() {
   auto noise = std::make_shared<varmodel::ParetoNoise>(0.3, 1.7);
 
   const std::vector<Variant> variants{
-      {"K1-seq-stale", 1, false, false, 6},
-      {"K3-seq-stale", 3, false, false, 6},
-      {"K3-par-stale (18 ranks)", 3, true, false, 18},
-      {"K5-par-stale (30 ranks)", 5, true, false, 30},
-      {"K1-seq-refresh", 1, false, true, 6},
-      {"K3-seq-refresh", 3, false, true, 6},
+      {"K1-seq-stale", "pro:k=1,replicas=0,refresh=0", 6},
+      {"K3-seq-stale", "pro:k=3,replicas=0,refresh=0", 6},
+      {"K3-par-stale (18 ranks)", "pro:k=3,replicas=1,refresh=0", 18},
+      {"K5-par-stale (30 ranks)", "pro:k=5,replicas=1,refresh=0", 30},
+      {"K1-seq-refresh", "pro:k=1,replicas=0,refresh=1", 6},
+      {"K3-seq-refresh", "pro:k=3,replicas=0,refresh=1", 6},
   };
 
   util::CsvWriter csv(std::cout);
@@ -68,11 +66,9 @@ int main() {
           db, noise,
           {.ranks = variants[v].ranks,
            .seed = bench::seed() + 101ULL * static_cast<std::uint64_t>(rep)});
-      core::ProOptions opts;
-      opts.samples = variants[v].samples;
-      opts.parallel_replicas = variants[v].replicas;
-      opts.refresh_best = variants[v].refresh;
-      core::ProStrategy pro(space, opts);
+      auto pro_ptr =
+          core::make_strategy(variants[v].spec, space, bench::seed());
+      core::TuningStrategy& pro = *pro_ptr;
       const core::SessionResult r = core::run_session(
           pro, machine, {.steps = 200, .record_series = false});
       return RepOut{r.ntt, r.best_clean,

@@ -15,8 +15,9 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
+#include "core/pro.h"  // concrete type: the adaptive arm reads current_samples()
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/csv.h"
@@ -62,11 +63,10 @@ int main() {
             db, noise,
             {.ranks = 6,
              .seed = bench::seed() + 613ULL * static_cast<std::uint64_t>(rep)});
-        core::ProOptions opts;
-        opts.samples = k;
-        core::ProStrategy pro(space, opts);
+        auto pro = core::make_strategy("pro:k=" + std::to_string(k), space,
+                                       bench::seed());
         const auto r = core::run_session(
-            pro, machine, {.steps = kSteps, .record_series = false});
+            *pro, machine, {.steps = kSteps, .record_series = false});
         return RepOut{r.ntt, r.best_clean};
       });
       double acc = 0.0, acc_clean = 0.0;

@@ -15,8 +15,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/csv.h"
@@ -52,12 +52,11 @@ int main() {
             db, noise,
             {.ranks = 6,
              .seed = bench::seed() + 733ULL * static_cast<std::uint64_t>(rep)});
-        core::ProOptions opts;
-        opts.samples = 3;
-        opts.racing = racing;
-        core::ProStrategy pro(space, opts);
+        auto pro = core::make_strategy(racing ? "pro:k=3,racing=1"
+                                              : "pro:k=3",
+                                       space, bench::seed());
         const auto r = core::run_session(
-            pro, machine, {.steps = 400, .record_series = false});
+            *pro, machine, {.steps = 400, .record_series = false});
         return RepOut{r.ntt, r.best_clean};
       });
       double acc = 0.0, acc_clean = 0.0;

@@ -18,10 +18,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/annealing.h"
-#include "core/pro.h"
 #include "core/session.h"
-#include "core/sro.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/ascii_plot.h"
@@ -38,24 +36,18 @@ core::TuningStrategyPtr make_variant(int variant,
                                      const core::ParameterSpace& space,
                                      std::uint64_t seed) {
   switch (variant) {
-    case 1: {
-      core::ProOptions o;
-      o.refresh_best = false;  // paper-literal Algorithm 2 throughout
-      return std::make_unique<core::ProStrategy>(space, o);
-    }
+    case 1:
+      // refresh=0: paper-literal Algorithm 2 throughout.
+      return core::make_strategy("pro:refresh=0", space, seed);
     case 2:
-      return std::make_unique<core::SroStrategy>(space, core::SroOptions{});
-    default: {
+      return core::make_strategy("sro", space, seed);
+    default:
       // Randomized global search: converges to the best configuration of
       // the three eventually (the landscape is trap-dense and PRO is
       // local), but pays a brutal random-start transient — the §2 argument
       // against randomized optimizers for on-line tuning.
-      core::AnnealingOptions o;
-      o.seed = seed;
-      o.step_decay = 0.985;
-      o.migrate_every = 25;
-      return std::make_unique<core::AnnealingStrategy>(space, o);
-    }
+      return core::make_strategy("anneal:decay=0.985,migrate=25", space,
+                                 seed);
   }
 }
 

@@ -23,8 +23,8 @@
 
 #include "bench_common.h"
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "util/ascii_plot.h"
@@ -71,14 +71,12 @@ Grid run_grid(const core::ParameterSpace& space, core::LandscapePtr db,
             {.ranks = 6,
              .seed = bench::seed() +
                      1000003ULL * static_cast<std::uint64_t>(rep + 1)});
-        core::ProOptions opts;
-        opts.refresh_best = false;  // paper-literal Algorithm 2
-        opts.samples = k;
-        opts.estimator = core::EstimatorKind::kMin;
-        opts.parallel_replicas = false;  // sequential samples: worst case
-        core::ProStrategy pro(space, opts);
+        // refresh=0: paper-literal Algorithm 2; est=min, replicas=0
+        // (sequential samples, the worst case) are the defaults.
+        auto pro = core::make_strategy(
+            "pro:refresh=0,k=" + std::to_string(k), space, bench::seed());
         const core::SessionResult r = core::run_session(
-            pro, machine, {.steps = steps, .record_series = false});
+            *pro, machine, {.steps = steps, .record_series = false});
         return RepOut{r.ntt, r.best_clean};
       });
       double acc = 0.0, acc_clean = 0.0;

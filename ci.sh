@@ -13,4 +13,7 @@ for wf in ci ci-scalar ci-tsan; do
   echo "==== cmake --workflow --preset ${wf} ===="
   cmake --workflow --preset "${wf}"
 done
+echo "==== tuning_shootout --smoke ===="
+./build/examples/tuning_shootout --smoke \
+  --json=build/BENCH_shootout.json > /dev/null
 echo "==== verify matrix green ===="

@@ -11,12 +11,13 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/simulated_cluster.h"
-#include "core/pro.h"
 #include "core/sensitivity.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "stats/pareto.h"
@@ -65,10 +66,9 @@ int main() {
       cluster::SimulatedCluster sim(
           db, fitted,
           {.ranks = 6, .seed = static_cast<std::uint64_t>(900 + rep)});
-      core::ProOptions opts;
-      opts.samples = k;
-      core::ProStrategy pro(space, opts);
-      acc += core::run_session(pro, sim, {.steps = 200}).ntt;
+      auto pro =
+          core::make_strategy("pro:k=" + std::to_string(k), space);
+      acc += core::run_session(*pro, sim, {.steps = 200}).ntt;
     }
     const double ntt = acc / 40.0;
     std::printf("  K=%d: avg NTT=%.2f\n", k, ntt);
@@ -103,11 +103,10 @@ int main() {
     util::Rng rng_;
   } real_cluster(db, real_machine, 6);
 
-  core::ProOptions opts;
-  opts.samples = best_k;
-  core::ProStrategy pro(space, opts);
+  auto pro =
+      core::make_strategy("pro:k=" + std::to_string(best_k), space);
   const core::SessionResult result =
-      core::run_session(pro, real_cluster, {.steps = 200});
+      core::run_session(*pro, real_cluster, {.steps = 200});
   std::printf("tuned on the real machine: best=(%.0f, %.0f, %.0f) "
               "f=%.3f (default %.3f), Total_Time=%.1f\n",
               result.best[0], result.best[1], result.best[2],

@@ -8,12 +8,11 @@
 #include <memory>
 
 #include "cluster/simulated_cluster.h"
-#include "core/fixed.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
-#include "varmodel/pareto_noise.h"
+#include "varmodel/noise_spec.h"
 
 using namespace protuner;
 
@@ -44,31 +43,29 @@ int main() {
             << " s/iter at (ntheta=" << center[0] << ", negrid=" << center[1]
             << ", nodes=" << center[2] << ")\n\n";
 
-  auto noise = std::make_shared<varmodel::ParetoNoise>(0.25, 1.7);
+  auto noise = varmodel::make_noise("pareto:rho=0.25,alpha=1.7");
 
   // Baseline: run the default configuration untuned.
   {
     cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
-    core::FixedStrategy fixed(center);
+    auto fixed = core::make_strategy("fixed", space);
     report("no tuning (default config)",
-           core::run_session(fixed, machine, {.steps = 300}));
+           core::run_session(*fixed, machine, {.steps = 300}));
   }
 
   // PRO, single sample.
   {
     cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
-    core::ProStrategy pro(space, {});
-    const auto r = core::run_session(pro, machine, {.steps = 300});
+    auto pro = core::make_strategy("pro", space);
+    const auto r = core::run_session(*pro, machine, {.steps = 300});
     report("PRO (K=1)", r);
   }
 
   // PRO with the paper's min-of-K modification.
   {
     cluster::SimulatedCluster machine(db, noise, {.ranks = 6, .seed = 7});
-    core::ProOptions opts;
-    opts.samples = 3;
-    core::ProStrategy pro(space, opts);
-    const auto r = core::run_session(pro, machine, {.steps = 300});
+    auto pro = core::make_strategy("pro:k=3", space);
+    const auto r = core::run_session(*pro, machine, {.steps = 300});
     report("PRO (min of K=3)", r);
 
     // Show the tuning trajectory: cumulative time every 30 steps.
@@ -82,12 +79,9 @@ int main() {
   // (§5.2 — extra samples at no time cost).
   {
     cluster::SimulatedCluster machine(db, noise, {.ranks = 24, .seed = 7});
-    core::ProOptions opts;
-    opts.samples = 4;
-    opts.parallel_replicas = true;
-    core::ProStrategy pro(space, opts);
+    auto pro = core::make_strategy("pro:k=4,replicas=1", space);
     report("\nPRO (K=4, parallel, 24 ranks)",
-           core::run_session(pro, machine, {.steps = 300}));
+           core::run_session(*pro, machine, {.steps = 300}));
   }
   return 0;
 }

@@ -11,7 +11,7 @@
 #include <memory>
 
 #include "comm/spmd.h"
-#include "core/pro.h"
+#include "core/strategy_spec.h"
 #include "gs2/surface.h"
 #include "harmony/message_protocol.h"
 #include "util/rng.h"
@@ -31,11 +31,8 @@ int main() {
 
   comm::spmd_run(kWorld, [&](comm::Communicator& comm) {
     if (comm.rank() == 0) {
-      core::ProOptions opts;
-      opts.samples = 2;
       result = harmony::run_message_server(
-          comm, std::make_unique<core::ProStrategy>(space, opts),
-          kWorld - 1);
+          comm, core::make_strategy("pro:k=2", space), kWorld - 1);
     } else {
       harmony::MessageClient client(comm, /*server_rank=*/0);
       util::Rng rng(7000 + comm.rank());

@@ -20,7 +20,7 @@
 #include <string>
 
 #include "comm/spmd.h"
-#include "core/pro.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "harmony/session_manager.h"
@@ -63,9 +63,6 @@ int main(int argc, char** argv) {
       gs2::Database::measure(space, *surface, gs2::DatabaseOptions{});
   const varmodel::ParetoNoise noise(0.15, 1.7);
 
-  core::ProOptions opts;
-  opts.samples = 2;
-
   // Host the session through the manager, the way a long-lived tuning
   // service would: any component can attach("gs2") later to observe it.
   // The report deadline is generous here (no rank ever misses it); it
@@ -75,7 +72,7 @@ int main(int argc, char** argv) {
   server_options.straggler_policy = harmony::StragglerPolicy::kShrink;
   harmony::SessionManager manager;
   const std::shared_ptr<harmony::Server> session = manager.create(
-      "gs2", std::make_unique<core::ProStrategy>(space, opts), kRanks,
+      "gs2", core::make_strategy("pro:k=2", space), kRanks,
       server_options);
   harmony::Server& server = *session;
 

@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "apps/blocked_matmul.h"
-#include "core/pro.h"
 #include "core/session.h"
+#include "core/strategy_spec.h"
 
 using namespace protuner;
 
@@ -22,11 +22,10 @@ int main() {
   std::cout << "tuning blocked " << kN << "x" << kN
             << " matmul block sizes (bi, bj, bk) with PRO...\n";
 
-  core::ProOptions opts;
-  opts.samples = 2;  // real noise: use the paper's min-of-K estimator
-  core::ProStrategy pro(space, opts);
+  // Real noise: use the paper's min-of-K estimator (K=2).
+  auto pro = core::make_strategy("pro:k=2", space);
   const core::SessionResult r =
-      core::run_session(pro, machine, {.steps = 60});
+      core::run_session(*pro, machine, {.steps = 60});
 
   std::printf("best blocks: bi=%.0f bj=%.0f bk=%.0f  (converged@%zu)\n",
               r.best[0], r.best[1], r.best[2],

@@ -14,8 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/nelder_mead.h"
-#include "core/pro.h"
+#include "core/strategy_spec.h"
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "harmony/session_manager.h"
@@ -99,15 +98,10 @@ int main(int argc, char** argv) {
   const varmodel::ParetoNoise noise(0.15, 1.7);
 
   harmony::SessionManager manager;
-  core::ProOptions pro_opts;
-  pro_opts.samples = 2;
-  const auto pro = manager.create(
-      "pro", std::make_unique<core::ProStrategy>(space, pro_opts), kRanks);
-  const auto nm = manager.create(
-      "nm",
-      std::make_unique<core::NelderMeadStrategy>(space,
-                                                 core::NelderMeadOptions{}),
-      kRanks);
+  const auto pro =
+      manager.create("pro", core::make_strategy("pro:k=2", space), kRanks);
+  const auto nm =
+      manager.create("nm", core::make_strategy("nm", space), kRanks);
 
   util::Rng rng_pro(42);
   util::Rng rng_nm(43);

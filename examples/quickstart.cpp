@@ -10,9 +10,9 @@
 
 #include "cluster/simulated_cluster.h"
 #include "core/landscape.h"
-#include "core/pro.h"
 #include "core/session.h"
-#include "varmodel/pareto_noise.h"
+#include "core/strategy_spec.h"
+#include "varmodel/noise_spec.h"
 
 using namespace protuner;
 
@@ -37,15 +37,15 @@ int main() {
 
   // 3. The machine: 8 ranks with heavy-tailed variability (idle throughput
   //    20%, Pareto tail index 1.7 — the paper's model).
-  auto noise = std::make_shared<varmodel::ParetoNoise>(0.2, 1.7);
+  auto noise = varmodel::make_noise("pareto:rho=0.2,alpha=1.7");
   cluster::SimulatedCluster machine(app, noise, {.ranks = 8, .seed = 42});
 
   // 4. PRO with min-of-3 sampling; tune over 120 application time steps.
-  core::ProOptions opts;
-  opts.samples = 3;
-  core::ProStrategy pro(space, opts);
+  //    Strategies are built from declarative specs (DESIGN.md §13):
+  //    swap in "spsa", "nm:iters=200", "rs:m=12", ... without recompiling.
+  auto pro = core::make_strategy("pro:k=3", space);
   const core::SessionResult result =
-      core::run_session(pro, machine, {.steps = 120});
+      core::run_session(*pro, machine, {.steps = 120});
 
   std::cout << "best configuration: block=" << result.best[0]
             << " threads=" << result.best[1] << "\n"

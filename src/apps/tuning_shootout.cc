@@ -1,0 +1,177 @@
+#include "apps/tuning_shootout.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+
+#include "cluster/evaluator_spec.h"
+#include "core/strategy_spec.h"
+#include "gs2/landscape_spec.h"
+#include "spec/spec.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "varmodel/noise_spec.h"
+
+namespace protuner::apps {
+
+namespace {
+
+/// Applies a min-of-K setting by rewriting the spec with `k=K`.
+std::string with_k(const std::string& spec, int k) {
+  if (k <= 0) return spec;
+  const char join = spec.find(':') == std::string::npos ? ':' : ',';
+  return spec + join + "k=" + std::to_string(k);
+}
+
+/// Per-cell deterministic seeds: distinct streams for the strategy and the
+/// evaluator, decorrelated across repetitions.
+std::uint64_t strategy_seed(std::uint64_t base, std::size_t rep) {
+  return base + 7919 * (rep + 1);
+}
+std::uint64_t evaluator_seed(std::uint64_t base, std::size_t rep) {
+  return (base ^ 0x5bf03635u) + 104729 * (rep + 1);
+}
+
+std::string evaluator_spec_for(const ShootoutOptions& opt, std::size_t rep) {
+  const char join =
+      opt.evaluator.find(':') == std::string::npos ? ':' : ',';
+  return opt.evaluator + join + "ranks=" + std::to_string(opt.ranks) +
+         ",seed=" + std::to_string(evaluator_seed(opt.base_seed, rep));
+}
+
+}  // namespace
+
+ShootoutReport run_shootout(const ShootoutOptions& opt, std::ostream& out) {
+  ShootoutReport report;
+  std::set<std::string> skipped_specs;  // dedupe across landscapes/noises
+
+  out << "tuning_shootout: " << opt.strategies.size() << " strategies x "
+      << opt.landscapes.size() << " landscapes x " << opt.noises.size()
+      << " noises x " << opt.min_of_k.size() << " K settings x " << opt.seeds
+      << " seeds  (" << opt.steps << " steps, " << opt.ranks << " ranks, "
+      << "evaluator \"" << opt.evaluator << "\")\n\n";
+
+  util::CsvWriter csv(out);
+  csv.header({"strategy", "landscape", "noise", "k", "seed", "steps", "ranks",
+              "total_time", "ntt", "best_estimate", "best_clean",
+              "convergence_step"});
+
+  // label -> per-seed cumulative Total_Time series, reset per (land, noise).
+  using SeriesMap = std::map<std::string, std::vector<std::vector<double>>>;
+
+  for (const std::string& lspec : opt.landscapes) {
+    const gs2::LandscapeBundle bundle = gs2::make_landscape(lspec);
+    for (const std::string& nspec : opt.noises) {
+      SeriesMap curves;
+      for (const std::string& sspec_base : opt.strategies) {
+        for (const int k : opt.min_of_k) {
+          const std::string sspec = with_k(sspec_base, k);
+          bool cell_ok = true;
+          for (std::size_t rep = 0; rep < opt.seeds && cell_ok; ++rep) {
+            core::TuningStrategyPtr strategy;
+            try {
+              strategy = core::make_strategy(
+                  sspec, bundle.space, strategy_seed(opt.base_seed, rep));
+            } catch (const spec::SpecError& e) {
+              // Only the k-rewrite may fail (base specs are validated by
+              // the first cell); record once and drop the combination.
+              if (k <= 0) throw;
+              if (skipped_specs.insert(sspec).second) {
+                report.skipped.push_back(sspec + ": " + e.what());
+              }
+              cell_ok = false;
+              break;
+            }
+            auto noise = varmodel::make_noise(
+                nspec, evaluator_seed(opt.base_seed, rep));
+            auto machine = cluster::make_evaluator(
+                evaluator_spec_for(opt, rep), bundle.landscape,
+                std::move(noise), evaluator_seed(opt.base_seed, rep));
+
+            core::SessionOptions session;
+            session.steps = opt.steps;
+            session.record_series = true;
+            core::SessionResult result =
+                core::run_session(*strategy, *machine, session);
+
+            ShootoutRow row;
+            row.strategy_spec = sspec;
+            row.strategy_name = strategy->name();
+            row.landscape = lspec;
+            row.noise = nspec;
+            row.k = k;
+            row.seed = strategy_seed(opt.base_seed, rep);
+            row.result = result;
+            csv.row(sspec, lspec, nspec, k, row.seed, result.steps,
+                    opt.ranks, result.total_time, result.ntt,
+                    result.best_estimate, result.best_clean,
+                    result.convergence_step
+                        ? static_cast<long>(*result.convergence_step)
+                        : 0L);
+            curves[sspec].push_back(result.cumulative);
+            report.rows.push_back(std::move(row));
+          }
+        }
+      }
+
+      if (opt.plots && !curves.empty()) {
+        std::vector<util::Series> series;
+        for (const auto& [label, runs] : curves) {
+          util::Series s;
+          s.name = label;
+          const std::size_t n = runs.front().size();
+          s.xs.resize(n);
+          s.ys.assign(n, 0.0);
+          for (std::size_t i = 0; i < n; ++i) s.xs[i] = double(i + 1);
+          for (const auto& run : runs) {
+            for (std::size_t i = 0; i < n && i < run.size(); ++i) {
+              s.ys[i] += run[i] / double(runs.size());
+            }
+          }
+          series.push_back(std::move(s));
+        }
+        util::PlotOptions plot;
+        plot.title = "cumulative Total_Time — " + lspec + " | " + nspec;
+        out << "\n" << util::line_plot(series, plot) << "\n";
+      }
+    }
+  }
+
+  if (!report.skipped.empty()) {
+    out << "\nskipped combinations (strategy rejects min-of-K rewrite):\n";
+    for (const std::string& s : report.skipped) out << "  " << s << "\n";
+  }
+  return report;
+}
+
+void write_shootout_json(const ShootoutReport& report,
+                         const ShootoutOptions& opt, std::ostream& out) {
+  out << "{\n  \"context\": {\n"
+      << "    \"harness\": \"tuning_shootout\",\n"
+      << "    \"steps\": " << opt.steps << ",\n"
+      << "    \"ranks\": " << opt.ranks << ",\n"
+      << "    \"seeds\": " << opt.seeds << ",\n"
+      << "    \"evaluator\": \"" << opt.evaluator << "\",\n"
+      << "    \"skipped\": " << report.skipped.size() << "\n  },\n"
+      << "  \"benchmarks\": [\n";
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const ShootoutRow& r = report.rows[i];
+    out << "    {\"name\": \"" << r.strategy_spec << "/" << r.landscape
+        << "/" << r.noise << "/seed=" << r.seed << "\", "
+        << "\"run_type\": \"shootout\", "
+        << "\"strategy\": \"" << r.strategy_name << "\", "
+        << "\"total_time\": " << r.result.total_time << ", "
+        << "\"ntt\": " << r.result.ntt << ", "
+        << "\"best_clean\": " << r.result.best_clean << ", "
+        << "\"convergence_step\": "
+        << (r.result.convergence_step ? long(*r.result.convergence_step) : -1)
+        << "}" << (i + 1 < report.rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace protuner::apps

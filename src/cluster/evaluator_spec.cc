@@ -1,0 +1,82 @@
+#include "cluster/evaluator_spec.h"
+
+#include <utility>
+
+#include "cluster/simulated_cluster.h"
+#include "cluster/trace_cluster.h"
+#include "varmodel/pareto_noise.h"
+
+namespace protuner::cluster {
+
+namespace {
+
+using Reg = spec::Registrar<EvaluatorRegistry>;
+
+EvaluatorRegistry& mutable_registry() {
+  static EvaluatorRegistry registry("evaluator");
+  return registry;
+}
+
+const Reg reg_simulated{
+    mutable_registry(),
+    "simulated",
+    {"sim", "cluster"},
+    "barrier-synchronised SPMD simulator, i.i.d. per-rank noise",
+    "simulated:ranks=16,seed=42",
+    [](spec::Options& o, core::LandscapePtr landscape,
+       std::shared_ptr<const varmodel::NoiseModel> noise,
+       std::uint64_t seed) -> std::unique_ptr<core::StepEvaluator> {
+      ClusterConfig cfg;
+      cfg.ranks = static_cast<std::size_t>(
+          o.get_int("ranks", static_cast<long>(cfg.ranks), 1, 65536));
+      cfg.seed = o.get_u64("seed", seed);
+      if (noise == nullptr) {
+        // Self-contained form: synthesize the paper's Pareto model from
+        // rho/alpha keys (defaults = the Eq. 17 baseline).
+        const double rho = o.get_double("rho", 0.1, 0.0, 0.999);
+        const double alpha = o.get_double("alpha", 1.7, 1.0 + 1e-9, 100.0);
+        noise = std::make_shared<varmodel::ParetoNoise>(rho, alpha);
+      }
+      return std::make_unique<SimulatedCluster>(std::move(landscape),
+                                                std::move(noise), cfg);
+    }};
+
+const Reg reg_trace{
+    mutable_registry(),
+    "trace",
+    {"shock"},
+    "correlated shock-trace simulator (system-wide disruption episodes)",
+    "trace:ranks=16,jitter=0.01,big_p=0.01,big_alpha=1.3,big_scale=5,"
+    "small_p=0.05,small_alpha=1.7,small_scale=0.3,corr=1,seed=42",
+    [](spec::Options& o, core::LandscapePtr landscape,
+       std::shared_ptr<const varmodel::NoiseModel>,
+       std::uint64_t seed) -> std::unique_ptr<core::StepEvaluator> {
+      TraceClusterConfig cfg;
+      cfg.ranks = static_cast<std::size_t>(
+          o.get_int("ranks", static_cast<long>(cfg.ranks), 1, 65536));
+      cfg.seed = o.get_u64("seed", seed);
+      varmodel::ShockConfig& s = cfg.shocks;
+      s.jitter_cv = o.get_double("jitter", s.jitter_cv, 0.0, 10.0);
+      s.big_prob = o.get_double("big_p", s.big_prob, 0.0, 1.0);
+      s.big_alpha = o.get_double("big_alpha", s.big_alpha, 1.0 + 1e-9, 100.0);
+      s.big_scale = o.get_double("big_scale", s.big_scale, 0.0, 1e9);
+      s.small_prob = o.get_double("small_p", s.small_prob, 0.0, 1.0);
+      s.small_alpha =
+          o.get_double("small_alpha", s.small_alpha, 1.0 + 1e-9, 100.0);
+      s.small_scale = o.get_double("small_scale", s.small_scale, 0.0, 1e9);
+      s.correlation = o.get_double("corr", s.correlation, 0.0, 1.0);
+      return std::make_unique<TraceCluster>(std::move(landscape), cfg);
+    }};
+
+}  // namespace
+
+EvaluatorRegistry& evaluator_registry() { return mutable_registry(); }
+
+std::unique_ptr<core::StepEvaluator> make_evaluator(
+    std::string_view text, core::LandscapePtr landscape,
+    std::shared_ptr<const varmodel::NoiseModel> noise, std::uint64_t seed) {
+  return evaluator_registry().make(spec::parse(text), std::move(landscape),
+                                   std::move(noise), seed);
+}
+
+}  // namespace protuner::cluster

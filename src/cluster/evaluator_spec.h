@@ -1,0 +1,46 @@
+// Spec-driven construction of step evaluators (DESIGN.md §13) — the tier
+// that turns (landscape, noise) into observed per-rank times.
+//
+//   auto land = gs2::make_landscape("gs2");
+//   auto ev = cluster::make_evaluator("simulated:ranks=16",
+//                                     land.landscape,
+//                                     varmodel::make_noise("pareto:rho=0.1"),
+//                                     /*seed=*/42);
+//
+// Registered families:
+//   simulated — i.i.d. per-rank noise (SimulatedCluster).  If the caller
+//               passes a null noise model, rho/alpha keys synthesize a
+//               ParetoNoise so "simulated:ranks=16,rho=0.1,alpha=1.7" is a
+//               self-contained spec.
+//   trace     — the correlated shock process (TraceCluster); noise argument
+//               ignored, shock structure set by keys.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/evaluator.h"
+#include "core/landscape.h"
+#include "spec/registry.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::cluster {
+
+using EvaluatorRegistry = spec::Registry<
+    std::unique_ptr<core::StepEvaluator>, core::LandscapePtr,
+    std::shared_ptr<const varmodel::NoiseModel>, std::uint64_t>;
+
+/// The evaluator family registry.
+EvaluatorRegistry& evaluator_registry();
+
+/// Parses `text` and builds the evaluator over `landscape` with `noise`
+/// (may be null — see header comment).  `seed` is the default RNG seed
+/// unless the spec pins `seed=`.  Throws spec::SpecError on unknown
+/// names/keys or out-of-range values.
+std::unique_ptr<core::StepEvaluator> make_evaluator(
+    std::string_view text, core::LandscapePtr landscape,
+    std::shared_ptr<const varmodel::NoiseModel> noise,
+    std::uint64_t seed = 42);
+
+}  // namespace protuner::cluster

@@ -37,6 +37,13 @@ StepProposal AnnealingStrategy::propose() {
   return p;
 }
 
+void AnnealingStrategy::propose_into(std::vector<Point>& out) {
+  // Element-wise copy so the per-rank Point buffers are reused: the chains
+  // propose every step forever, making this the steady-state path.
+  out.resize(proposals_.size());
+  for (std::size_t r = 0; r < proposals_.size(); ++r) out[r] = proposals_[r];
+}
+
 Point AnnealingStrategy::neighbor(const Point& x, util::Rng& rng) const {
   Point p = x;
   // Move probability / step size shrink with step_scale_ so late proposals

@@ -72,6 +72,22 @@ StepProposal CompassStrategy::propose() {
   return p;
 }
 
+void CompassStrategy::propose_into(std::vector<Point>& out) {
+  // Mirrors propose() (same assignment, same active_slots_ bookkeeping) but
+  // copy-assigns into the caller's buffer so the converged tail — incumbent
+  // on every rank, forever — runs without allocating.
+  if (converged_) {
+    out.assign(ranks_, incumbent_);
+    active_slots_ = 0;
+    return;
+  }
+  const std::size_t n = std::max(pending_.size(), ranks_);
+  out.resize(n);
+  for (std::size_t i = 0; i < pending_.size(); ++i) out[i] = pending_[i];
+  for (std::size_t i = pending_.size(); i < n; ++i) out[i] = incumbent_;
+  active_slots_ = pending_.size();
+}
+
 void CompassStrategy::observe(std::span<const double> raw_times) {
   if (converged_ || active_slots_ == 0) return;
   const std::span<const double> times = raw_times.first(active_slots_);

@@ -25,6 +25,7 @@ class CompassStrategy final : public TuningStrategy {
 
   void start(std::size_t ranks) override;
   StepProposal propose() override;
+  void propose_into(std::vector<Point>& out) override;
   void observe(std::span<const double> times) override;
   const Point& best_point() const override { return incumbent_; }
   double best_estimate() const override { return incumbent_value_; }

@@ -31,6 +31,15 @@ StepProposal GeneticStrategy::propose() {
   return p;
 }
 
+void GeneticStrategy::propose_into(std::vector<Point>& out) {
+  // Element-wise copy so the per-individual Point buffers are reused: the
+  // population is re-proposed every generation forever.
+  out.resize(population_.size());
+  for (std::size_t r = 0; r < population_.size(); ++r) {
+    out[r] = population_[r];
+  }
+}
+
 std::size_t GeneticStrategy::select_parent(std::span<const double> fitness) {
   // Tournament selection on runtime (lower is fitter).
   std::size_t winner = static_cast<std::size_t>(

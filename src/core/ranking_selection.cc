@@ -1,0 +1,237 @@
+#include "core/ranking_selection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/common_distributions.h"
+
+namespace protuner::core {
+
+RankingSelectionStrategy::RankingSelectionStrategy(
+    ParameterSpace space, RankingSelectionOptions opts)
+    : space_(std::move(space)), opts_(opts) {
+  assert(opts.candidates >= 2);
+  assert(opts.n0 >= 2);
+  assert(opts.delta >= 0.0);
+  assert(opts.confidence > 0.0 && opts.confidence < 1.0);
+}
+
+void RankingSelectionStrategy::start(std::size_t ranks) {
+  assert(ranks >= 1);
+  ranks_ = ranks;
+  winner_ = -1;
+  observations_ = 0;
+  stable_passes_ = 0;
+  eliminated_this_pass_ = 0;
+  candidates_.clear();
+  candidates_.reserve(opts_.candidates);
+
+  util::Rng rng(opts_.seed);
+  const auto push_unique = [&](Point p) {
+    for (const auto& c : candidates_) {
+      if (c.config == p) return;
+    }
+    Candidate c;
+    c.config = std::move(p);
+    candidates_.push_back(std::move(c));
+  };
+  push_unique(space_.center());
+  // Rejection-sample distinct admissible candidates; small discrete spaces
+  // may saturate before reaching m, which is fine — the set is then the
+  // whole reachable sample.
+  for (std::size_t tries = 0;
+       candidates_.size() < opts_.candidates && tries < opts_.candidates * 64;
+       ++tries) {
+    push_unique(space_.random_point(rng));
+  }
+
+  // Bonferroni-adjusted two-sided normal quantile across the m(m-1)/2
+  // pairwise looks of one screening pass.
+  const std::size_t m = candidates_.size();
+  const double looks =
+      std::max<std::size_t>(1, m * (m > 1 ? m - 1 : 1) / 2);
+  const double tail = (1.0 - opts_.confidence) / static_cast<double>(looks);
+  h_ = stats::std_normal_quantile(1.0 - tail / 2.0);
+  pending_.clear();
+}
+
+double RankingSelectionStrategy::statistic(const Candidate& c) const {
+  return opts_.estimator == EstimatorKind::kMean ? c.mean : c.min;
+}
+
+std::size_t RankingSelectionStrategy::best_alive() const {
+  std::size_t best = candidates_.size();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const Candidate& c = candidates_[i];
+    if (!c.alive || c.n == 0) continue;
+    if (best == candidates_.size() ||
+        statistic(c) < statistic(candidates_[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+StepProposal RankingSelectionStrategy::propose() {
+  StepProposal p;
+  propose_into(p.configs);
+  return p;
+}
+
+void RankingSelectionStrategy::propose_into(std::vector<Point>& out) {
+  if (winner_ >= 0) {
+    out.resize(ranks_);
+    for (Point& slot : out) {
+      slot = candidates_[static_cast<std::size_t>(winner_)].config;
+    }
+    return;
+  }
+  // Breadth-first allocation: fill the step with the least-sampled
+  // survivors (ties by index, so the schedule is deterministic).  `virtual
+  // counts` include this step's slots so one round spreads evenly.
+  pending_.clear();
+  std::vector<std::size_t> virtual_n(candidates_.size(), 0);
+  for (std::size_t slot = 0; slot < ranks_; ++slot) {
+    std::size_t pick = candidates_.size();
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      if (!candidates_[i].alive) continue;
+      if (pick == candidates_.size() ||
+          candidates_[i].n + virtual_n[i] <
+              candidates_[pick].n + virtual_n[pick]) {
+        pick = i;
+      }
+    }
+    assert(pick < candidates_.size());
+    ++virtual_n[pick];
+    pending_.push_back(pick);
+  }
+  out.resize(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    out[i] = candidates_[pending_[i]].config;
+  }
+}
+
+void RankingSelectionStrategy::observe(std::span<const double> times) {
+  if (winner_ >= 0) return;
+  assert(times.size() >= pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    Candidate& c = candidates_[pending_[i]];
+    const double y = times[i];
+    ++c.n;
+    ++observations_;
+    const double d = y - c.mean;
+    c.mean += d / static_cast<double>(c.n);
+    c.m2 += d * (y - c.mean);
+    c.min = c.n == 1 ? y : std::min(c.min, y);
+  }
+  pending_.clear();
+  screen();
+  if (winner_ >= 0) return;
+  if (opts_.budget != 0 && observations_ >= opts_.budget) {
+    declare(best_alive());
+  }
+}
+
+void RankingSelectionStrategy::screen() {
+  // Screening needs every survivor at the first-stage count.
+  std::size_t alive = 0;
+  for (const Candidate& c : candidates_) {
+    if (!c.alive) continue;
+    ++alive;
+    if (c.n < opts_.n0) return;
+  }
+  if (alive <= 1) {
+    declare(best_alive());
+    return;
+  }
+
+  const std::size_t best = best_alive();
+  const Candidate& b = candidates_[best];
+  const double margin = opts_.delta * std::abs(statistic(b));
+
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (i == best || !candidates_[i].alive) continue;
+    Candidate& c = candidates_[i];
+    bool eliminate = false;
+    if (opts_.estimator == EstimatorKind::kMean) {
+      // Welch screening: disjoint intervals beyond the indifference zone.
+      const double si = std::sqrt(c.m2 / static_cast<double>(c.n - 1));
+      const double sb = std::sqrt(b.m2 / static_cast<double>(b.n - 1));
+      const double lo_i = c.mean - h_ * si / std::sqrt(double(c.n));
+      const double hi_b = b.mean + h_ * sb / std::sqrt(double(b.n));
+      eliminate = lo_i > hi_b + margin;
+    } else {
+      // Running-minimum screening: the min converges to f + n_min from
+      // above, so a minimum that stays `delta` above the leader's after n0
+      // draws is a loser with min-of-K confidence (paper Eq. 11/22 logic).
+      eliminate = c.min > b.min + margin;
+    }
+    if (eliminate) {
+      c.alive = false;
+      ++eliminated_this_pass_;
+    }
+  }
+
+  if (survivors() <= 1) {
+    declare(best_alive());
+    return;
+  }
+
+  // Indifference-zone termination: when a screening pass eliminates nobody
+  // for n0 consecutive passes AND every survivor's statistic sits within
+  // the indifference margin of the leader's, the remaining candidates are
+  // ties at the resolution we were asked for — select the leader instead of
+  // paying forever to separate them.
+  if (eliminated_this_pass_ == 0) {
+    ++stable_passes_;
+  } else {
+    stable_passes_ = 0;
+  }
+  eliminated_this_pass_ = 0;
+  if (stable_passes_ >= opts_.n0) {
+    bool all_tied = true;
+    for (const Candidate& c : candidates_) {
+      if (c.alive && statistic(c) > statistic(b) + margin) {
+        all_tied = false;
+        break;
+      }
+    }
+    if (all_tied) declare(best);
+  }
+}
+
+void RankingSelectionStrategy::declare(std::size_t index) {
+  assert(index < candidates_.size());
+  winner_ = static_cast<long>(index);
+}
+
+std::size_t RankingSelectionStrategy::survivors() const {
+  std::size_t n = 0;
+  for (const Candidate& c : candidates_) n += c.alive ? 1 : 0;
+  return n;
+}
+
+const Point& RankingSelectionStrategy::best_point() const {
+  if (winner_ >= 0) {
+    return candidates_[static_cast<std::size_t>(winner_)].config;
+  }
+  const std::size_t best = best_alive();
+  return best < candidates_.size() ? candidates_[best].config
+                                   : candidates_.front().config;
+}
+
+double RankingSelectionStrategy::best_estimate() const {
+  if (winner_ >= 0) {
+    return statistic(candidates_[static_cast<std::size_t>(winner_)]);
+  }
+  const std::size_t best = best_alive();
+  return best < candidates_.size() ? statistic(candidates_[best]) : 0.0;
+}
+
+std::string RankingSelectionStrategy::name() const {
+  return opts_.estimator == EstimatorKind::kMean ? "RankingSelection-mean"
+                                                 : "RankingSelection-min";
+}
+
+}  // namespace protuner::core

@@ -1,0 +1,90 @@
+// SPSA — Simultaneous Perturbation Stochastic Approximation (Spall 1992),
+// the de-facto production tuner for chess engines and other systems with
+// noisy objectives (cf. Obsidian's paramsToSpsaInput, SNIPPETS.md #2).
+//
+// Each optimizer iteration needs exactly TWO evaluations regardless of the
+// dimension N: both probes perturb *every* axis at once by a Rademacher
+// sign vector Δ, and (y+ - y-) / (2 c_k Δ_i) is an unbiased estimate of
+// every partial derivative simultaneously.  That makes SPSA the natural
+// antithesis of PRO in the shootout: PRO spends n parallel ranks per step
+// to rank-order candidates; SPSA spends 2 ranks per step no matter how
+// wide the machine is (plus one measurement of the iterate Π(θ) itself
+// when a third rank is free, so the incumbent can settle on the anchor).
+//
+// The iterate θ lives in range-normalised coordinates z ∈ [0,1]^N; probes
+// are projected onto the admissible region with the paper's Π operator, so
+// every proposal is admissible even on integer/discrete axes (the classic
+// discrete-SPSA treatment).  Gains follow the standard schedules
+//   a_k = a / (A + k)^alpha,   c_k = c / k^gamma
+// with Spall's recommended exponents as defaults.
+#pragma once
+
+#include "core/parameter_space.h"
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace protuner::core {
+
+struct SpsaOptions {
+  double a = 0.2;        ///< gain numerator (normalised-coordinate units)
+  double c = 0.1;        ///< initial perturbation, fraction of each range
+  double A = 10.0;       ///< stability offset in the a_k schedule
+  double alpha = 0.602;  ///< gain decay exponent (Spall's recommendation)
+  double gamma = 0.101;  ///< perturbation decay exponent
+  /// Iteration cap after which the strategy freezes on its best observed
+  /// point (SPSA has no convergence certificate); 0 anneals forever.
+  std::size_t max_iterations = 0;
+  std::uint64_t seed = 1;
+};
+
+class SpsaStrategy final : public TuningStrategy {
+ public:
+  SpsaStrategy(ParameterSpace space, SpsaOptions opts);
+
+  void start(std::size_t ranks) override;
+  StepProposal propose() override;
+  void propose_into(std::vector<Point>& out) override;
+  void observe(std::span<const double> times) override;
+  const Point& best_point() const override { return best_point_; }
+  double best_estimate() const override { return best_value_; }
+  bool converged() const override { return frozen_; }
+  std::string name() const override { return "SPSA"; }
+
+  std::size_t iterations() const { return iterations_; }
+
+ private:
+  /// Builds the two probes for iteration k into plus_/minus_.
+  void prepare_probes();
+  /// Maps normalised z into an admissible point via Π anchored at the
+  /// incumbent projection.
+  Point project_z(const std::vector<double>& z) const;
+  void track_best(const Point& p, double y);
+
+  ParameterSpace space_;
+  SpsaOptions opts_;
+  util::Rng rng_;
+  std::size_t ranks_ = 1;
+
+  std::vector<double> z_;      ///< iterate, normalised to [0,1] per axis
+  std::vector<double> delta_;  ///< current Rademacher direction
+  Point plus_, minus_;         ///< admissible probe points
+  Point anchor_;               ///< Π(θ): admissible image of the iterate
+  double ck_ = 0.0;            ///< current perturbation size
+  bool have_pair_ = false;     ///< both probes measured this iteration
+  double y_plus_ = 0.0;
+  /// Objective scale for gradient normalisation (first pair's magnitude),
+  /// so the default gains work for seconds-scale and microsecond-scale
+  /// objectives alike.
+  double y_scale_ = 0.0;
+
+  Point best_point_;
+  double best_value_ = 0.0;
+  bool have_best_ = false;
+  bool frozen_ = false;
+  std::size_t iterations_ = 0;
+  /// With ranks == 1 the pair is split across two rounds; this marks which
+  /// probe the last proposal carried.
+  bool awaiting_minus_ = false;
+};
+
+}  // namespace protuner::core

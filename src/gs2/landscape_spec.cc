@@ -1,0 +1,143 @@
+#include "gs2/landscape_spec.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gs2/database.h"
+#include "gs2/surface.h"
+
+namespace protuner::gs2 {
+
+namespace {
+
+using Reg = spec::Registrar<LandscapeRegistry>;
+
+LandscapeRegistry& mutable_registry() {
+  static LandscapeRegistry registry("landscape");
+  return registry;
+}
+
+SurfaceConfig surface_config(spec::Options& o) {
+  SurfaceConfig cfg;
+  cfg.work_scale = o.get_double("work", cfg.work_scale, 1e-9, 1e3);
+  cfg.alltoall_cost = o.get_double("alltoall", cfg.alltoall_cost, 0.0, 1e3);
+  cfg.pernode_cost = o.get_double("pernode", cfg.pernode_cost, 0.0, 1e3);
+  cfg.ripple = o.get_double("ripple", cfg.ripple, 0.0, 10.0);
+  cfg.base_time = o.get_double("base", cfg.base_time, 0.0, 1e3);
+  return cfg;
+}
+
+/// N continuous axes over [0, 10]; the synthetic surfaces put their global
+/// minimum at a deterministic interior point that is NOT the centre, so a
+/// strategy that never moves cannot look optimal.
+core::ParameterSpace synthetic_space(std::size_t dims) {
+  std::vector<core::Parameter> params;
+  params.reserve(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    params.push_back(
+        core::Parameter::continuous("x" + std::to_string(i), 0.0, 10.0));
+  }
+  return core::ParameterSpace(std::move(params));
+}
+
+core::Point synthetic_minimum(std::size_t dims) {
+  core::Point m(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    // 2.0, 7.0, 3.0, 6.0, ... — alternating off-centre coordinates.
+    m[i] = (i % 2 == 0) ? 2.0 : 7.0;
+    if (i >= 2) m[i] += (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  return m;
+}
+
+const Reg reg_gs2{
+    mutable_registry(),
+    "gs2",
+    {},
+    "analytic GS2 surrogate surface over (ntheta, negrid, nodes)",
+    "gs2:work=0.006,alltoall=0.03,pernode=0.004,ripple=0.25,base=0.05",
+    [](spec::Options& o) -> LandscapeBundle {
+      return {gs2_space(), std::make_shared<Gs2Surface>(surface_config(o))};
+    }};
+
+const Reg reg_gs2db{
+    mutable_registry(),
+    "gs2db",
+    {},
+    "GS2 surface measured into a sparse database (the paper's substrate)",
+    "gs2db:stride=2,k=4,power=2",
+    [](spec::Options& o) -> LandscapeBundle {
+      DatabaseOptions db;
+      db.stride = static_cast<std::size_t>(
+          o.get_int("stride", static_cast<long>(db.stride), 1, 64));
+      db.interpolation_neighbors = static_cast<std::size_t>(o.get_int(
+          "k", static_cast<long>(db.interpolation_neighbors), 1, 64));
+      db.idw_power = o.get_double("power", db.idw_power, 0.1, 16.0);
+      const SurfaceConfig surface = surface_config(o);
+      const core::ParameterSpace space = gs2_space();
+      return {space, std::make_shared<Database>(Database::measure(
+                         space, Gs2Surface(surface), db))};
+    }};
+
+const Reg reg_quad{
+    mutable_registry(),
+    "quad",
+    {"quadratic"},
+    "convex quadratic bowl (dims continuous axes, off-centre minimum)",
+    "quad:dims=3,floor=1.0,curv=0.05",
+    [](spec::Options& o) -> LandscapeBundle {
+      const auto dims = static_cast<std::size_t>(o.get_int("dims", 3, 1, 64));
+      const double floor_time = o.get_double("floor", 1.0, 1e-9, 1e9);
+      const double curvature = o.get_double("curv", 0.05, 1e-9, 1e9);
+      return {synthetic_space(dims),
+              std::make_shared<core::QuadraticLandscape>(
+                  synthetic_minimum(dims), floor_time, curvature)};
+    }};
+
+const Reg reg_multimodal{
+    mutable_registry(),
+    "multimodal",
+    {"rastrigin"},
+    "Rastrigin-style multimodal surface (amp/freq control the trap field)",
+    "multimodal:dims=3,floor=1.0,amp=0.3,freq=1.5",
+    [](spec::Options& o) -> LandscapeBundle {
+      const auto dims = static_cast<std::size_t>(o.get_int("dims", 3, 1, 64));
+      const double floor_time = o.get_double("floor", 1.0, 1e-9, 1e9);
+      const double amplitude = o.get_double("amp", 0.3, 0.0, 1e9);
+      const double frequency = o.get_double("freq", 1.5, 1e-9, 1e3);
+      return {synthetic_space(dims),
+              std::make_shared<core::MultimodalLandscape>(
+                  synthetic_minimum(dims), floor_time, amplitude, frequency)};
+    }};
+
+const Reg reg_mixed{
+    mutable_registry(),
+    "mixed",
+    {},
+    "integer + discrete + continuous axes (strategy-contract stress space)",
+    "mixed",
+    [](spec::Options&) -> LandscapeBundle {
+      core::ParameterSpace space({
+          core::Parameter::integer("i", 0, 15),
+          core::Parameter::discrete("d", {1.0, 2.0, 4.0, 8.0}),
+          core::Parameter::continuous("c", -1.0, 1.0),
+      });
+      auto land = std::make_shared<core::FunctionLandscape>(
+          "Mixed", [](const core::Point& x) {
+            return 1.0 + 0.05 * (x[0] - 7.0) * (x[0] - 7.0) + 0.1 * x[1] +
+                   0.5 * x[2] * x[2];
+          });
+      return {std::move(space), std::move(land)};
+    }};
+
+}  // namespace
+
+LandscapeRegistry& landscape_registry() { return mutable_registry(); }
+
+LandscapeBundle make_landscape(std::string_view text) {
+  return landscape_registry().make(spec::parse(text));
+}
+
+}  // namespace protuner::gs2

@@ -1,0 +1,43 @@
+// Spec-driven construction of tuning landscapes (DESIGN.md §13).
+//
+// A landscape spec yields a *bundle* — the admissible region plus the
+// clean-time surface over it — because the two are inseparable: the GS2
+// study has its own parameter space, and the synthetic surfaces need a
+// space to define their optimum against.
+//
+//   auto [space, land] = gs2::make_landscape("gs2");
+//   auto db  = gs2::make_landscape("gs2db:stride=2,k=4");
+//   auto q   = gs2::make_landscape("quad:dims=3,floor=1,curv=0.05");
+//
+// Registered families: gs2 (analytic surface), gs2db (surface measured
+// into a sparse gs2::Database, the paper's actual substrate), quad,
+// multimodal (Rastrigin-style), and mixed (integer + discrete + continuous
+// axes — the strategy-contract stress space).
+#pragma once
+
+#include <string_view>
+
+#include "core/landscape.h"
+#include "core/parameter_space.h"
+#include "spec/registry.h"
+
+namespace protuner::gs2 {
+
+/// A landscape together with the parameter space it is defined over.
+struct LandscapeBundle {
+  core::ParameterSpace space;
+  core::LandscapePtr landscape;
+};
+
+using LandscapeRegistry = spec::Registry<LandscapeBundle>;
+
+/// The landscape family registry.  Built-ins register at static-init time;
+/// callers may add their own entries (e.g. a future synth:: compositional
+/// generator) before first use.
+LandscapeRegistry& landscape_registry();
+
+/// Parses `text` and builds the bundle.  Throws spec::SpecError on unknown
+/// names/keys or out-of-range values.
+LandscapeBundle make_landscape(std::string_view text);
+
+}  // namespace protuner::gs2

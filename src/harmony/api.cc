@@ -6,6 +6,7 @@
 #include "core/nelder_mead.h"
 #include "core/pro.h"
 #include "core/sro.h"
+#include "core/strategy_spec.h"
 
 namespace protuner::harmony {
 
@@ -29,6 +30,16 @@ SessionBuilder& SessionBuilder::add_discrete(std::string name,
 
 SessionBuilder& SessionBuilder::algorithm(Algorithm algo) {
   algo_ = algo;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::strategy_spec(std::string spec) {
+  strategy_spec_ = std::move(spec);
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::noise_spec(std::string spec) {
+  noise_spec_ = std::move(spec);
   return *this;
 }
 
@@ -93,6 +104,10 @@ core::ParameterSpace SessionBuilder::space() const {
 std::unique_ptr<Server> SessionBuilder::build() const {
   assert(!params_.empty());
   const core::ParameterSpace sp = space();
+  if (!strategy_spec_.empty()) {
+    return std::make_unique<Server>(core::make_strategy(strategy_spec_, sp),
+                                    clients_, server_options_);
+  }
   core::TuningStrategyPtr strategy;
   switch (algo_) {
     case Algorithm::kPro: {

@@ -39,6 +39,19 @@ class SessionBuilder {
 
   /// Optimizer selection and knobs.
   SessionBuilder& algorithm(Algorithm algo);
+  /// Declarative optimizer selection (DESIGN.md §13): any registered
+  /// strategy spec, e.g. "pro:k=4" or "spsa:a=0.2,c=0.1".  Overrides
+  /// algorithm()/samples()/initial_simplex_size(); pass an empty string to
+  /// return to the enum path.  The spec is validated (names, keys, ranges)
+  /// at build() time.
+  SessionBuilder& strategy_spec(std::string spec);
+  /// Declarative noise expectation, e.g. "pareto:rho=0.1,alpha=1.7".  The
+  /// server does not simulate noise — this is carried for client harnesses
+  /// (examples/, loadgen) that build their synthetic environment from the
+  /// same session description.
+  SessionBuilder& noise_spec(std::string spec);
+  const std::string& strategy_spec() const { return strategy_spec_; }
+  const std::string& noise_spec() const { return noise_spec_; }
   SessionBuilder& samples(int k);            ///< min-of-K sampling (§5.2)
   SessionBuilder& adaptive_samples(int max_k);  ///< future-work adaptive K
   SessionBuilder& initial_simplex_size(double r);
@@ -67,6 +80,8 @@ class SessionBuilder {
 
  private:
   std::vector<core::Parameter> params_;
+  std::string strategy_spec_;
+  std::string noise_spec_;
   Algorithm algo_ = Algorithm::kPro;
   int samples_ = 1;
   bool adaptive_ = false;

@@ -1,0 +1,154 @@
+// Self-registering factory registry, one instance per component family
+// (strategies, noise models, landscapes, evaluators).  Each component
+// registers itself with a name, optional aliases, a doc line and an
+// example spec exercising its keys; make() resolves a parsed Spec to the
+// factory and enforces the unknown-key contract centrally:
+//
+//   Registry<TuningStrategyPtr, const ParameterSpace&, uint64_t>&
+//   strategy_registry();                                  // family accessor
+//
+//   const Registrar reg_pro{strategy_registry(), "pro", {}, "doc",
+//                           "pro:k=4", [](spec::Options& o, auto& space,
+//                                         uint64_t seed) { ... }};
+//
+// Registrar objects live in the same translation unit as the family's
+// accessor and factory entry point, so a static-library link always pulls
+// the registrations in with the code that needs them.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace protuner::spec {
+
+template <typename Product, typename... Args>
+class Registry {
+ public:
+  using Factory = std::function<Product(Options&, Args...)>;
+
+  struct Entry {
+    std::string name;                  ///< canonical name
+    std::vector<std::string> aliases;  ///< accepted alternative names
+    std::string doc;                   ///< one-line description
+    std::string example;               ///< spec string exercising the keys
+    Factory make;
+  };
+
+  explicit Registry(std::string family) : family_(std::move(family)) {}
+
+  const std::string& family() const { return family_; }
+
+  void add(Entry entry) {
+    if (resolve(entry.name) != nullptr) {
+      throw SpecError(family_ + " '" + entry.name + "' registered twice");
+    }
+    for (const auto& a : entry.aliases) {
+      if (resolve(a) != nullptr) {
+        throw SpecError(family_ + " alias '" + a + "' registered twice");
+      }
+    }
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Constructs from a parsed spec.  Unknown names get a did-you-mean over
+  /// every registered name and alias; unknown keys are rejected by
+  /// Options::finish() after the factory returns.
+  Product make(const Spec& s, Args... args) const {
+    const Entry* e = resolve(s.name);
+    if (e == nullptr) {
+      std::string msg = "unknown " + family_ + " '" + s.name + "'";
+      const std::string hint = nearest_key(s.name, all_names());
+      if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+      msg += " (known: ";
+      const auto names = this->names();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) msg += ", ";
+        msg += names[i];
+      }
+      msg += ")";
+      throw SpecError(msg);
+    }
+    Options opts(family_, s);
+    Product p = e->make(opts, std::forward<Args>(args)...);
+    opts.finish();
+    return p;
+  }
+
+  /// Convenience: parse + make.
+  Product make(std::string_view text, Args... args) const {
+    return make(parse(text), std::forward<Args>(args)...);
+  }
+
+  bool contains(std::string_view name) const {
+    return resolve(name) != nullptr;
+  }
+
+  /// Canonical names, sorted.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.name);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// "name — doc (e.g. example)" lines for --help output.
+  std::string help() const {
+    std::vector<const Entry*> ordered;
+    for (const auto& e : entries_) ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) { return a->name < b->name; });
+    std::string out;
+    for (const Entry* e : ordered) {
+      out += "  " + e->name;
+      for (const auto& a : e->aliases) out += "|" + a;
+      out += " — " + e->doc;
+      if (!e->example.empty()) out += "  (e.g. \"" + e->example + "\")";
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  const Entry* resolve(std::string_view name) const {
+    for (const auto& e : entries_) {
+      if (e.name == name) return &e;
+      for (const auto& a : e.aliases) {
+        if (a == name) return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> all_names() const {
+    std::vector<std::string> out;
+    for (const auto& e : entries_) {
+      out.push_back(e.name);
+      out.insert(out.end(), e.aliases.begin(), e.aliases.end());
+    }
+    return out;
+  }
+
+  std::string family_;
+  std::vector<Entry> entries_;
+};
+
+/// Registers one component at static-initialisation time.
+template <typename RegistryT>
+struct Registrar {
+  Registrar(RegistryT& registry, std::string name,
+            std::vector<std::string> aliases, std::string doc,
+            std::string example, typename RegistryT::Factory make) {
+    registry.add({std::move(name), std::move(aliases), std::move(doc),
+                  std::move(example), std::move(make)});
+  }
+};
+
+}  // namespace protuner::spec

@@ -1,0 +1,129 @@
+#include "varmodel/noise_spec.h"
+
+#include <string>
+
+#include "varmodel/ar1_noise.h"
+#include "varmodel/burst_noise.h"
+#include "varmodel/composite_noise.h"
+#include "varmodel/pareto_noise.h"
+#include "varmodel/simple_noise.h"
+
+namespace protuner::varmodel {
+
+namespace {
+
+using Reg = spec::Registrar<NoiseRegistry>;
+
+NoiseRegistry& mutable_registry() {
+  static NoiseRegistry registry("noise");
+  return registry;
+}
+
+const Reg reg_none{
+    mutable_registry(),
+    "none",
+    {"nonoise", "clean"},
+    "noiseless baseline (rho = 0): y = f(v) exactly",
+    "none",
+    [](spec::Options&, std::uint64_t) -> std::shared_ptr<const NoiseModel> {
+      return std::make_shared<NoNoise>();
+    }};
+
+const Reg reg_pareto{
+    mutable_registry(),
+    "pareto",
+    {},
+    "heavy-tailed Pareto noise (paper Eq. 17; alpha<2: infinite variance)",
+    "pareto:rho=0.1,alpha=1.7",
+    [](spec::Options& o, std::uint64_t) -> std::shared_ptr<const NoiseModel> {
+      o.alias("scale", "rho");
+      const double rho = o.get_double("rho", 0.1, 0.0, 0.999);
+      const double alpha = o.get_double("alpha", 1.7, 1.0 + 1e-9, 100.0);
+      return std::make_shared<ParetoNoise>(rho, alpha);
+    }};
+
+const Reg reg_exp{
+    mutable_registry(),
+    "exp",
+    {"exponential"},
+    "light-tailed exponential noise with the Eq. 7 mean scaling",
+    "exp:rho=0.1",
+    [](spec::Options& o, std::uint64_t) -> std::shared_ptr<const NoiseModel> {
+      return std::make_shared<ExponentialNoise>(
+          o.get_double("rho", 0.1, 0.0, 0.999));
+    }};
+
+const Reg reg_gauss{
+    mutable_registry(),
+    "gauss",
+    {"gaussian", "normal"},
+    "truncated-Gaussian noise (cv = coefficient of variation)",
+    "gauss:rho=0.1,cv=0.5",
+    [](spec::Options& o, std::uint64_t) -> std::shared_ptr<const NoiseModel> {
+      const double rho = o.get_double("rho", 0.1, 0.0, 0.999);
+      const double cv = o.get_double("cv", 0.5, 0.0, 100.0);
+      return std::make_shared<GaussianNoise>(rho, cv);
+    }};
+
+const Reg reg_ar1{
+    mutable_registry(),
+    "ar1",
+    {},
+    "AR(1)-correlated load level with heavy-tailed innovations",
+    "ar1:rho=0.2,phi=0.9,share=0.6,alpha=1.7,seed=7",
+    [](spec::Options& o,
+       std::uint64_t seed) -> std::shared_ptr<const NoiseModel> {
+      Ar1Config cfg;
+      cfg.rho = o.get_double("rho", cfg.rho, 0.0, 0.999);
+      cfg.phi = o.get_double("phi", cfg.phi, 0.0, 1.0 - 1e-9);
+      cfg.level_share = o.get_double("share", cfg.level_share, 0.0, 1.0);
+      cfg.alpha = o.get_double("alpha", cfg.alpha, 1.0 + 1e-9, 100.0);
+      cfg.seed = o.get_u64("seed", seed);
+      return std::make_shared<Ar1Noise>(cfg);
+    }};
+
+const Reg reg_burst{
+    mutable_registry(),
+    "burst",
+    {},
+    "Markov-modulated burst noise (quiet/disturbed episodes)",
+    "burst:rho=0.2,alpha=1.7,enter=0.05,exit=0.25,seed=7",
+    [](spec::Options& o,
+       std::uint64_t seed) -> std::shared_ptr<const NoiseModel> {
+      BurstConfig cfg;
+      cfg.rho = o.get_double("rho", cfg.rho, 0.0, 0.999);
+      cfg.alpha = o.get_double("alpha", cfg.alpha, 1.0 + 1e-9, 100.0);
+      cfg.p_enter = o.get_double("enter", cfg.p_enter, 0.0, 1.0);
+      cfg.p_exit = o.get_double("exit", cfg.p_exit, 1e-9, 1.0);
+      cfg.seed = o.get_u64("seed", seed);
+      return std::make_shared<BurstNoise>(cfg);
+    }};
+
+}  // namespace
+
+NoiseRegistry& noise_registry() { return mutable_registry(); }
+
+std::shared_ptr<const NoiseModel> make_noise(std::string_view text,
+                                             std::uint64_t seed) {
+  std::shared_ptr<const NoiseModel> combined;
+  std::string_view rest = text;
+  while (true) {
+    const std::size_t plus = rest.find('+');
+    const std::string_view part =
+        plus == std::string_view::npos ? rest : rest.substr(0, plus);
+    std::shared_ptr<const NoiseModel> component =
+        noise_registry().make(spec::parse(part), seed);
+    combined = combined == nullptr
+                   ? std::move(component)
+                   : std::make_shared<CompositeNoise>(std::move(combined),
+                                                      std::move(component));
+    if (plus == std::string_view::npos) break;
+    rest = rest.substr(plus + 1);
+    // Distinct default streams per '+' component, so "burst+burst" does not
+    // alias two copies of the same episode process.
+    seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+  }
+  return combined;
+}
+
+}  // namespace protuner::varmodel

@@ -1,0 +1,37 @@
+// Spec-driven construction of noise models (DESIGN.md §13).
+//
+//   auto n = varmodel::make_noise("pareto:rho=0.1,alpha=1.7");
+//   auto q = varmodel::make_noise("none");
+//
+// Composites are the top-level '+' of component specs — the Fig. 3
+// frequent-mild-jitter + rare-heavy-spike structure in one line:
+//
+//   auto c = varmodel::make_noise("exp:rho=0.05+pareto:rho=0.1,alpha=1.5");
+//
+// `seed` feeds the stateful models (ar1, burst) unless the spec pins
+// `seed=` explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "spec/registry.h"
+#include "varmodel/noise_model.h"
+
+namespace protuner::varmodel {
+
+using NoiseRegistry =
+    spec::Registry<std::shared_ptr<const NoiseModel>, std::uint64_t>;
+
+/// The noise-model family registry (component names; '+' composition is
+/// handled by make_noise on top).
+NoiseRegistry& noise_registry();
+
+/// Parses `text` ('+'-separated component specs) and constructs the model;
+/// two or more components fold into CompositeNoise left to right.  Throws
+/// spec::SpecError on unknown names/keys or out-of-range values.
+std::shared_ptr<const NoiseModel> make_noise(std::string_view text,
+                                             std::uint64_t seed = 1);
+
+}  // namespace protuner::varmodel

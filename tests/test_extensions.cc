@@ -12,6 +12,7 @@
 #include "core/pro.h"
 #include "core/session.h"
 #include "harmony/api.h"
+#include "spec/spec.h"
 #include "stats/autocorr.h"
 #include "util/summary.h"
 #include "varmodel/burst_noise.h"
@@ -210,6 +211,30 @@ TEST(SessionBuilder, SupportsAllAlgorithms) {
     for (std::size_t r = 0; r < 2; ++r) server->report(r, 1.0);
     EXPECT_EQ(server->rounds_completed(), 1u);
   }
+}
+
+TEST(SessionBuilder, StrategySpecOverridesEnumAlgorithm) {
+  // A declarative spec (DESIGN.md §13) takes precedence over the enum
+  // setters; any registered strategy is reachable without a new enum value.
+  for (const char* text : {"pro:k=2", "spsa:a=0.3", "rs:m=8,n0=2"}) {
+    harmony::SessionBuilder builder;
+    builder.add_int("a", 0, 20)
+        .algorithm(harmony::Algorithm::kNelderMead)  // overridden below
+        .strategy_spec(text)
+        .noise_spec("pareto:rho=0.2,alpha=1.7")
+        .clients(3);
+    EXPECT_EQ(builder.strategy_spec(), text);
+    EXPECT_EQ(builder.noise_spec(), "pareto:rho=0.2,alpha=1.7");
+    auto server = builder.build();
+    std::vector<core::Point> cfgs;
+    for (std::size_t r = 0; r < 3; ++r) cfgs.push_back(server->fetch(r));
+    for (std::size_t r = 0; r < 3; ++r) server->report(r, 1.0);
+    EXPECT_EQ(server->rounds_completed(), 1u);
+  }
+  // Malformed specs fail loudly at build() with the spec diagnostics.
+  harmony::SessionBuilder bad;
+  bad.add_int("a", 0, 5).strategy_spec("pro:kk=2").clients(1);
+  EXPECT_THROW((void)bad.build(), spec::SpecError);
 }
 
 TEST(SessionBuilder, MixedParameterKinds) {

@@ -20,7 +20,10 @@
 #include "cluster/clean_cache.h"
 #include "cluster/simulated_cluster.h"
 #include "cluster/trace_cluster.h"
+#include "core/annealing.h"
+#include "core/compass.h"
 #include "core/fixed.h"
+#include "core/genetic.h"
 #include "core/landscape.h"
 #include "core/round_engine.h"
 #include "gs2/database.h"
@@ -320,6 +323,52 @@ TEST(CleanTimeCache, ClusterSeesFreshValuesAfterInsert) {
                         {out.data(), out.size()});
   EXPECT_DOUBLE_EQ(out[0], 42.0);
   EXPECT_DOUBLE_EQ(out[1], 42.0);
+}
+
+TEST(Strategy, ProposeIntoOverridesAreAllocationFree) {
+  // The TuningStrategy base class's propose_into default materialises a
+  // fresh StepProposal (and its Points) on every call — an allocation trap
+  // for any engine recycling its buffers.  Annealing, genetic and compass
+  // override it to copy into the caller's storage; once the buffer and its
+  // points are warm, the call must be heap-silent.
+  const core::ParameterSpace space({
+      core::Parameter::integer("i", 0, 15),
+      core::Parameter::continuous("c", -1.0, 1.0),
+  });
+  const QuadraticLandscape land(Point{7.0, 0.2}, 1.0, 0.1);
+
+  const auto drive = [&](core::TuningStrategy& s, const char* label) {
+    s.start(8);
+    std::vector<Point> buf;
+    std::vector<double> times;
+    for (int warm = 0; warm < 12; ++warm) {  // warm capacity and point dims
+      s.propose_into(buf);
+      times.resize(buf.size());
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        times[i] = land.clean_time(buf[i]);
+      }
+      s.observe(times);
+    }
+    std::size_t measured = 0;
+    for (int step = 0; step < 60; ++step) {
+      const std::size_t before = allocation_count();
+      s.propose_into(buf);
+      measured += allocation_count() - before;
+      times.resize(buf.size());
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        times[i] = land.clean_time(buf[i]);
+      }
+      s.observe(times);
+    }
+    EXPECT_EQ(measured, 0u) << label << " propose_into touched the heap";
+  };
+
+  core::AnnealingStrategy annealing(space, {});
+  drive(annealing, "annealing");
+  core::GeneticStrategy genetic(space, {});
+  drive(genetic, "genetic");
+  core::CompassStrategy compass(space, {});
+  drive(compass, "compass");
 }
 
 TEST(Strategy, ProposeIntoMatchesPropose) {

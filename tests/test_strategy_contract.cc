@@ -18,9 +18,13 @@
 #include "core/nelder_mead.h"
 #include "core/pro.h"
 #include "core/random_search.h"
+#include "core/ranking_selection.h"
 #include "core/round_engine.h"
 #include "core/session.h"
+#include "core/spsa.h"
 #include "core/sro.h"
+#include "core/strategy_spec.h"
+#include "spec/spec.h"
 #include "varmodel/pareto_noise.h"
 
 namespace protuner::core {
@@ -178,6 +182,34 @@ TEST_P(StrategyContract, EngineLoopMatchesRunSessionOnTraceCluster) {
       << GetParam().label;
 }
 
+// Fuzz the propose_into contract: recycled buffers are OVERWRITTEN, never
+// appended to, whatever junk they held before the call.  A twin strategy
+// driven through propose() must see exactly the same assignments.
+TEST_P(StrategyContract, ProposeIntoOverwritesNeverAppends) {
+  const auto space = mixed_space();
+  const auto land = test_landscape();
+  auto via_propose = GetParam().make(space);
+  auto via_into = GetParam().make(space);
+  constexpr std::size_t kRanks = 8;
+  via_propose->start(kRanks);
+  via_into->start(kRanks);
+  std::vector<Point> buf;
+  for (int step = 0; step < 80; ++step) {
+    // Dirty the recycled buffer with garbage of a step-dependent size:
+    // sometimes empty, sometimes longer than any proposal, sometimes with
+    // wrong-dimension points.
+    buf.assign(static_cast<std::size_t>(step * 5) % 13,
+               Point{1e9, -1e9, 7.0, 8.0});
+    const StepProposal expected = via_propose->propose();
+    via_into->propose_into(buf);
+    ASSERT_EQ(buf, expected.configs) << GetParam().label << " step " << step;
+    std::vector<double> times;
+    for (const auto& c : expected.configs) times.push_back(land->clean_time(c));
+    via_propose->observe(times);
+    via_into->observe(times);
+  }
+}
+
 TEST_P(StrategyContract, ImprovesOrMatchesCenterNoiseFree) {
   const auto space = mixed_space();
   const auto land = test_landscape();
@@ -262,10 +294,78 @@ INSTANTIATE_TEST_SUITE_P(
         StrategyCase{"fixed",
                      [](const ParameterSpace& s) -> TuningStrategyPtr {
                        return std::make_unique<FixedStrategy>(s.center());
+                     }},
+        StrategyCase{"spsa",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       SpsaOptions o;
+                       o.seed = 123;
+                       return std::make_unique<SpsaStrategy>(s, o);
+                     }},
+        StrategyCase{"rs_min",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       RankingSelectionOptions o;
+                       o.seed = 123;
+                       return std::make_unique<RankingSelectionStrategy>(s,
+                                                                         o);
+                     }},
+        StrategyCase{"rs_mean",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       RankingSelectionOptions o;
+                       o.estimator = EstimatorKind::kMean;
+                       o.seed = 123;
+                       return std::make_unique<RankingSelectionStrategy>(s,
+                                                                         o);
+                     }},
+        // Spec-constructed twins: the factory path must satisfy the same
+        // contracts as direct construction.
+        StrategyCase{"spec_spsa",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return make_strategy("spsa:a=0.3,c=0.15", s, 123);
+                     }},
+        StrategyCase{"spec_rs",
+                     [](const ParameterSpace& s) -> TuningStrategyPtr {
+                       return make_strategy("rs:m=12,n0=3", s, 123);
                      }}),
     [](const ::testing::TestParamInfo<StrategyCase>& info) {
       return info.param.label;
     });
+
+// ------------------------------------------------------- spec round trips
+
+// The registry's design law: parse(to_string(s)) == s, and every entry's
+// documented example constructs a working strategy whose first proposal is
+// admissible.  Covers every registered strategy, including spsa and rs.
+TEST(StrategySpecs, EveryRegisteredExampleRoundTripsAndConstructs) {
+  const auto space = mixed_space();
+  const auto& reg = strategy_registry();
+  ASSERT_GE(reg.entries().size(), 11u);
+  for (const auto& entry : reg.entries()) {
+    SCOPED_TRACE(entry.name);
+    const spec::Spec parsed = spec::parse(entry.example);
+    EXPECT_EQ(spec::parse(spec::to_string(parsed)), parsed)
+        << "round trip failed for " << entry.example;
+    auto strategy = make_strategy(parsed, space, 7);
+    ASSERT_NE(strategy, nullptr);
+    strategy->start(4);
+    const StepProposal p = strategy->propose();
+    ASSERT_FALSE(p.configs.empty());
+    for (const auto& c : p.configs) EXPECT_TRUE(space.admissible(c));
+  }
+}
+
+// Bare names (no options) must construct with defaults for every entry and
+// every alias.
+TEST(StrategySpecs, BareNamesAndAliasesConstruct) {
+  const auto space = mixed_space();
+  for (const auto& entry : strategy_registry().entries()) {
+    for (std::string name : entry.aliases) {
+      auto s = make_strategy(name, space, 7);
+      ASSERT_NE(s, nullptr) << name;
+    }
+    auto s = make_strategy(entry.name, space, 7);
+    ASSERT_NE(s, nullptr) << entry.name;
+  }
+}
 
 }  // namespace
 }  // namespace protuner::core
