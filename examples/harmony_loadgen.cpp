@@ -38,7 +38,13 @@ void usage(const char* argv0) {
          "  --timeout-ms MS  round report deadline      (default off)\n"
          "  --tick-hz HZ     Server::tick() ticker      (default off)\n"
          "  --monitor        stats/metrics exporter antagonist\n"
-         "  --seed S         rng seed                   (default 42)\n";
+         "  --seed S         rng seed                   (default 42)\n"
+         "  --loopback       drive the traffic through the wire protocol\n"
+         "                   against an in-process localhost server\n"
+         "  --serve PORT     host the sessions on PORT and run the event\n"
+         "                   loop; a --remote loadgen drives the traffic\n"
+         "  --remote H:P     drive traffic against a --serve loadgen at\n"
+         "                   host H port P (same sessions/ranks/rounds)\n";
 }
 
 }  // namespace
@@ -78,6 +84,23 @@ int main(int argc, char** argv) {
       options.monitor = true;
     } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--loopback") == 0) {
+      options.mode = apps::LoadgenMode::kLoopback;
+    } else if (std::strcmp(arg, "--serve") == 0 && has_value) {
+      options.mode = apps::LoadgenMode::kServe;
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--remote") == 0 && has_value) {
+      options.mode = apps::LoadgenMode::kRemote;
+      const std::string hp = argv[++i];
+      const std::size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--remote expects HOST:PORT\n";
+        return 2;
+      }
+      options.remote_host = hp.substr(0, colon);
+      options.port = static_cast<std::uint16_t>(
+          std::strtoul(hp.c_str() + colon + 1, nullptr, 10));
     } else {
       usage(argv[0]);
       return 2;

@@ -5,12 +5,15 @@
 #include <chrono>
 #include <latch>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/fixed.h"
 #include "harmony/session_manager.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "util/rng.h"
 #include "varmodel/noise_model.h"
 #include "varmodel/pareto_noise.h"
@@ -74,23 +77,48 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   const std::size_t workers =
       std::clamp<std::size_t>(options.workers, 1, ranks);
   const std::size_t dims = std::max<std::size_t>(1, options.dims);
+  const LoadgenMode mode = options.mode;
+  const bool hosts_sessions = mode != LoadgenMode::kRemote;
+  const bool spawns_workers = mode != LoadgenMode::kServe;
+  const bool uses_sockets = mode != LoadgenMode::kInProcess;
 
   obs::Registry registry;
   harmony::SessionManager manager;
   const varmodel::NoiseModelPtr think_model = make_think_model(options);
 
   std::vector<std::shared_ptr<harmony::Server>> servers;
-  servers.reserve(sessions);
-  for (std::size_t s = 0; s < sessions; ++s) {
-    harmony::ServerOptions so;
-    so.metrics = &registry;
-    so.record_series = false;
-    so.report_timeout = options.report_timeout;
-    servers.push_back(manager.create(
-        "soak-" + std::to_string(s),
-        std::make_unique<core::FixedStrategy>(core::Point(dims, 1.0)),
-        ranks, so));
+  if (hosts_sessions) {
+    servers.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      harmony::ServerOptions so;
+      so.metrics = &registry;
+      so.record_series = false;
+      so.report_timeout = options.report_timeout;
+      servers.push_back(manager.create(
+          "soak-" + std::to_string(s),
+          std::make_unique<core::FixedStrategy>(core::Point(dims, 1.0)),
+          ranks, so));
+    }
   }
+
+  // Socket modes put a NetServer in front of the sessions.  kLoopback runs
+  // its loop on a dedicated thread of this process; kServe runs it on the
+  // calling thread (below) and remote loadgens provide the traffic.
+  std::optional<net::NetServer> net;
+  std::thread net_thread;
+  if (mode == LoadgenMode::kLoopback || mode == LoadgenMode::kServe) {
+    net::NetServerOptions no;
+    no.port = options.port;
+    no.metrics = &registry;
+    net.emplace(manager, no);
+    if (mode == LoadgenMode::kLoopback) {
+      net_thread = std::thread([&net] { net->run(); });
+    }
+  }
+  const std::string host =
+      mode == LoadgenMode::kRemote ? options.remote_host : "127.0.0.1";
+  const std::uint16_t port =
+      mode == LoadgenMode::kRemote ? options.port : (net ? net->port() : 0);
 
   std::latch start(1);
   std::atomic<bool> stop{false};
@@ -98,18 +126,22 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   std::atomic<std::uint64_t> report_ops{0};
   std::atomic<std::uint64_t> monitor_sweeps{0};
   std::atomic<std::uint64_t> ticks{0};
+  // Per-worker completed-phase counts; each slot is owned by one worker
+  // and read only after its join.  A session's completed rounds is the min
+  // over its workers (the only view a kRemote driver has).
+  std::vector<std::uint64_t> phases(sessions * workers, 0);
 
   // One phase-locked multiplexing worker per (session, slice): fetch every
   // owned rank, think, report every owned rank.  Each session's ranks are
   // partitioned across its workers, so no worker ever waits on a rank
   // another thread must report first — deadlock-free regardless of how
-  // rounds interleave across sessions.
+  // rounds interleave across sessions.  Socket-mode workers run the exact
+  // same phases through one net::HarmonyClient connection each.
   std::vector<std::jthread> threads;
   threads.reserve(sessions * workers + 2);
-  for (std::size_t s = 0; s < sessions; ++s) {
+  for (std::size_t s = 0; spawns_workers && s < sessions; ++s) {
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, s, w] {
-        harmony::Server& server = *servers[s];
         const std::size_t lo = w * ranks / workers;
         const std::size_t hi = (w + 1) * ranks / workers;
         util::Rng rng(options.seed +
@@ -118,11 +150,28 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
         std::vector<double> thinks(hi - lo);
         std::uint64_t fetched = 0;
         std::uint64_t reported = 0;
+        std::uint64_t& done_phases = phases[s * workers + w];
         start.wait();
         try {
+          harmony::Server* server =
+              uses_sockets ? nullptr : servers[s].get();
+          std::optional<net::HarmonyClient> client;
+          if (uses_sockets) {
+            net::ClientOptions co;
+            co.host = host;
+            co.port = port;
+            co.metrics = &registry;
+            client.emplace(co);
+            client->attach("soak-" + std::to_string(s),
+                           static_cast<std::uint32_t>(lo));
+          }
           for (std::size_t round = 0; round < options.rounds; ++round) {
             for (std::size_t r = lo; r < hi; ++r) {
-              server.fetch_into(r, scratch);
+              if (client) {
+                client->fetch_into(static_cast<std::uint32_t>(r), scratch);
+              } else {
+                server->fetch_into(r, scratch);
+              }
               ++fetched;
               thinks[r - lo] = think_model->observe(options.think_mean, rng);
             }
@@ -133,12 +182,21 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
                   *std::max_element(thinks.begin(), thinks.end())));
             }
             for (std::size_t r = lo; r < hi; ++r) {
-              server.report(r, thinks[r - lo]);
+              if (client) {
+                client->report(static_cast<std::uint32_t>(r),
+                               thinks[r - lo]);
+              } else {
+                server->report(r, thinks[r - lo]);
+              }
               ++reported;
             }
+            ++done_phases;
           }
+          if (client) client->detach(static_cast<std::uint32_t>(lo));
         } catch (const harmony::ProtocolError&) {
           // Session poisoned (kFail deadline) — stop driving it.
+        } catch (const net::NetError&) {
+          // Server went away — stop driving this connection.
         }
         fetch_ops.fetch_add(fetched, std::memory_order_relaxed);
         report_ops.fetch_add(reported, std::memory_order_relaxed);
@@ -146,7 +204,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     }
   }
 
-  if (options.tick_hz > 0.0) {
+  if (hosts_sessions && options.tick_hz > 0.0) {
     threads.emplace_back([&] {
       const auto period = std::chrono::duration_cast<
           std::chrono::steady_clock::duration>(
@@ -165,7 +223,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     });
   }
 
-  if (options.monitor) {
+  if (hosts_sessions && options.monitor) {
     threads.emplace_back([&] {
       start.wait();
       while (!stop.load(std::memory_order_relaxed)) {
@@ -180,12 +238,33 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
 
   const auto t0 = std::chrono::steady_clock::now();
   start.count_down();
+  if (mode == LoadgenMode::kServe) {
+    // The calling thread IS the event loop: serve until every session has
+    // completed its rounds, then drain client goodbyes (bounded grace).
+    std::chrono::steady_clock::time_point grace_until{};
+    net->run_until([&] {
+      for (const auto& server : servers) {
+        if (server->rounds_completed() < options.rounds) return false;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (grace_until == std::chrono::steady_clock::time_point{}) {
+        grace_until = now + std::chrono::seconds(5);
+      }
+      return net->connections_closed() >= net->connections_accepted() ||
+             now >= grace_until;
+    });
+  }
   // Workers self-terminate after `rounds`; join them first, then release
   // the antagonists.
-  for (std::size_t i = 0; i < sessions * workers; ++i) threads[i].join();
+  const std::size_t worker_count = spawns_workers ? sessions * workers : 0;
+  for (std::size_t i = 0; i < worker_count; ++i) threads[i].join();
   const auto t1 = std::chrono::steady_clock::now();
   stop.store(true, std::memory_order_relaxed);
   threads.clear();  // joins ticker/monitor
+  if (net && mode == LoadgenMode::kLoopback) {
+    net->stop();
+    net_thread.join();
+  }
 
   LoadgenReport rep;
   rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -200,6 +279,17 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   for (const auto& server : servers) {
     rep.rounds_completed += server->rounds_completed();
   }
+  if (mode == LoadgenMode::kRemote) {
+    // No server handle here: a session's completed rounds is the min over
+    // its workers' completed phases.
+    for (std::size_t s = 0; s < sessions; ++s) {
+      std::uint64_t done = phases[s * workers];
+      for (std::size_t w = 1; w < workers; ++w) {
+        done = std::min(done, phases[s * workers + w]);
+      }
+      rep.rounds_completed += done;
+    }
+  }
 
   const obs::RegistrySnapshot snap = registry.snapshot();
   const obs::HistogramSnapshot fetch =
@@ -208,6 +298,26 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   rep.fetch_p99_ns = fetch.p99();
   rep.fetch_p999_ns = fetch.p999();
   rep.fetch_max_ns = fetch.max;
+  if (uses_sockets) {
+    // Server-side decode-to-reply wire latency where this process hosts
+    // the loop; client-observed call latency when driving a remote server.
+    const obs::HistogramSnapshot wire = aggregate_histogram(
+        snap, mode == LoadgenMode::kRemote ? "protuner_net_client_fetch_ns"
+                                           : "protuner_net_fetch_wire_ns");
+    rep.wire_fetch_p50_ns = wire.p50();
+    rep.wire_fetch_p99_ns = wire.p99();
+    rep.wire_fetch_p999_ns = wire.p999();
+    rep.wire_fetch_max_ns = wire.max;
+    rep.net_bytes_in = aggregate_counter(snap, "protuner_net_bytes_in_total");
+    rep.net_bytes_out =
+        aggregate_counter(snap, "protuner_net_bytes_out_total");
+    if (net) {
+      rep.net_connections = net->connections_accepted();
+      rep.net_decode_errors = net->decode_errors();
+    } else {
+      rep.net_connections = sessions * workers;
+    }
+  }
   const obs::HistogramSnapshot round_wall =
       aggregate_histogram(snap, "protuner_harmony_round_wall_ns");
   rep.round_wall_p50_ns = round_wall.p50();
@@ -240,6 +350,14 @@ std::string LoadgenReport::summary() const {
       << "protocol errors " << protocol_errors << "\n"
       << "antagonists     " << monitor_sweeps << " monitor sweeps, "
       << ticks << " ticks\n";
+  if (net_connections > 0 || wire_fetch_max_ns > 0.0) {
+    out << "net             " << net_connections << " connections, "
+        << net_bytes_in << " B in, " << net_bytes_out << " B out, "
+        << net_decode_errors << " decode errors\n"
+        << "fetch wire      p50 " << wire_fetch_p50_ns << " ns · p99 "
+        << wire_fetch_p99_ns << " ns · p99.9 " << wire_fetch_p999_ns
+        << " ns · max " << wire_fetch_max_ns << " ns\n";
+  }
   return out.str();
 }
 

@@ -28,6 +28,12 @@
 // per-session labels by summing histogram buckets — not from a second
 // measurement path, so the loadgen exercises exactly the telemetry a
 // production deployment would read.
+//
+// The same workload can flow over the net:: serving tier (DESIGN.md §14)
+// instead of direct calls: LoadgenMode::kLoopback runs the binary wire
+// protocol against an in-process localhost NetServer, and kServe/kRemote
+// split the soak across real processes/machines — identical traffic shape,
+// think-time model and quantile reporting in every mode.
 #pragma once
 
 #include <chrono>
@@ -39,7 +45,31 @@
 
 namespace protuner::apps {
 
+/// Where the fetch/report traffic flows.
+enum class LoadgenMode {
+  /// Workers call harmony::Server directly (the PR-7 soak).
+  kInProcess,
+  /// Workers speak the wire protocol to a net::NetServer hosted on a
+  /// loopback socket inside this same process — the full serialize/epoll/
+  /// parse path with zero network distance.
+  kLoopback,
+  /// Host the sessions behind a net::NetServer on `port` and run the event
+  /// loop; a remote kRemote loadgen (same sessions/ranks/rounds) drives
+  /// the traffic.  No local workers.
+  kServe,
+  /// Drive traffic against a kServe loadgen at remote_host:port.  Latency
+  /// quantiles come from the client-side wire histograms; the serve
+  /// process prints the server-side view.
+  kRemote,
+};
+
 struct LoadgenOptions {
+  LoadgenMode mode = LoadgenMode::kInProcess;
+  /// kServe: port to bind (required nonzero).  kRemote: the server's port.
+  std::uint16_t port = 0;
+  /// kRemote: the serving host.
+  std::string remote_host = "127.0.0.1";
+
   std::size_t sessions = 4;   ///< concurrent tuning sessions
   std::size_t ranks = 16;     ///< ranks (clients) per session
   std::size_t workers = 2;    ///< worker threads per session (>= 1, <= ranks)
@@ -87,6 +117,19 @@ struct LoadgenReport {
   std::uint64_t protocol_errors = 0;
   std::uint64_t monitor_sweeps = 0;  ///< stats+snapshot loops completed
   std::uint64_t ticks = 0;           ///< Server::tick() calls issued
+
+  // Net tier (socket modes only; all zero for the in-process soak).
+  // In kRemote runs the fetch/report wire quantiles are the client-side
+  // call latencies; otherwise they are the server-side decode-to-reply
+  // histograms.
+  std::uint64_t net_connections = 0;
+  std::uint64_t net_decode_errors = 0;
+  std::uint64_t net_bytes_in = 0;
+  std::uint64_t net_bytes_out = 0;
+  double wire_fetch_p50_ns = 0.0;
+  double wire_fetch_p99_ns = 0.0;
+  double wire_fetch_p999_ns = 0.0;
+  double wire_fetch_max_ns = 0.0;
 
   std::string summary() const;  ///< human-readable one-screen rendering
 };

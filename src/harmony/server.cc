@@ -267,15 +267,17 @@ core::Point Server::fetch(std::size_t rank) {
   return out;
 }
 
-void Server::fetch_into(std::size_t rank, core::Point& out) {
-  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
-  const std::uint64_t entered = obs::LatencyClock::now();
+void Server::check_fetch_rank(std::size_t rank) const {
   if (rank >= clients_) {
     obs_protocol_errors_.add();
     throw ProtocolError("fetch: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
   }
+}
+
+bool Server::fetch_fast(std::size_t rank, core::Point& out,
+                        std::uint64_t entered) {
   RankState& rs = ranks_[rank];
   if (!failed_.load(std::memory_order_acquire)) {
     const std::uint64_t cur = round_.load(std::memory_order_acquire);
@@ -298,13 +300,57 @@ void Server::fetch_into(std::size_t rank, core::Point& out) {
           out = buf.assignment[rank];
           gate_exit(buf);
           obs_fetch_ns_.record(elapsed_ns(entered));
-          return;
+          return true;
         }
         gate_exit(buf);
       }
     }
   }
+  return false;
+}
+
+void Server::fetch_into(std::size_t rank, core::Point& out) {
+  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
+  const std::uint64_t entered = obs::LatencyClock::now();
+  check_fetch_rank(rank);
+  if (fetch_fast(rank, out, entered)) return;
   fetch_slow(rank, out, entered);
+}
+
+bool Server::try_fetch_into(std::size_t rank, core::Point& out) {
+  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
+  const std::uint64_t entered = obs::LatencyClock::now();
+  check_fetch_rank(rank);
+  if (fetch_fast(rank, out, entered)) return true;
+  // Non-waiting slow path: the same protocol steps fetch_slow takes under
+  // the barrier lock — serve if the rank's round is open, re-enter a
+  // dropped/overtaken rank — except it returns false where fetch_slow
+  // would sleep on round_ready_.
+  const std::scoped_lock lock(mutex_);
+  throw_if_failed_locked();
+  RankState& rs = ranks_[rank];
+  const std::uint64_t cur = round_.load(std::memory_order_relaxed);
+  if (rs.round == cur && engine_.expected(rank)) {
+    if (rs.fetched) {
+      obs_protocol_errors_.add();
+      throw ProtocolError("fetch: rank " + std::to_string(rank) +
+                          " fetched twice without reporting");
+    }
+    rs.fetched = true;
+    out = engine_.assignment_for(rank);
+    obs_fetch_ns_.record(elapsed_ns(entered));
+    return true;
+  }
+  if (rs.round <= cur) {
+    // Dropped, or overtaken because its round was deadline-closed beneath
+    // it: re-enter the session at the next round; the caller retries after
+    // the next publish.
+    rs.fetched = false;
+    engine_.reactivate(rank);
+    stat_active_.store(engine_.active_count(), std::memory_order_relaxed);
+    rs.round = cur + 1;
+  }
+  return false;
 }
 
 void Server::fetch_slow(std::size_t rank, core::Point& out,

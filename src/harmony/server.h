@@ -129,6 +129,18 @@ class Server {
   /// load generator can drive millions of ops without touching malloc.
   void fetch_into(std::size_t rank, core::Point& out);
 
+  /// Non-blocking fetch for event-loop transports (net::NetServer): returns
+  /// true and fills `out` when the rank's round is open, false when the
+  /// fetch would have to wait for the next round to be published (the
+  /// caller parks the request and retries after the round advances — the
+  /// server's round counter, visible through rounds_completed(), bumps at
+  /// every advance).  A dropped rank re-enters the session here exactly as
+  /// it would in fetch(): the first call reactivates it and returns false,
+  /// a retry after the next publish succeeds.  Protocol violations throw
+  /// ProtocolError just like fetch(); unlike fetch() this never sleeps, so
+  /// a deadline must be enforced externally via tick().
+  bool try_fetch_into(std::size_t rank, core::Point& out);
+
   /// Reports the observed iteration time for the configuration most
   /// recently fetched by `rank`.  The final report of a round closes it:
   /// the engine accounts T_k, advances the strategy and publishes the next
@@ -243,9 +255,13 @@ class Server {
   /// Force-closes the open round by imputation if its deadline has
   /// expired.  Returns true when the round was closed.
   bool close_by_deadline_locked();
-  /// Slow fetch path: blocked waiters, rank re-entry, failure reporting.
+  /// Lock-free Collecting-phase fetch: serves the open round through the
+  /// gate; false when the caller must take the slow (mutex) path.
   /// `entered` is the obs::LatencyClock stamp taken at fetch entry.
+  bool fetch_fast(std::size_t rank, core::Point& out, std::uint64_t entered);
+  /// Slow fetch path: blocked waiters, rank re-entry, failure reporting.
   void fetch_slow(std::size_t rank, core::Point& out, std::uint64_t entered);
+  void check_fetch_rank(std::size_t rank) const;
   void refresh_stats_cache_locked(double last_cost);
 
   core::TuningStrategyPtr strategy_;

@@ -1,0 +1,122 @@
+#include "net/frame.h"
+
+#include <limits>
+
+namespace protuner::net {
+
+namespace {
+
+Decoded bad(std::string_view why) {
+  Decoded d;
+  d.status = DecodeStatus::kBadFrame;
+  d.error = why;
+  return d;
+}
+
+}  // namespace
+
+Decoded decode_frame(std::span<const std::uint8_t> buf,
+                     std::size_t max_frame) {
+  Decoded d;
+  if (buf.size() < 4) return d;  // kNeedMore
+  const std::uint32_t length = load_u32(buf.data());
+  if (length < 8) return bad("frame length below the 8-byte header minimum");
+  if (length > max_frame) return bad("frame exceeds the size cap");
+  if (buf.size() < 4 + static_cast<std::size_t>(length)) return d;
+  const std::uint8_t version = buf[4];
+  if (version != kWireVersion) return bad("unsupported wire version");
+  const std::uint8_t type = buf[5];
+  if (type < static_cast<std::uint8_t>(MsgType::kAttach) ||
+      type > static_cast<std::uint8_t>(MsgType::kError)) {
+    return bad("unknown message type");
+  }
+  const std::uint16_t session_len = load_u16(buf.data() + 6);
+  if (8u + session_len > length) {
+    return bad("session name overruns the frame");
+  }
+  d.status = DecodeStatus::kFrame;
+  d.consumed = 4 + static_cast<std::size_t>(length);
+  d.frame.type = static_cast<MsgType>(type);
+  d.frame.version = version;
+  d.frame.rank = load_u32(buf.data() + 8);
+  d.frame.session = std::string_view(
+      reinterpret_cast<const char*>(buf.data() + kFixedHeaderBytes),
+      session_len);
+  d.frame.body = buf.subspan(kFixedHeaderBytes + session_len,
+                             length - 8 - session_len);
+  return d;
+}
+
+void append_header(std::vector<std::uint8_t>& out, MsgType type,
+                   std::uint32_t rank, std::string_view session,
+                   std::size_t body_len) {
+  const std::size_t length = 8 + session.size() + body_len;
+  append_u32(out, static_cast<std::uint32_t>(length));
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  append_u16(out, static_cast<std::uint16_t>(session.size()));
+  append_u32(out, rank);
+  out.insert(out.end(), session.begin(), session.end());
+}
+
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  std::uint32_t rank, std::string_view session,
+                  std::span<const std::uint8_t> body) {
+  append_header(out, type, rank, session, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void append_simple(std::vector<std::uint8_t>& out, MsgType type,
+                   std::uint32_t rank, std::string_view session) {
+  append_header(out, type, rank, session, 0);
+}
+
+void append_attach_ack(std::vector<std::uint8_t>& out, std::uint32_t rank,
+                       std::uint32_t clients) {
+  append_header(out, MsgType::kAttach, rank, {}, 4);
+  append_u32(out, clients);
+}
+
+void append_report(std::vector<std::uint8_t>& out, std::uint32_t rank,
+                   std::string_view session, double time) {
+  append_header(out, MsgType::kReport, rank, session, 8);
+  append_f64(out, time);
+}
+
+void append_config(std::vector<std::uint8_t>& out, std::uint32_t rank,
+                   const core::Point& config) {
+  append_header(out, MsgType::kFetch, rank, {}, 4 + 8 * config.size());
+  append_u32(out, static_cast<std::uint32_t>(config.size()));
+  for (const double v : config) append_f64(out, v);
+}
+
+void append_error(std::vector<std::uint8_t>& out, std::uint32_t rank,
+                  std::string_view message) {
+  append_header(out, MsgType::kError, rank, {}, message.size());
+  out.insert(out.end(), message.begin(), message.end());
+}
+
+bool parse_u32_body(std::span<const std::uint8_t> body, std::uint32_t& out) {
+  if (body.size() != 4) return false;
+  out = load_u32(body.data());
+  return true;
+}
+
+bool parse_f64_body(std::span<const std::uint8_t> body, double& out) {
+  if (body.size() != 8) return false;
+  out = load_f64(body.data());
+  return true;
+}
+
+bool parse_config_body(std::span<const std::uint8_t> body, core::Point& out) {
+  if (body.size() < 4) return false;
+  const std::uint32_t n = load_u32(body.data());
+  if (body.size() != 4 + 8 * static_cast<std::size_t>(n)) return false;
+  out.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = load_f64(body.data() + 4 + 8 * static_cast<std::size_t>(i));
+  }
+  return true;
+}
+
+}  // namespace protuner::net

@@ -1,0 +1,200 @@
+// Network serving tier for harmony:: — a single-threaded, level-triggered
+// epoll event loop translating the binary wire protocol (net/frame.h) into
+// the existing zero-allocation harmony::Server fetch/report calls
+// (DESIGN.md §14).
+//
+// Architecture: ONE loop thread owns everything mutable here — the listen
+// socket, the epoll set, every connection's buffers and parked fetches.
+// harmony::Server and harmony::SessionManager are internally thread-safe,
+// so the loop calls straight into them; nothing in net:: takes a lock.
+// Thousands of connections multiplex on the one loop (C10k-style): a
+// connection is a pooled pair of byte buffers plus protocol state, not a
+// thread.
+//
+// Blocking is forbidden on the loop, so the blocking part of the Harmony
+// protocol — fetch() waiting for the next round to open — becomes a parked
+// request: Server::try_fetch_into() either serves the open round or the
+// loop parks the (connection, rank) pair and answers it when the session's
+// round counter advances (checked once per poll iteration; the counter is
+// a relaxed atomic read).  Deadlines are enforced the same way a tick
+// driver would: the loop calls Server::tick() at poll_interval, and a
+// connection that dies mid-round is simply a straggler for the PR-3
+// deadline/imputation machinery — never a server error.
+//
+// Error containment: a malformed frame or a harmony::ProtocolError maps to
+// one Error frame (best-effort flush) plus connection close.  The loop
+// never throws out of run(), never corrupts a session, and never dies on
+// client behaviour.
+//
+// Steady-state hot path is allocation-free: connection buffers, parked
+// lists, the epoll event array and the one configuration scratch Point are
+// all warm after the first rounds; decoding yields views, encoding appends
+// into recycled capacity, and closed connections return their buffers to a
+// pool for the next accept.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "harmony/session_manager.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+
+namespace protuner::net {
+
+/// Transport-level failure (bind/listen/epoll errors, address in use).
+/// Client misbehaviour is NOT a NetError — it closes the one connection.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct NetServerOptions {
+  /// Address to bind; the default serves loopback only.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  int backlog = 1024;
+  /// Hard cap on accepted frame length (see net/frame.h).
+  std::size_t max_frame = kMaxFrameBytes;
+  /// epoll_wait timeout: the cadence of deadline ticks and parked-fetch
+  /// sweeps when the loop is otherwise idle.
+  std::chrono::milliseconds poll_interval{5};
+  /// Registry the wire telemetry is registered in; null means
+  /// obs::Registry::global().  Use the same registry the hosted sessions
+  /// record into so Server::metrics_snapshot/SessionManager::
+  /// metrics_snapshot see the net tier too.
+  obs::Registry* metrics = nullptr;
+};
+
+class NetServer {
+ public:
+  /// Binds and listens immediately (port() is valid after construction);
+  /// the loop itself starts in run().  Sessions are resolved by name in
+  /// `manager` at Attach time — create them before clients connect.
+  NetServer(harmony::SessionManager& manager, NetServerOptions options = {});
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until stop() is called.
+  void run();
+  /// run() with an exit predicate, checked once per poll iteration (on the
+  /// loop thread — it may touch loop-owned state via the counters below).
+  void run_until(const std::function<bool()>& done);
+  /// Thread-safe: wakes the loop and makes run() return.  Idempotent.
+  void stop();
+
+  /// Loop-lifetime counters (also exported via obs::, these accessors are
+  /// for tests and drivers; safe from any thread).
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_closed() const {
+    return closed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ParkedFetch {
+    std::uint32_t rank = 0;
+    std::uint64_t entered = 0;  ///< LatencyClock stamp at frame decode
+  };
+
+  struct Connection;
+
+  // One hosted session as seen by the loop: the pinned server handle, its
+  // wire-latency instruments (resolved once, at first attach), the parked
+  // list and the round counter watermark that triggers its retry sweep.
+  struct SessionEntry {
+    std::string name;
+    std::shared_ptr<harmony::Server> server;
+    obs::Histogram* fetch_wire_ns = nullptr;
+    obs::Histogram* report_wire_ns = nullptr;
+    std::size_t last_rounds = 0;
+    std::vector<Connection*> parked;  ///< connections with parked fetches
+  };
+
+  struct Connection {
+    int fd = -1;
+    bool closed = false;        ///< destroy deferred to end of batch
+    bool draining = false;      ///< close once the out buffer flushes
+    bool want_write = false;    ///< EPOLLOUT armed
+    bool in_parked_list = false;
+    int entry = -1;             ///< index into sessions_ once attached
+    std::vector<std::uint8_t> in;
+    std::size_t in_used = 0;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::vector<ParkedFetch> parked;
+  };
+
+  void loop_iteration();
+  void handle_listen();
+  void handle_readable(Connection* c);
+  void handle_writable(Connection* c);
+  void handle_frame(Connection* c, const Frame& f);
+  void handle_attach(Connection* c, const Frame& f);
+  void handle_fetch(Connection* c, const Frame& f, std::uint64_t entered);
+  void handle_report(Connection* c, const Frame& f, std::uint64_t entered);
+  /// True when the frame's session field names the bound session (empty
+  /// means "the bound session").
+  bool session_matches(const Connection* c, const Frame& f) const;
+  /// Sends an Error frame (best-effort) and closes the connection.
+  void error_close(Connection* c, std::string_view why);
+  void close_conn(Connection* c);
+  void destroy_pending();
+  /// Writes as much of c->out as the socket accepts; arms/disarms EPOLLOUT.
+  void flush_out(Connection* c);
+  void park_fetch(Connection* c, std::uint32_t rank, std::uint64_t entered);
+  /// Re-runs every parked fetch of `e`; called when its round advances.
+  void retry_parked(SessionEntry& e);
+  /// Round-advance sweep + deadline ticks, once per poll iteration.
+  void sweep_sessions(bool tick_due);
+  void epoll_update(Connection* c, bool want_write);
+  int entry_index_for(std::string_view name);
+
+  harmony::SessionManager& manager_;
+  const NetServerOptions options_;
+  obs::Registry& registry_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Connection>> conns_;  ///< indexed by fd
+  std::vector<std::unique_ptr<Connection>> pool_;   ///< warm buffer reuse
+  std::vector<Connection*> pending_destroy_;
+  std::vector<SessionEntry> sessions_;
+  core::Point scratch_;
+  std::vector<epoll_event> events_;
+  std::chrono::steady_clock::time_point last_tick_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+
+  obs::Counter& obs_bytes_in_;
+  obs::Counter& obs_bytes_out_;
+  obs::Counter& obs_accepted_;
+  obs::Counter& obs_closed_;
+  obs::Counter& obs_decode_errors_;
+};
+
+}  // namespace protuner::net

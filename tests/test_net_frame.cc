@@ -1,0 +1,279 @@
+// Wire-format codec properties (net/frame.h, DESIGN.md §14).
+//
+// The decoder faces bytes from the network, so the contract under test is
+// adversarial: truncated, oversized, garbage-typed, split-across-reads and
+// coalesced inputs must each produce a clean verdict — kNeedMore, kFrame
+// or kBadFrame — and never a crash, hang or out-of-bounds read.  The fuzz
+// cases drive the decoder with seeded random garbage and with random
+// corruptions of valid frames; the streaming cases re-deliver a valid
+// frame sequence at every possible chunking.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "net/frame.h"
+#include "util/rng.h"
+
+namespace protuner {
+namespace {
+
+using net::DecodeStatus;
+using net::Decoded;
+using net::MsgType;
+
+std::vector<std::uint8_t> attach_frame(std::string_view session,
+                                       std::uint32_t rank) {
+  std::vector<std::uint8_t> out;
+  net::append_simple(out, MsgType::kAttach, rank, session);
+  return out;
+}
+
+TEST(NetFrame, RoundTripsEveryMessageKind) {
+  std::vector<std::uint8_t> buf;
+  net::append_simple(buf, MsgType::kAttach, 7, "gs2");
+  net::append_simple(buf, MsgType::kFetch, 3, {});
+  net::append_report(buf, 5, "gs2", 1.25);
+  core::Point cfg{2.0, 4.0, 8.0};
+  net::append_config(buf, 9, cfg);
+  net::append_error(buf, 0, "boom");
+  net::append_attach_ack(buf, 7, 64);
+
+  std::size_t off = 0;
+  auto next = [&] {
+    const Decoded d = net::decode_frame({buf.data() + off, buf.size() - off});
+    EXPECT_EQ(d.status, DecodeStatus::kFrame);
+    off += d.consumed;
+    return d.frame;
+  };
+
+  net::Frame f = next();
+  EXPECT_EQ(f.type, MsgType::kAttach);
+  EXPECT_EQ(f.rank, 7u);
+  EXPECT_EQ(f.session, "gs2");
+  EXPECT_TRUE(f.body.empty());
+
+  f = next();
+  EXPECT_EQ(f.type, MsgType::kFetch);
+  EXPECT_EQ(f.rank, 3u);
+  EXPECT_TRUE(f.session.empty());
+
+  f = next();
+  EXPECT_EQ(f.type, MsgType::kReport);
+  double time = 0.0;
+  ASSERT_TRUE(net::parse_f64_body(f.body, time));
+  EXPECT_DOUBLE_EQ(time, 1.25);
+
+  f = next();
+  EXPECT_EQ(f.type, MsgType::kFetch);
+  EXPECT_EQ(f.rank, 9u);
+  core::Point decoded;
+  ASSERT_TRUE(net::parse_config_body(f.body, decoded));
+  EXPECT_EQ(decoded, cfg);
+
+  f = next();
+  EXPECT_EQ(f.type, MsgType::kError);
+  EXPECT_EQ(std::string(f.body.begin(), f.body.end()), "boom");
+
+  f = next();
+  EXPECT_EQ(f.type, MsgType::kAttach);
+  std::uint32_t clients = 0;
+  ASSERT_TRUE(net::parse_u32_body(f.body, clients));
+  EXPECT_EQ(clients, 64u);
+
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(NetFrame, EveryTruncationAsksForMoreNeverErrors) {
+  const std::vector<std::uint8_t> buf = attach_frame("session-name", 11);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const Decoded d = net::decode_frame({buf.data(), len});
+    EXPECT_EQ(d.status, DecodeStatus::kNeedMore)
+        << "prefix of " << len << " bytes";
+  }
+  EXPECT_EQ(net::decode_frame({buf.data(), buf.size()}).status,
+            DecodeStatus::kFrame);
+}
+
+TEST(NetFrame, RejectsOversizedLengthFromThePrefixAlone) {
+  std::vector<std::uint8_t> buf;
+  net::append_u32(buf, static_cast<std::uint32_t>(net::kMaxFrameBytes) + 1);
+  // Only the length prefix has arrived; the verdict must not wait for (or
+  // try to buffer) a megabyte that is never coming.
+  const Decoded d = net::decode_frame({buf.data(), buf.size()});
+  EXPECT_EQ(d.status, DecodeStatus::kBadFrame);
+  EXPECT_FALSE(d.error.empty());
+  // A tighter per-server cap applies the same way.
+  std::vector<std::uint8_t> small = attach_frame("s", 0);
+  EXPECT_EQ(net::decode_frame({small.data(), small.size()}, 4).status,
+            DecodeStatus::kBadFrame);
+}
+
+TEST(NetFrame, RejectsBelowMinimumLength) {
+  std::vector<std::uint8_t> buf;
+  net::append_u32(buf, 7);  // below the 8-byte fixed header remainder
+  EXPECT_EQ(net::decode_frame({buf.data(), buf.size()}).status,
+            DecodeStatus::kBadFrame);
+}
+
+TEST(NetFrame, RejectsGarbageTypeVersionAndSessionOverrun) {
+  const std::vector<std::uint8_t> good = attach_frame("abc", 1);
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[4] = 99;  // version
+    EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+              DecodeStatus::kBadFrame);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[5] = 0;  // type below range
+    EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+              DecodeStatus::kBadFrame);
+    bad[5] = 6;  // type above range
+    EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+              DecodeStatus::kBadFrame);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[6] = 0xFF;  // session_len far beyond the frame
+    bad[7] = 0xFF;
+    EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+              DecodeStatus::kBadFrame);
+  }
+}
+
+TEST(NetFrame, ReassemblesFramesAtEveryChunking) {
+  // A realistic burst: several frames of different kinds back to back.
+  std::vector<std::uint8_t> stream;
+  net::append_simple(stream, MsgType::kAttach, 0, "chunked");
+  core::Point cfg{1.0, 2.0};
+  net::append_config(stream, 1, cfg);
+  net::append_report(stream, 2, {}, 3.5);
+  net::append_simple(stream, MsgType::kDetach, 3, {});
+
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    std::vector<std::uint8_t> acc;
+    std::vector<MsgType> seen;
+    std::size_t fed = 0;
+    while (fed < stream.size()) {
+      const std::size_t n = std::min(chunk, stream.size() - fed);
+      acc.insert(acc.end(), stream.begin() + fed, stream.begin() + fed + n);
+      fed += n;
+      std::size_t off = 0;
+      for (;;) {
+        const Decoded d =
+            net::decode_frame({acc.data() + off, acc.size() - off});
+        ASSERT_NE(d.status, DecodeStatus::kBadFrame)
+            << "chunk size " << chunk;
+        if (d.status != DecodeStatus::kFrame) break;
+        seen.push_back(d.frame.type);
+        off += d.consumed;
+      }
+      acc.erase(acc.begin(), acc.begin() + off);
+    }
+    ASSERT_EQ(seen.size(), 4u) << "chunk size " << chunk;
+    EXPECT_EQ(seen[0], MsgType::kAttach);
+    EXPECT_EQ(seen[1], MsgType::kFetch);
+    EXPECT_EQ(seen[2], MsgType::kReport);
+    EXPECT_EQ(seen[3], MsgType::kDetach);
+    EXPECT_TRUE(acc.empty());
+  }
+}
+
+TEST(NetFrame, CoalescedBufferDecodesAllFramesExactly) {
+  std::vector<std::uint8_t> buf;
+  constexpr int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) {
+    net::append_report(buf, static_cast<std::uint32_t>(i), {}, i * 0.5);
+  }
+  std::size_t off = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    const Decoded d = net::decode_frame({buf.data() + off, buf.size() - off});
+    ASSERT_EQ(d.status, DecodeStatus::kFrame);
+    EXPECT_EQ(d.frame.rank, static_cast<std::uint32_t>(i));
+    off += d.consumed;
+  }
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(net::decode_frame({buf.data() + off, 0}).status,
+            DecodeStatus::kNeedMore);
+}
+
+TEST(NetFrame, FuzzRandomBytesNeverCrashOrOverconsume) {
+  util::Rng rng(0xF00DF00Du);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = static_cast<std::size_t>(rng() % 256);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    // Greedy decode must terminate: every kFrame consumes > 0 bytes and
+    // any other status ends the loop.
+    std::size_t off = 0;
+    for (;;) {
+      const Decoded d =
+          net::decode_frame({buf.data() + off, buf.size() - off});
+      if (d.status != DecodeStatus::kFrame) break;
+      ASSERT_GT(d.consumed, 0u);
+      ASSERT_LE(off + d.consumed, buf.size());
+      off += d.consumed;
+    }
+  }
+}
+
+TEST(NetFrame, FuzzCorruptedValidFramesDecodeOrRejectCleanly) {
+  util::Rng rng(0xBADC0DEu);
+  core::Point cfg{1.0, 2.0, 3.0, 4.0};
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> buf;
+    net::append_simple(buf, MsgType::kAttach, 1, "fuzzed-session");
+    net::append_config(buf, 2, cfg);
+    // Corrupt 1-4 random bytes.
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      buf[rng() % buf.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    std::size_t off = 0;
+    for (;;) {
+      const Decoded d =
+          net::decode_frame({buf.data() + off, buf.size() - off});
+      if (d.status == DecodeStatus::kBadFrame) {
+        EXPECT_FALSE(d.error.empty());
+        break;
+      }
+      if (d.status != DecodeStatus::kFrame) break;
+      ASSERT_GT(d.consumed, 0u);
+      ASSERT_LE(off + d.consumed, buf.size());
+      // Whatever survived the corruption, its views stay in bounds.
+      const net::Frame& fr = d.frame;
+      if (!fr.session.empty()) {
+        EXPECT_GE(static_cast<const void*>(fr.session.data()),
+                  static_cast<const void*>(buf.data()));
+      }
+      off += d.consumed;
+    }
+  }
+}
+
+TEST(NetFrame, BodyParsersRejectWrongSizes) {
+  std::uint32_t u = 0;
+  double f = 0.0;
+  core::Point p;
+  const std::uint8_t bytes[16] = {};
+  EXPECT_FALSE(net::parse_u32_body({bytes, 3}, u));
+  EXPECT_FALSE(net::parse_u32_body({bytes, 5}, u));
+  EXPECT_TRUE(net::parse_u32_body({bytes, 4}, u));
+  EXPECT_FALSE(net::parse_f64_body({bytes, 7}, f));
+  EXPECT_TRUE(net::parse_f64_body({bytes, 8}, f));
+  // Config body: count must match the payload exactly.
+  std::vector<std::uint8_t> body;
+  net::append_u32(body, 2);
+  net::append_f64(body, 1.0);
+  EXPECT_FALSE(net::parse_config_body({body.data(), body.size()}, p));
+  net::append_f64(body, 2.0);
+  EXPECT_TRUE(net::parse_config_body({body.data(), body.size()}, p));
+  EXPECT_EQ(p, (core::Point{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace protuner

@@ -15,6 +15,7 @@
 #include <memory>
 #include <new>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "cluster/clean_cache.h"
@@ -29,6 +30,9 @@
 #include "gs2/database.h"
 #include "gs2/surface.h"
 #include "harmony/server.h"
+#include "harmony/session_manager.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "varmodel/pareto_noise.h"
@@ -204,6 +208,51 @@ TEST(StepAllocation, ServingFetchReportPathIsAllocationFree) {
   EXPECT_EQ(allocation_count(), before)
       << "steady-state fetch/report allocated on the heap";
   EXPECT_EQ(server.rounds_completed(), 205u);
+}
+
+TEST(StepAllocation, NetServingFetchReportPathIsAllocationFree) {
+  // The same steady-state contract across the wire: encode → send → epoll
+  // → decode → try_fetch_into/report → encode reply → decode reply, with
+  // BOTH the event-loop thread and the client thread sharing the counted
+  // global allocator.  Once connection buffers, scratch frames and
+  // instruments are warm, a fetch/report round trip must never touch the
+  // heap on either side.
+  obs::Registry registry;
+  harmony::SessionManager manager;
+  harmony::ServerOptions so;
+  so.metrics = &registry;
+  so.record_series = false;
+  so.session = "alloc-net";
+  auto hosted = manager.create(
+      "alloc-net", std::make_unique<FixedStrategy>(Point{1.0, 2.0}), 4, so);
+  net::NetServerOptions no;
+  no.metrics = &registry;
+  no.poll_interval = std::chrono::milliseconds(1);
+  net::NetServer net(manager, no);
+  std::thread loop([&net] { net.run(); });
+  {
+    net::ClientOptions co;
+    co.port = net.port();
+    co.metrics = &registry;
+    net::HarmonyClient client(co);
+    client.attach("alloc-net", 0);
+    Point scratch;
+    for (int k = 0; k < 5; ++k) {  // warm both sides' buffers
+      for (std::uint32_t r = 0; r < 4; ++r) client.fetch_into(r, scratch);
+      for (std::uint32_t r = 0; r < 4; ++r) client.report(r, 1.0 + r);
+    }
+    const std::size_t before = allocation_count();
+    for (int k = 0; k < 200; ++k) {
+      for (std::uint32_t r = 0; r < 4; ++r) client.fetch_into(r, scratch);
+      for (std::uint32_t r = 0; r < 4; ++r) client.report(r, 1.0 + r);
+    }
+    EXPECT_EQ(allocation_count(), before)
+        << "steady-state wire fetch/report allocated on the heap";
+    client.detach(0);
+  }
+  net.stop();
+  loop.join();
+  EXPECT_EQ(hosted->rounds_completed(), 205u);
 }
 
 TEST(StepAllocation, WarmedReferenceInterpolationIsAllocationFree) {
