@@ -11,6 +11,12 @@
 //                                of 256 ranks, phase-locked rounds.  The
 //                                p99 counters come from the obs:: wire
 //                                histograms the server publishes anyway.
+//   BM_NetSoakWithScrapes/Hz     the 256-connection soak with an HTTP
+//                                /metrics scraper antagonist hitting the
+//                                same epoll loop at Hz (0 = baseline).
+//                                ops_per_sec at /50 vs /0 is the recorded
+//                                cost of serving the exporter in-loop
+//                                (acceptance: <= 3%).
 //
 // BENCH_net.json (bench_smoke_net ctest / bench-smoke target) is the
 // committed trajectory file; its 1024-connection entry is the C10k-style
@@ -104,6 +110,29 @@ void BM_NetManyConnections(benchmark::State& state) {
   state.counters["fetch_p99_ns"] = rep.fetch_p99_ns;
 }
 BENCHMARK(BM_NetManyConnections)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetSoakWithScrapes(benchmark::State& state) {
+  apps::LoadgenOptions options;
+  options.mode = apps::LoadgenMode::kLoopback;
+  options.sessions = 1;
+  options.ranks = 256;
+  options.workers = 256;
+  options.rounds = 160;
+  options.heavy_tail = true;
+  options.scrape_hz = static_cast<double>(state.range(0));
+  apps::LoadgenReport rep;
+  for (auto _ : state) {
+    rep = apps::run_loadgen(options);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>((rep.fetch_ops + rep.report_ops) *
+                                state.iterations()));
+  state.counters["ops_per_sec"] = rep.ops_per_sec;
+  state.counters["scrapes"] = static_cast<double>(rep.scrapes);
+  state.counters["fetch_wire_p99_ns"] = rep.wire_fetch_p99_ns;
+}
+BENCHMARK(BM_NetSoakWithScrapes)->Arg(0)->Arg(50)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -17,6 +17,15 @@
 //   harmony_distributed --serve [--port P]    # server only (prints port)
 //   harmony_distributed --client HOST PORT --rank R
 //                                             # one client rank
+//   harmony_distributed --trace-out PREFIX    # any mode: enable tracing;
+//                                             #   each process exports
+//                                             #   PREFIX.{server,rankR}.json
+//                                             #   and the demo parent merges
+//                                             #   them into PREFIX.merged.json
+//                                             #   (Perfetto-loadable),
+//                                             #   verifying every client
+//                                             #   fetch span joins a server
+//                                             #   round by trace id
 //
 // Each client reproduces cluster::SimulatedCluster's per-rank noise stream
 // (util::Rng(seed).split_streams(N)[rank]) so the distributed run observes
@@ -31,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +52,8 @@
 #include "gs2/surface.h"
 #include "net/client.h"
 #include "net/net_server.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "util/rng.h"
 #include "varmodel/pareto_noise.h"
 
@@ -63,6 +75,7 @@ struct Args {
   std::size_t clients = 64;
   std::size_t steps = 40;
   std::uint64_t seed = 42;
+  std::string trace_out;  ///< export prefix; empty = tracing off
 };
 
 Args parse_args(int argc, char** argv) {
@@ -94,6 +107,8 @@ Args parse_args(int argc, char** argv) {
       a.steps = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--seed") {
       a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--trace-out") {
+      a.trace_out = next();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -102,9 +117,25 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+// Writes this process's spans as Chrome trace JSON (Perfetto-loadable).
+bool export_trace(const std::string& path, std::uint32_t pid) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  obs::Tracer::global().write_chrome_trace(out, pid);
+  return static_cast<bool>(out);
+}
+
+std::string client_trace_path(const std::string& prefix, std::uint32_t rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".json";
+}
+
 // One application rank: fetch a configuration, "run" it on the GS2
 // surface under per-rank Pareto noise, report the observed time.
 int run_client(const Args& a) {
+  if (!a.trace_out.empty()) obs::Tracer::global().configure(true);
   const gs2::Gs2Surface surface;
   const varmodel::ParetoNoise noise(kRho, kAlpha);
   util::Rng rng = util::Rng(a.seed).split_streams(a.clients)[a.rank];
@@ -119,6 +150,74 @@ int run_client(const Args& a) {
     client.detach(a.rank);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "rank %u: %s\n", a.rank, ex.what());
+    return 1;
+  }
+  if (!a.trace_out.empty() &&
+      !export_trace(client_trace_path(a.trace_out, a.rank), a.rank + 2)) {
+    return 1;
+  }
+  return 0;
+}
+
+// Parent-side trace stitching: load the server's and every client's export,
+// verify the cross-process join — every client fetch span must carry a
+// trace id that some server-side round span also carries — then merge into
+// one Perfetto-loadable timeline, one pid lane per process.
+int merge_and_check_traces(const Args& a) {
+  std::vector<std::vector<obs::MergedEvent>> inputs;
+  const auto load = [&inputs](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    std::vector<obs::MergedEvent> events;
+    if (!in || !obs::parse_chrome_trace(text.str(), events)) {
+      std::fprintf(stderr, "trace: failed to parse %s\n", path.c_str());
+      return false;
+    }
+    inputs.push_back(std::move(events));
+    return true;
+  };
+  if (!load(a.trace_out + ".server.json")) return 1;
+  for (std::size_t r = 0; r < a.clients; ++r) {
+    if (!load(client_trace_path(a.trace_out,
+                                static_cast<std::uint32_t>(r)))) {
+      return 1;
+    }
+  }
+
+  std::set<std::string> server_rounds;
+  for (const obs::MergedEvent& e : inputs[0]) {
+    if (!e.trace_id.empty()) server_rounds.insert(e.trace_id);
+  }
+  std::size_t joined = 0;
+  std::size_t orphaned = 0;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    for (const obs::MergedEvent& e : inputs[i]) {
+      if (e.name != "client/fetch" || e.trace_id.empty()) continue;
+      if (server_rounds.count(e.trace_id) > 0) {
+        ++joined;
+      } else {
+        ++orphaned;
+      }
+    }
+  }
+
+  const std::vector<obs::MergedEvent> merged = obs::merge_traces(inputs);
+  const std::string merged_path = a.trace_out + ".merged.json";
+  std::ofstream out(merged_path);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", merged_path.c_str());
+    return 1;
+  }
+  obs::write_merged(out, merged);
+  std::printf("trace: merged %zu spans from %zu processes into %s "
+              "(%zu client fetch spans joined to server rounds)\n",
+              merged.size(), inputs.size(), merged_path.c_str(), joined);
+  if (joined == 0 || orphaned > 0) {
+    std::fprintf(stderr,
+                 "trace check FAILED: %zu joined, %zu orphaned client "
+                 "fetch spans\n",
+                 joined, orphaned);
     return 1;
   }
   return 0;
@@ -161,6 +260,7 @@ void print_summary(const harmony::Server& server, const net::NetServer& net,
 
 // Server-only mode, for running the demo across terminals or machines.
 int run_serve(const Args& a) {
+  if (!a.trace_out.empty()) obs::Tracer::global().configure(true);
   const auto space = gs2::gs2_space();
   harmony::SessionManager manager;
   harmony::ServerOptions so;
@@ -173,6 +273,10 @@ int run_serve(const Args& a) {
   std::fflush(stdout);
   serve_session(manager, net, server, a.steps);
   print_summary(*server, net, space);
+  if (!a.trace_out.empty() &&
+      !export_trace(a.trace_out + ".server.json", 1)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -198,10 +302,20 @@ std::vector<pid_t> spawn_clients(const Args& a, std::uint16_t port) {
       std::snprintf(steps_s, sizeof(steps_s), "%zu", a.steps);
       std::snprintf(seed_s, sizeof(seed_s), "%llu",
                     static_cast<unsigned long long>(a.seed));
-      ::execl(self, self, "--client", "127.0.0.1", port_s, "--rank", rank_s,
-              "--clients", clients_s, "--steps", steps_s, "--seed", seed_s,
-              static_cast<char*>(nullptr));
-      std::perror("execl");
+      std::vector<char*> argv{self,      const_cast<char*>("--client"),
+                              const_cast<char*>("127.0.0.1"),
+                              port_s,    const_cast<char*>("--rank"),
+                              rank_s,    const_cast<char*>("--clients"),
+                              clients_s, const_cast<char*>("--steps"),
+                              steps_s,   const_cast<char*>("--seed"),
+                              seed_s};
+      if (!a.trace_out.empty()) {
+        argv.push_back(const_cast<char*>("--trace-out"));
+        argv.push_back(const_cast<char*>(a.trace_out.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(self, argv.data());
+      std::perror("execv");
       ::_exit(127);
     }
     pids.push_back(pid);
@@ -226,6 +340,7 @@ int reap_clients(const std::vector<pid_t>& pids) {
 // telemetry into memory and the result is compared byte-for-byte against
 // core::run_session driving cluster::SimulatedCluster with the same seed.
 int run_demo(const Args& a) {
+  if (!a.trace_out.empty()) obs::Tracer::global().configure(true);
   const auto space = gs2::gs2_space();
 
   std::ostringstream reference_csv;
@@ -260,6 +375,10 @@ int run_demo(const Args& a) {
   if (failures != 0) {
     std::fprintf(stderr, "%d client process(es) failed\n", failures);
     return 1;
+  }
+  if (!a.trace_out.empty()) {
+    if (!export_trace(a.trace_out + ".server.json", 1)) return 1;
+    if (const int rc = merge_and_check_traces(a); rc != 0) return rc;
   }
   if (a.selfcheck) {
     if (served_csv.str() != reference_csv.str() ||

@@ -38,6 +38,8 @@ void usage(const char* argv0) {
          "  --timeout-ms MS  round report deadline      (default off)\n"
          "  --tick-hz HZ     Server::tick() ticker      (default off)\n"
          "  --monitor        stats/metrics exporter antagonist\n"
+         "  --scrape-hz HZ   HTTP /metrics scraper antagonist (socket\n"
+         "                   modes; default off)\n"
          "  --seed S         rng seed                   (default 42)\n"
          "  --loopback       drive the traffic through the wire protocol\n"
          "                   against an in-process localhost server\n"
@@ -82,6 +84,8 @@ int main(int argc, char** argv) {
       options.tick_hz = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(arg, "--monitor") == 0) {
       options.monitor = true;
+    } else if (std::strcmp(arg, "--scrape-hz") == 0 && has_value) {
+      options.scrape_hz = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(arg, "--loopback") == 0) {

@@ -1,0 +1,54 @@
+// Stitches per-process Chrome trace exports (obs::Tracer::
+// write_chrome_trace) into one Perfetto-loadable timeline:
+//
+//   trace_merge OUT.json IN1.json IN2.json ...
+//
+// Each input becomes its own pid lane (numbered by argument order) and all
+// events are re-sorted by timestamp, so a server export plus N client
+// exports line up on one fleet-wide axis.  Cross-process correlation rides
+// in each event's args.trace / args.span ids (DESIGN.md §15): filtering a
+// merged trace by one trace id shows a single tuning round fleet-wide.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.h"
+
+using namespace protuner;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s OUT.json IN1.json [IN2.json ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::vector<std::vector<obs::MergedEvent>> inputs;
+  inputs.reserve(static_cast<std::size_t>(argc - 2));
+  for (int i = 2; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    std::stringstream text;
+    text << in.rdbuf();
+    std::vector<obs::MergedEvent> events;
+    if (!in || !obs::parse_chrome_trace(text.str(), events)) {
+      std::fprintf(stderr, "%s: not a parseable Chrome trace\n", argv[i]);
+      return 1;
+    }
+    inputs.push_back(std::move(events));
+  }
+  const std::vector<obs::MergedEvent> merged = obs::merge_traces(inputs);
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[1]);
+    return 1;
+  }
+  obs::write_merged(out, merged);
+  if (!out.flush()) {
+    std::fprintf(stderr, "write to %s failed\n", argv[1]);
+    return 1;
+  }
+  std::printf("merged %zu events from %d trace(s) into %s\n", merged.size(),
+              argc - 2, argv[1]);
+  return 0;
+}

@@ -1,8 +1,15 @@
 #include "apps/harmony_loadgen.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <latch>
 #include <memory>
 #include <optional>
@@ -28,6 +35,38 @@ varmodel::NoiseModelPtr make_think_model(const LoadgenOptions& options) {
                                                    options.alpha);
   }
   return std::make_unique<varmodel::NoNoise>();
+}
+
+// One blocking HTTP/1.0 GET /metrics against the in-process loop, the way
+// a Prometheus scraper would: fresh connection, read to EOF (the server
+// closes after one response).  Returns true on a complete 200.
+bool scrape_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  static constexpr char kRequest[] =
+      "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  bool ok = false;
+  if (::send(fd, kRequest, sizeof(kRequest) - 1, 0) ==
+      static_cast<ssize_t>(sizeof(kRequest) - 1)) {
+    char buf[4096];
+    bool first = true;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      if (first && n >= 12) ok = std::memcmp(buf + 9, "200", 3) == 0;
+      first = false;
+    }
+  }
+  ::close(fd);
+  return ok;
 }
 
 void spin_for(std::chrono::duration<double> d) {
@@ -83,6 +122,11 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   const bool uses_sockets = mode != LoadgenMode::kInProcess;
 
   obs::Registry registry;
+  // The clients' own registry, as in production where every client process
+  // has one.  It must NOT be the server's: the detach telemetry push ships
+  // a snapshot of this registry, and pushing a registry the server merges
+  // into would echo every previously merged series back with every push.
+  obs::Registry client_registry;
   harmony::SessionManager manager;
   const varmodel::NoiseModelPtr think_model = make_think_model(options);
 
@@ -126,6 +170,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   std::atomic<std::uint64_t> report_ops{0};
   std::atomic<std::uint64_t> monitor_sweeps{0};
   std::atomic<std::uint64_t> ticks{0};
+  std::atomic<std::uint64_t> scrapes{0};
   // Per-worker completed-phase counts; each slot is owned by one worker
   // and read only after its join.  A session's completed rounds is the min
   // over its workers (the only view a kRemote driver has).
@@ -138,7 +183,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   // rounds interleave across sessions.  Socket-mode workers run the exact
   // same phases through one net::HarmonyClient connection each.
   std::vector<std::jthread> threads;
-  threads.reserve(sessions * workers + 2);
+  threads.reserve(sessions * workers + 3);
   for (std::size_t s = 0; spawns_workers && s < sessions; ++s) {
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, s, w] {
@@ -160,7 +205,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
             net::ClientOptions co;
             co.host = host;
             co.port = port;
-            co.metrics = &registry;
+            co.metrics = &client_registry;
             client.emplace(co);
             client->attach("soak-" + std::to_string(s),
                            static_cast<std::uint32_t>(lo));
@@ -226,12 +271,60 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   if (hosts_sessions && options.monitor) {
     threads.emplace_back([&] {
       start.wait();
+      auto last_line = std::chrono::steady_clock::now();
+      std::uint64_t last_ops = 0;
+      std::uint64_t last_in = 0;
+      std::uint64_t last_out = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         // The production exporter loop: a full stats sweep plus a merged
         // metrics snapshot, as fast as it can go.
         (void)manager.stats_all();
         (void)manager.metrics_snapshot();
         monitor_sweeps.fetch_add(1, std::memory_order_relaxed);
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_line < std::chrono::seconds(1)) continue;
+        // Live operator line (~1 Hz): traffic rate plus the wire-health
+        // signals a dashboard would alert on.
+        const double dt = std::chrono::duration<double>(now - last_line)
+                              .count();
+        const std::uint64_t ops =
+            fetch_ops.load(std::memory_order_relaxed) +
+            report_ops.load(std::memory_order_relaxed);
+        const obs::RegistrySnapshot snap = registry.snapshot();
+        const std::uint64_t in =
+            aggregate_counter(snap, "protuner_net_bytes_in_total");
+        const std::uint64_t out =
+            aggregate_counter(snap, "protuner_net_bytes_out_total");
+        std::fprintf(
+            stderr,
+            "monitor: %10.0f ops/s · %8.2f MB/s in · %8.2f MB/s out · "
+            "%llu decode errors · %llu stall dumps\n",
+            static_cast<double>(ops - last_ops) / dt,
+            static_cast<double>(in - last_in) / dt / 1e6,
+            static_cast<double>(out - last_out) / dt / 1e6,
+            static_cast<unsigned long long>(net ? net->decode_errors() : 0),
+            static_cast<unsigned long long>(net ? net->stall_dumps() : 0));
+        last_line = now;
+        last_ops = ops;
+        last_in = in;
+        last_out = out;
+      }
+    });
+  }
+
+  if (net && options.scrape_hz > 0.0) {
+    // The /metrics antagonist: a scraper hitting the HTTP side of the same
+    // epoll loop at the configured rate while frame traffic flows.
+    threads.emplace_back([&] {
+      const auto period = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / options.scrape_hz));
+      start.wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (scrape_metrics(net->port())) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(period);
       }
     });
   }
@@ -276,6 +369,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
                         : 0.0;
   rep.monitor_sweeps = monitor_sweeps.load(std::memory_order_relaxed);
   rep.ticks = ticks.load(std::memory_order_relaxed);
+  rep.scrapes = scrapes.load(std::memory_order_relaxed);
   for (const auto& server : servers) {
     rep.rounds_completed += server->rounds_completed();
   }
@@ -300,10 +394,13 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   rep.fetch_max_ns = fetch.max;
   if (uses_sockets) {
     // Server-side decode-to-reply wire latency where this process hosts
-    // the loop; client-observed call latency when driving a remote server.
-    const obs::HistogramSnapshot wire = aggregate_histogram(
-        snap, mode == LoadgenMode::kRemote ? "protuner_net_client_fetch_ns"
-                                           : "protuner_net_fetch_wire_ns");
+    // the loop; client-observed call latency when driving a remote server
+    // (those histograms live in the clients' own registry).
+    const obs::HistogramSnapshot wire =
+        mode == LoadgenMode::kRemote
+            ? aggregate_histogram(client_registry.snapshot(),
+                                  "protuner_net_client_fetch_ns")
+            : aggregate_histogram(snap, "protuner_net_fetch_wire_ns");
     rep.wire_fetch_p50_ns = wire.p50();
     rep.wire_fetch_p99_ns = wire.p99();
     rep.wire_fetch_p999_ns = wire.p999();
@@ -314,6 +411,7 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     if (net) {
       rep.net_connections = net->connections_accepted();
       rep.net_decode_errors = net->decode_errors();
+      rep.stall_dumps = net->stall_dumps();
     } else {
       rep.net_connections = sessions * workers;
     }
@@ -349,11 +447,12 @@ std::string LoadgenReport::summary() const {
       << discarded_reports << " discarded reports\n"
       << "protocol errors " << protocol_errors << "\n"
       << "antagonists     " << monitor_sweeps << " monitor sweeps, "
-      << ticks << " ticks\n";
+      << ticks << " ticks, " << scrapes << " scrapes\n";
   if (net_connections > 0 || wire_fetch_max_ns > 0.0) {
     out << "net             " << net_connections << " connections, "
         << net_bytes_in << " B in, " << net_bytes_out << " B out, "
-        << net_decode_errors << " decode errors\n"
+        << net_decode_errors << " decode errors, " << stall_dumps
+        << " stall dumps\n"
         << "fetch wire      p50 " << wire_fetch_p50_ns << " ns · p99 "
         << wire_fetch_p99_ns << " ns · p99.9 " << wire_fetch_p999_ns
         << " ns · max " << wire_fetch_max_ns << " ns\n";

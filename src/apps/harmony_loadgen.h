@@ -90,8 +90,16 @@ struct LoadgenOptions {
   std::chrono::duration<double> report_timeout{0.0};
   /// Ticker thread frequency for Server::tick() (0 = no ticker).
   double tick_hz = 0.0;
-  /// Run a monitor thread sweeping stats_all()/metrics_snapshot().
+  /// Run a monitor thread sweeping stats_all()/metrics_snapshot().  It
+  /// also prints a ~1 Hz live line to stderr: ops rate, wire bytes in/out
+  /// rates, decode errors and flight-recorder stall dumps.
   bool monitor = false;
+  /// HTTP scraper antagonist: GET /metrics against the in-process loop's
+  /// exporter at this frequency (modes with a local NetServer only;
+  /// 0 = off).  Each scrape is a fresh HTTP/1.0 connection demuxed by the
+  /// same epoll loop that serves frames, so a nonzero rate measures the
+  /// exporter's cost to frame throughput.
+  double scrape_hz = 0.0;
 };
 
 /// One soak's results.  Latencies are nanoseconds from the obs::
@@ -117,6 +125,7 @@ struct LoadgenReport {
   std::uint64_t protocol_errors = 0;
   std::uint64_t monitor_sweeps = 0;  ///< stats+snapshot loops completed
   std::uint64_t ticks = 0;           ///< Server::tick() calls issued
+  std::uint64_t scrapes = 0;         ///< successful HTTP /metrics GETs
 
   // Net tier (socket modes only; all zero for the in-process soak).
   // In kRemote runs the fetch/report wire quantiles are the client-side
@@ -126,6 +135,7 @@ struct LoadgenReport {
   std::uint64_t net_decode_errors = 0;
   std::uint64_t net_bytes_in = 0;
   std::uint64_t net_bytes_out = 0;
+  std::uint64_t stall_dumps = 0;  ///< flight-recorder dumps by the loop
   double wire_fetch_p50_ns = 0.0;
   double wire_fetch_p99_ns = 0.0;
   double wire_fetch_p999_ns = 0.0;

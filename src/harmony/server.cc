@@ -1,5 +1,7 @@
 #include "harmony/server.h"
 
+#include <unistd.h>
+
 #include <cassert>
 #include <stdexcept>
 #include <thread>
@@ -10,6 +12,28 @@
 namespace protuner::harmony {
 
 namespace {
+
+obs::FlightRecorder& server_flight(const ServerOptions& options) {
+  return options.flight != nullptr ? *options.flight
+                                   : obs::FlightRecorder::global();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-server entropy for round trace ids: wall entropy + pid + a process
+/// counter, so two servers (or two processes) never mint the same stream.
+std::uint64_t make_trace_seed() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return splitmix64(now ^ (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                    counter.fetch_add(1, std::memory_order_relaxed));
+}
 
 core::RoundEngineOptions engine_options(std::size_t clients,
                                         const ServerOptions& options) {
@@ -90,6 +114,8 @@ Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
           "protuner_harmony_discarded_reports_total",
           "Reports that arrived after their round was deadline-closed",
           server_labels(options_))),
+      flight_(server_flight(options_)),
+      trace_seed_(make_trace_seed()),
       engine_((strategy_ == nullptr
                    ? throw std::invalid_argument(
                          "Server: strategy must not be null")
@@ -105,9 +131,24 @@ Server::Server(core::TuningStrategyPtr strategy, std::size_t clients,
   // stamp is not inflated by ~200µs of calibration.
   obs::LatencyClock::ns_per_tick();
   const std::scoped_lock lock(mutex_);
-  engine_.open_round();
+  {
+    const std::uint64_t id = round_trace_id(0);
+    const obs::ScopedTraceContext ctx({id, id});
+    engine_.open_round();
+  }
   refresh_stats_cache_locked(0.0);
   publish_round_locked(0);
+}
+
+std::uint64_t Server::round_trace_id(std::uint64_t round) const {
+  const std::uint64_t id = splitmix64(trace_seed_ + round + 1);
+  return id != 0 ? id : 1;
+}
+
+void Server::note_protocol_error(const char* kind, std::size_t rank) const {
+  obs_protocol_errors_.add();
+  flight_.record(kind, options_.session, static_cast<std::uint32_t>(rank),
+                 round_.load(std::memory_order_relaxed));
 }
 
 void Server::throw_if_failed_locked() const {
@@ -118,6 +159,8 @@ void Server::throw_if_failed_locked() const {
 
 void Server::fail_locked(const std::string& why) {
   failure_ = why;
+  flight_.record("session/fail", options_.session, 0,
+                 round_.load(std::memory_order_relaxed));
   failed_.store(true, std::memory_order_release);
   round_ready_.notify_all();
   throw ProtocolError("harmony session failed: " + failure_);
@@ -152,6 +195,8 @@ void Server::publish_round_locked(std::uint64_t round) {
   }
   buf.pending.store(expected, std::memory_order_relaxed);
   gate_unlock(buf);
+  flight_.record("round/open", options_.session,
+                 static_cast<std::uint32_t>(expected), round);
   round_opened_ = std::chrono::steady_clock::now();
   // Release-publish: a fast-path reader that observes `round` here also
   // observes the buffer contents written above.
@@ -161,10 +206,23 @@ void Server::publish_round_locked(std::uint64_t round) {
 
 void Server::advance_locked() {
   obs_round_wall_ns_.record(elapsed_ns(round_opened_));
-  const double cost = engine_.close_round();
-  engine_.open_round();
+  const std::uint64_t cur = round_.load(std::memory_order_relaxed);
+  double cost;
+  {
+    // The engine's round/advance span joins the closing round's trace.
+    const std::uint64_t id = round_trace_id(cur);
+    const obs::ScopedTraceContext ctx({id, id});
+    cost = engine_.close_round();
+  }
+  flight_.record("round/close", options_.session, 0, cur, cost);
+  {
+    // ... and its round/assign span joins the successor's.
+    const std::uint64_t id = round_trace_id(cur + 1);
+    const obs::ScopedTraceContext ctx({id, id});
+    engine_.open_round();
+  }
   refresh_stats_cache_locked(cost);
-  publish_round_locked(round_.load(std::memory_order_relaxed) + 1);
+  publish_round_locked(cur + 1);
 }
 
 void Server::finish_round_locked(std::uint64_t round) {
@@ -188,6 +246,8 @@ void Server::finish_round_locked(std::uint64_t round) {
     // (max-of-observed × penalty) and drop the stragglers from future
     // rounds.  The deadline sweep pre-checked that an impute base exists.
     for (const std::size_t slot : engine_.impute_missing()) {
+      flight_.record("rank/impute", options_.session,
+                     static_cast<std::uint32_t>(slot), round);
       engine_.deactivate(slot);
     }
     if (engine_.active_count() == 0) {
@@ -218,6 +278,10 @@ bool Server::close_by_deadline_locked() {
   if (std::chrono::steady_clock::now() < deadline_locked()) return false;
 
   obs_deadline_expiries_.add();
+  flight_.record("deadline/expire", options_.session,
+                 static_cast<std::uint32_t>(
+                     buf.pending.load(std::memory_order_relaxed)),
+                 round);
   if (options_.straggler_policy == StragglerPolicy::kFail) {
     fail_locked("round " + std::to_string(round) +
                 " report deadline expired with " +
@@ -269,7 +333,7 @@ core::Point Server::fetch(std::size_t rank) {
 
 void Server::check_fetch_rank(std::size_t rank) const {
   if (rank >= clients_) {
-    obs_protocol_errors_.add();
+    note_protocol_error("error/fetch-rank", rank);
     throw ProtocolError("fetch: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
@@ -292,7 +356,7 @@ bool Server::fetch_fast(std::size_t rank, core::Point& out,
                 kSlotIdle) {
           if (rs.fetched) {
             gate_exit(buf);
-            obs_protocol_errors_.add();
+            note_protocol_error("error/double-fetch", rank);
             throw ProtocolError("fetch: rank " + std::to_string(rank) +
                                 " fetched twice without reporting");
           }
@@ -310,18 +374,33 @@ bool Server::fetch_fast(std::size_t rank, core::Point& out,
 }
 
 void Server::fetch_into(std::size_t rank, core::Point& out) {
-  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
+  obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
   const std::uint64_t entered = obs::LatencyClock::now();
   check_fetch_rank(rank);
-  if (fetch_fast(rank, out, entered)) return;
-  fetch_slow(rank, out, entered);
+  if (!fetch_fast(rank, out, entered)) fetch_slow(rank, out, entered);
+  if (span.active()) {
+    // A fetch leaves rs.round at the round it served.
+    const std::uint64_t id = round_trace_id(ranks_[rank].round);
+    span.set_context({id, id});
+  }
 }
 
 bool Server::try_fetch_into(std::size_t rank, core::Point& out) {
-  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
+  obs::TraceContext ignored;
+  return try_fetch_into(rank, out, ignored);
+}
+
+bool Server::try_fetch_into(std::size_t rank, core::Point& out,
+                            obs::TraceContext& trace) {
+  obs::ScopedSpan span(obs::Tracer::global(), "harmony/fetch");
   const std::uint64_t entered = obs::LatencyClock::now();
   check_fetch_rank(rank);
-  if (fetch_fast(rank, out, entered)) return true;
+  if (fetch_fast(rank, out, entered)) {
+    const std::uint64_t id = round_trace_id(ranks_[rank].round);
+    trace = {id, id};
+    span.set_context(trace);
+    return true;
+  }
   // Non-waiting slow path: the same protocol steps fetch_slow takes under
   // the barrier lock — serve if the rank's round is open, re-enter a
   // dropped/overtaken rank — except it returns false where fetch_slow
@@ -332,13 +411,16 @@ bool Server::try_fetch_into(std::size_t rank, core::Point& out) {
   const std::uint64_t cur = round_.load(std::memory_order_relaxed);
   if (rs.round == cur && engine_.expected(rank)) {
     if (rs.fetched) {
-      obs_protocol_errors_.add();
+      note_protocol_error("error/double-fetch", rank);
       throw ProtocolError("fetch: rank " + std::to_string(rank) +
                           " fetched twice without reporting");
     }
     rs.fetched = true;
     out = engine_.assignment_for(rank);
     obs_fetch_ns_.record(elapsed_ns(entered));
+    const std::uint64_t id = round_trace_id(cur);
+    trace = {id, id};
+    span.set_context(trace);
     return true;
   }
   if (rs.round <= cur) {
@@ -346,6 +428,8 @@ bool Server::try_fetch_into(std::size_t rank, core::Point& out) {
     // it: re-enter the session at the next round; the caller retries after
     // the next publish.
     rs.fetched = false;
+    flight_.record("rank/reenter", options_.session,
+                   static_cast<std::uint32_t>(rank), cur + 1);
     engine_.reactivate(rank);
     stat_active_.store(engine_.active_count(), std::memory_order_relaxed);
     rs.round = cur + 1;
@@ -364,7 +448,7 @@ void Server::fetch_slow(std::size_t rank, core::Point& out,
     const std::uint64_t cur = round_.load(std::memory_order_relaxed);
     if (rs.round == cur && engine_.expected(rank)) {
       if (rs.fetched) {
-        obs_protocol_errors_.add();
+        note_protocol_error("error/double-fetch", rank);
         throw ProtocolError("fetch: rank " + std::to_string(rank) +
                             " fetched twice without reporting");
       }
@@ -374,6 +458,8 @@ void Server::fetch_slow(std::size_t rank, core::Point& out,
       // Dropped, or overtaken because its round was deadline-closed
       // beneath it: re-enter the session at the next round.
       rs.fetched = false;
+      flight_.record("rank/reenter", options_.session,
+                     static_cast<std::uint32_t>(rank), cur + 1);
       engine_.reactivate(rank);
       stat_active_.store(engine_.active_count(), std::memory_order_relaxed);
       rs.round = cur + 1;
@@ -393,10 +479,10 @@ void Server::fetch_slow(std::size_t rank, core::Point& out,
 }
 
 void Server::report(std::size_t rank, double time) {
-  const obs::ScopedSpan span(obs::Tracer::global(), "harmony/report");
+  obs::ScopedSpan span(obs::Tracer::global(), "harmony/report");
   const std::uint64_t entered = obs::LatencyClock::now();
   if (rank >= clients_) {
-    obs_protocol_errors_.add();
+    note_protocol_error("error/report-rank", rank);
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " out of range [0, " + std::to_string(clients_) +
                         ")");
@@ -407,7 +493,7 @@ void Server::report(std::size_t rank, double time) {
   }
   RankState& rs = ranks_[rank];
   if (!rs.fetched) {
-    obs_protocol_errors_.add();
+    note_protocol_error("error/report-nofetch", rank);
     throw ProtocolError("report: rank " + std::to_string(rank) +
                         " reported without fetching first");
   }
@@ -421,6 +507,8 @@ void Server::report(std::size_t rank, double time) {
       rs.fetched = false;
       ++rs.round;
       obs_discarded_reports_.add();
+      flight_.record("report/discard", options_.session,
+                     static_cast<std::uint32_t>(rank), cur, time);
       return;
     }
     // rs.round == cur: a rank can never lead the open round — it advances

@@ -66,7 +66,9 @@
 #include "core/round_engine.h"
 #include "core/strategy.h"
 #include "obs/fast_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace protuner::harmony {
 
@@ -109,6 +111,10 @@ struct ServerOptions {
   /// (SessionManager::create fills it in from the session name).  Empty
   /// registers the instruments unlabelled.
   std::string session;
+  /// Flight recorder the server's control-plane events (round transitions,
+  /// imputations, deadline expiries, protocol errors) are appended to; null
+  /// means obs::FlightRecorder::global().
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class Server {
@@ -141,6 +147,18 @@ class Server {
   /// a deadline must be enforced externally via tick().
   bool try_fetch_into(std::size_t rank, core::Point& out);
 
+  /// try_fetch_into that additionally reports the served round's trace
+  /// context (DESIGN.md §15), so a wire transport can hand the client the
+  /// ids its own spans must join.  `trace` is filled only on success.
+  bool try_fetch_into(std::size_t rank, core::Point& out,
+                      obs::TraceContext& trace);
+
+  /// The correlation id every span of round `round` carries, on this
+  /// process and (propagated over the wire) on every client that served
+  /// it.  Deterministic per (server instance, round): derived from a
+  /// per-server random seed, never zero.
+  std::uint64_t round_trace_id(std::uint64_t round) const;
+
   /// Reports the observed iteration time for the configuration most
   /// recently fetched by `rank`.  The final report of a round closes it:
   /// the engine accounts T_k, advances the strategy and publishes the next
@@ -167,6 +185,11 @@ class Server {
   std::size_t clients() const { return clients_; }
   /// Ranks currently participating in rounds (clients() minus dropped).
   std::size_t active_ranks() const;
+  /// The configured round deadline (zero = disabled).  The serving tier's
+  /// stall watchdog scales its threshold from this.
+  std::chrono::duration<double> report_timeout() const {
+    return options_.report_timeout;
+  }
   /// Name of the strategy behind the session (for stats snapshots).
   std::string strategy_name() const;
   /// The session's telemetry label (ServerOptions::session).
@@ -263,6 +286,8 @@ class Server {
   void fetch_slow(std::size_t rank, core::Point& out, std::uint64_t entered);
   void check_fetch_rank(std::size_t rank) const;
   void refresh_stats_cache_locked(double last_cost);
+  /// Counts the violation and appends it to the flight recorder.
+  void note_protocol_error(const char* kind, std::size_t rank) const;
 
   core::TuningStrategyPtr strategy_;
   const std::size_t clients_;
@@ -275,6 +300,8 @@ class Server {
   obs::Counter& obs_protocol_errors_;
   obs::Counter& obs_deadline_expiries_;
   obs::Counter& obs_discarded_reports_;
+  obs::FlightRecorder& flight_;
+  const std::uint64_t trace_seed_;  ///< per-server entropy for round ids
 
   // ------------------------------------------------ contention-free state
   RoundBuffer buffers_[2];

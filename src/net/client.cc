@@ -11,7 +11,9 @@
 #include <thread>
 
 #include "harmony/server.h"  // harmony::ProtocolError
+#include "net/stats_codec.h"
 #include "obs/fast_clock.h"
+#include "obs/trace.h"
 
 namespace protuner::net {
 
@@ -166,7 +168,8 @@ std::uint32_t HarmonyClient::attach(const std::string& session,
                                     std::uint32_t rank) {
   session_ = session;
   out_.clear();
-  append_simple(out_, MsgType::kAttach, rank, session);
+  append_simple(out_, MsgType::kAttach, rank, session,
+                options_.wire_version);
   send_buffer();
   const Frame& f = expect_reply(MsgType::kAttach);
   std::uint32_t clients = 0;
@@ -187,14 +190,24 @@ std::uint32_t HarmonyClient::attach(const std::string& session,
 }
 
 void HarmonyClient::fetch_into(std::uint32_t rank, core::Point& out) {
+  obs::ScopedSpan span(obs::Tracer::global(), "client/fetch");
   const std::uint64_t entered = obs::LatencyClock::now();
   out_.clear();
-  append_simple(out_, MsgType::kFetch, rank, {});
+  append_simple(out_, MsgType::kFetch, rank, {}, options_.wire_version);
   send_buffer();
   const Frame& f = expect_reply(MsgType::kFetch);
   if (!parse_config_body(f.body, out)) {
     close();
     throw NetError("malformed configuration reply");
+  }
+  if (f.has_trace) {
+    // The reply trailer names the server round that satisfied this fetch;
+    // adopting it stitches this span into the cross-process trace.
+    last_trace_ = f.trace;
+    has_last_trace_ = true;
+    if (span.active()) {
+      span.set_context({f.trace.trace_id, f.trace.span_id});
+    }
   }
   if (fetch_ns_ != nullptr) {
     fetch_ns_->record(
@@ -203,21 +216,58 @@ void HarmonyClient::fetch_into(std::uint32_t rank, core::Point& out) {
 }
 
 void HarmonyClient::report(std::uint32_t rank, double time) {
+  obs::ScopedSpan span(obs::Tracer::global(), "client/report");
   const std::uint64_t entered = obs::LatencyClock::now();
+  const bool trace = has_last_trace_ && options_.wire_version >= 2;
+  if (trace && span.active()) {
+    span.set_context({last_trace_.trace_id, last_trace_.span_id});
+  }
   out_.clear();
-  append_report(out_, rank, {}, time);
+  append_report(out_, rank, {}, time, options_.wire_version,
+                trace ? &last_trace_ : nullptr);
   send_buffer();
   expect_reply(MsgType::kReport);
   if (report_ns_ != nullptr) {
     report_ns_->record(
         obs::LatencyClock::to_ns(obs::LatencyClock::now() - entered));
   }
+  if (options_.stats_every_rounds > 0 &&
+      ++reports_since_push_ >= options_.stats_every_rounds) {
+    reports_since_push_ = 0;
+    push_stats(rank);
+  }
+}
+
+void HarmonyClient::push_stats(std::uint32_t rank) {
+  if (fd_ < 0 || options_.wire_version < 2 || options_.metrics == nullptr) {
+    return;
+  }
+  obs::RegistrySnapshot current = options_.metrics->snapshot();
+  const obs::RegistrySnapshot delta = stats_delta(current, last_pushed_);
+  // An empty delta still advances the baseline: the comparison work is
+  // done, and the wire stays quiet during idle periods.
+  if (!delta.instruments.empty()) {
+    stats_body_.clear();
+    encode_stats(stats_body_, delta);
+    out_.clear();
+    append_frame(out_, MsgType::kStats, rank, {}, stats_body_,
+                 options_.wire_version);
+    send_buffer();
+    expect_reply(MsgType::kStats);
+  }
+  last_pushed_ = std::move(current);
 }
 
 void HarmonyClient::detach(std::uint32_t rank) {
   if (fd_ < 0) return;
+  try {
+    push_stats(rank);
+  } catch (const NetError&) {
+    // Telemetry must never turn a clean goodbye into a failure.
+  }
+  if (fd_ < 0) return;  // the push may have torn the connection down
   out_.clear();
-  append_simple(out_, MsgType::kDetach, rank, {});
+  append_simple(out_, MsgType::kDetach, rank, {}, options_.wire_version);
   send_buffer();
   try {
     expect_reply(MsgType::kDetach);

@@ -46,7 +46,20 @@ struct ClientOptions {
   std::size_t max_frame = kMaxFrameBytes;
   /// When set, the client records its end-to-end call latencies as
   /// protuner_net_client_{fetch,report}_ns{session=...} in this registry.
+  /// It is also the registry the telemetry push ships from (see
+  /// push_stats): detach — and every stats_every_rounds reports when
+  /// enabled — sends the delta since the last push as a Stats frame, which
+  /// the server merges under {client="<rank>"} labels.  Give the client its
+  /// OWN registry (as a separate client process naturally would), not one a
+  /// co-resident server merges pushes into — pushing a registry you are
+  /// merged into echoes the merged series back on every push.
   obs::Registry* metrics = nullptr;
+  /// Wire version to speak.  Version 2 (the default) carries trace
+  /// trailers and Stats pushes; set 1 to emulate a PR-9 peer against a
+  /// newer server (no trailers, no Stats).
+  std::uint8_t wire_version = kWireVersion;
+  /// Push metric deltas every N successful reports (0: only on detach).
+  std::size_t stats_every_rounds = 0;
 };
 
 class HarmonyClient {
@@ -73,8 +86,15 @@ class HarmonyClient {
   /// the in-process API).
   void report(std::uint32_t rank, double time);
 
-  /// Graceful goodbye: the server acks and closes; so does the client.
+  /// Graceful goodbye: pushes any outstanding metric deltas, then the
+  /// server acks and closes; so does the client.
   void detach(std::uint32_t rank);
+
+  /// Ships the delta of Options::metrics since the last push as a Stats
+  /// frame and waits for the ack.  No-op when disconnected, speaking wire
+  /// v1, or no registry was configured; a quiet period (empty delta) sends
+  /// nothing.  detach() calls this; call it directly for mid-run pushes.
+  void push_stats(std::uint32_t rank);
 
   /// Drops the connection without the detach handshake (the server treats
   /// it as a dead client: a straggler if mid-round).  Idempotent.
@@ -100,6 +120,11 @@ class HarmonyClient {
   Frame frame_;               ///< views into in_; valid until the next call
   obs::Histogram* fetch_ns_ = nullptr;
   obs::Histogram* report_ns_ = nullptr;
+  WireTrace last_trace_;      ///< trailer of the last fetch reply
+  bool has_last_trace_ = false;
+  obs::RegistrySnapshot last_pushed_;  ///< baseline for the next stats delta
+  std::vector<std::uint8_t> stats_body_;
+  std::size_t reports_since_push_ = 0;
 };
 
 }  // namespace protuner::net

@@ -24,14 +24,25 @@ Decoded decode_frame(std::span<const std::uint8_t> buf,
   if (length > max_frame) return bad("frame exceeds the size cap");
   if (buf.size() < 4 + static_cast<std::size_t>(length)) return d;
   const std::uint8_t version = buf[4];
-  if (version != kWireVersion) return bad("unsupported wire version");
-  const std::uint8_t type = buf[5];
-  if (type < static_cast<std::uint8_t>(MsgType::kAttach) ||
-      type > static_cast<std::uint8_t>(MsgType::kError)) {
+  if (version < kMinWireVersion || version > kWireVersion) {
+    return bad("unsupported wire version");
+  }
+  const std::uint8_t raw_type = buf[5];
+  // v1: types 1..5, no trailer flag.  v2: bit 7 announces the trailer and
+  // the low bits must name a type (1..6).
+  const bool has_trace = version >= 2 && (raw_type & kTraceFlag) != 0;
+  const std::uint8_t type =
+      version >= 2 ? static_cast<std::uint8_t>(raw_type & ~kTraceFlag)
+                   : raw_type;
+  const std::uint8_t max_type = version >= 2
+                                    ? static_cast<std::uint8_t>(MsgType::kStats)
+                                    : static_cast<std::uint8_t>(MsgType::kError);
+  if (type < static_cast<std::uint8_t>(MsgType::kAttach) || type > max_type) {
     return bad("unknown message type");
   }
   const std::uint16_t session_len = load_u16(buf.data() + 6);
-  if (8u + session_len > length) {
+  const std::size_t trailer = has_trace ? kTraceTrailerBytes : 0;
+  if (8u + session_len + trailer > length) {
     return bad("session name overruns the frame");
   }
   d.status = DecodeStatus::kFrame;
@@ -43,56 +54,82 @@ Decoded decode_frame(std::span<const std::uint8_t> buf,
       reinterpret_cast<const char*>(buf.data() + kFixedHeaderBytes),
       session_len);
   d.frame.body = buf.subspan(kFixedHeaderBytes + session_len,
-                             length - 8 - session_len);
+                             length - 8 - session_len - trailer);
+  d.frame.has_trace = has_trace;
+  if (has_trace) {
+    const std::uint8_t* t = buf.data() + 4 + length - kTraceTrailerBytes;
+    d.frame.trace.trace_id = load_u64(t);
+    d.frame.trace.span_id = load_u64(t + 8);
+  }
   return d;
 }
 
 void append_header(std::vector<std::uint8_t>& out, MsgType type,
                    std::uint32_t rank, std::string_view session,
-                   std::size_t body_len) {
-  const std::size_t length = 8 + session.size() + body_len;
+                   std::size_t body_len, std::uint8_t version,
+                   const WireTrace* trace) {
+  if (version < 2) trace = nullptr;  // v1 peers cannot parse the trailer
+  const std::size_t trailer = trace != nullptr ? kTraceTrailerBytes : 0;
+  const std::size_t length = 8 + session.size() + body_len + trailer;
   append_u32(out, static_cast<std::uint32_t>(length));
-  out.push_back(kWireVersion);
-  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(version);
+  std::uint8_t raw_type = static_cast<std::uint8_t>(type);
+  if (trace != nullptr) raw_type |= kTraceFlag;
+  out.push_back(raw_type);
   append_u16(out, static_cast<std::uint16_t>(session.size()));
   append_u32(out, rank);
   out.insert(out.end(), session.begin(), session.end());
 }
 
+void append_trace_trailer(std::vector<std::uint8_t>& out,
+                          const WireTrace& trace) {
+  append_u64(out, trace.trace_id);
+  append_u64(out, trace.span_id);
+}
+
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
                   std::uint32_t rank, std::string_view session,
-                  std::span<const std::uint8_t> body) {
-  append_header(out, type, rank, session, body.size());
+                  std::span<const std::uint8_t> body, std::uint8_t version,
+                  const WireTrace* trace) {
+  append_header(out, type, rank, session, body.size(), version, trace);
   out.insert(out.end(), body.begin(), body.end());
+  if (trace != nullptr && version >= 2) append_trace_trailer(out, *trace);
 }
 
 void append_simple(std::vector<std::uint8_t>& out, MsgType type,
-                   std::uint32_t rank, std::string_view session) {
-  append_header(out, type, rank, session, 0);
+                   std::uint32_t rank, std::string_view session,
+                   std::uint8_t version, const WireTrace* trace) {
+  append_header(out, type, rank, session, 0, version, trace);
+  if (trace != nullptr && version >= 2) append_trace_trailer(out, *trace);
 }
 
 void append_attach_ack(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                       std::uint32_t clients) {
-  append_header(out, MsgType::kAttach, rank, {}, 4);
+                       std::uint32_t clients, std::uint8_t version) {
+  append_header(out, MsgType::kAttach, rank, {}, 4, version);
   append_u32(out, clients);
 }
 
 void append_report(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                   std::string_view session, double time) {
-  append_header(out, MsgType::kReport, rank, session, 8);
+                   std::string_view session, double time,
+                   std::uint8_t version, const WireTrace* trace) {
+  append_header(out, MsgType::kReport, rank, session, 8, version, trace);
   append_f64(out, time);
+  if (trace != nullptr && version >= 2) append_trace_trailer(out, *trace);
 }
 
 void append_config(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                   const core::Point& config) {
-  append_header(out, MsgType::kFetch, rank, {}, 4 + 8 * config.size());
+                   const core::Point& config, std::uint8_t version,
+                   const WireTrace* trace) {
+  append_header(out, MsgType::kFetch, rank, {}, 4 + 8 * config.size(),
+                version, trace);
   append_u32(out, static_cast<std::uint32_t>(config.size()));
   for (const double v : config) append_f64(out, v);
+  if (trace != nullptr && version >= 2) append_trace_trailer(out, *trace);
 }
 
 void append_error(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                  std::string_view message) {
-  append_header(out, MsgType::kError, rank, {}, message.size());
+                  std::string_view message, std::uint8_t version) {
+  append_header(out, MsgType::kError, rank, {}, message.size(), version);
   out.insert(out.end(), message.begin(), message.end());
 }
 

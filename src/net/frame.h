@@ -1,15 +1,22 @@
-// Binary wire protocol for the Harmony serving tier (DESIGN.md §14).
+// Binary wire protocol for the Harmony serving tier (DESIGN.md §14/§15).
 //
 // Every message on the wire is one length-prefixed little-endian frame:
 //
 //   offset  size  field
 //   0       4     length       bytes following this field (8 .. kMaxFrameBytes)
-//   4       1     version      kWireVersion
-//   5       1     type         MsgType
+//   4       1     version      1 or 2 (kWireVersion)
+//   5       1     type         MsgType (v2: low 7 bits; bit 7 = trace trailer)
 //   6       2     session_len  bytes of session name following the header
 //   8       4     rank         client rank the frame concerns
 //   12      s     session      UTF-8 session name (s == session_len)
-//   12+s    b     body         type-specific payload (b == length - 8 - s)
+//   12+s    b     body         type-specific payload
+//   end-16  16    trace        OPTIONAL v2 trailer: u64 trace_id, u64 span_id
+//
+// The trailer is present iff bit 7 of the type byte is set (v2 frames only);
+// it is counted in `length` and sits at the very end of the frame, after the
+// body, so `b == length - 8 - s - (trailer ? 16 : 0)`.  Version 1 frames are
+// exactly the PR-9 format: types 1..5, no trailer, no Stats — a v2 endpoint
+// accepts them unchanged and replies in version 1 (old clients keep working).
 //
 // Bodies (all integers little-endian, doubles IEEE-754 little-endian):
 //   Attach  request: empty            reply: u32 clients (session width)
@@ -17,6 +24,8 @@
 //   Report  request: f64 time         reply: empty (ack)
 //   Detach  request: empty            reply: empty (ack)
 //   Error   server → client only: UTF-8 message; the connection closes next
+//   Stats   request: metric deltas (v2 only, see net/stats_codec.h)
+//                                     reply: empty (ack)
 //
 // After Attach binds a connection to a session, requests may carry an empty
 // session name (meaning "the bound session") to keep steady-state frames
@@ -40,9 +49,14 @@
 
 namespace protuner::net {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version the decoder still accepts (PR-9 peers).
+inline constexpr std::uint8_t kMinWireVersion = 1;
 /// Fixed header: length prefix + version + type + session_len + rank.
 inline constexpr std::size_t kFixedHeaderBytes = 12;
+/// Bit 7 of the type byte (v2): a 16-byte trace trailer ends the frame.
+inline constexpr std::uint8_t kTraceFlag = 0x80;
+inline constexpr std::size_t kTraceTrailerBytes = 16;
 /// Hard cap on the `length` field.  A frame can carry a ~128k-dimensional
 /// configuration, far beyond any tunable space in the repo; anything larger
 /// is a corrupt stream or an attack, not a workload.
@@ -54,6 +68,14 @@ enum class MsgType : std::uint8_t {
   kReport = 3,
   kDetach = 4,
   kError = 5,
+  kStats = 6,  ///< v2 only: client telemetry push
+};
+
+/// Cross-process trace correlation carried by the v2 trailer: which round
+/// (trace_id) and which server-side span (span_id) a frame belongs to.
+struct WireTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// One decoded frame.  `session` and `body` view the caller's buffer.
@@ -63,6 +85,8 @@ struct Frame {
   std::uint32_t rank = 0;
   std::string_view session;
   std::span<const std::uint8_t> body;
+  bool has_trace = false;  ///< the frame carried a trace trailer
+  WireTrace trace;         ///< valid when has_trace
 };
 
 enum class DecodeStatus {
@@ -95,13 +119,16 @@ inline void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 16));
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
+inline void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
 inline void append_f64(std::vector<std::uint8_t>& out, double v) {
   std::uint64_t bits;
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
-  }
+  append_u64(out, bits);
 }
 inline std::uint16_t load_u16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
@@ -112,11 +139,15 @@ inline std::uint32_t load_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
-inline double load_f64(const std::uint8_t* p) {
-  std::uint64_t bits = 0;
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   }
+  return v;
+}
+inline double load_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = load_u64(p);
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
@@ -126,37 +157,58 @@ inline double load_f64(const std::uint8_t* p) {
 // All encoders append to `out` (they never clear it), so one buffer can
 // batch several frames before a single send.  Appending into a warm vector
 // reuses its capacity — no allocation in steady state.
+//
+// Each encoder takes the wire version to emit (a server replies in the
+// version its peer spoke) and an optional trace trailer.  Trailers require
+// version 2; passing one with version 1 is a caller bug and is dropped.
 
 /// Appends the 12-byte fixed header plus the session bytes.  The caller
-/// must then append exactly `body_len` body bytes.
+/// must then append exactly `body_len` body bytes, then the 16-byte trace
+/// trailer iff `trace` was non-null (see append_trace_trailer).
 void append_header(std::vector<std::uint8_t>& out, MsgType type,
                    std::uint32_t rank, std::string_view session,
-                   std::size_t body_len);
+                   std::size_t body_len,
+                   std::uint8_t version = kWireVersion,
+                   const WireTrace* trace = nullptr);
+
+/// Appends the 16-byte trailer announced to append_header via `trace`.
+void append_trace_trailer(std::vector<std::uint8_t>& out,
+                          const WireTrace& trace);
 
 /// Frame with an arbitrary body.
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
                   std::uint32_t rank, std::string_view session,
-                  std::span<const std::uint8_t> body);
+                  std::span<const std::uint8_t> body,
+                  std::uint8_t version = kWireVersion,
+                  const WireTrace* trace = nullptr);
 
 /// Body-less frame (Attach/Fetch/Detach requests, Report/Detach acks).
 void append_simple(std::vector<std::uint8_t>& out, MsgType type,
-                   std::uint32_t rank, std::string_view session);
+                   std::uint32_t rank, std::string_view session,
+                   std::uint8_t version = kWireVersion,
+                   const WireTrace* trace = nullptr);
 
 /// Attach ack: u32 session width.
 void append_attach_ack(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                       std::uint32_t clients);
+                       std::uint32_t clients,
+                       std::uint8_t version = kWireVersion);
 
 /// Report request: one f64 observed time.
 void append_report(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                   std::string_view session, double time);
+                   std::string_view session, double time,
+                   std::uint8_t version = kWireVersion,
+                   const WireTrace* trace = nullptr);
 
 /// Fetch reply: u32 count + count × f64.
 void append_config(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                   const core::Point& config);
+                   const core::Point& config,
+                   std::uint8_t version = kWireVersion,
+                   const WireTrace* trace = nullptr);
 
 /// Error frame: UTF-8 message as the body.
 void append_error(std::vector<std::uint8_t>& out, std::uint32_t rank,
-                  std::string_view message);
+                  std::string_view message,
+                  std::uint8_t version = kWireVersion);
 
 // ------------------------------------------------------------- body parsers
 // Return false on malformed bodies (wrong size); never throw.

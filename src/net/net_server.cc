@@ -10,8 +10,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 
+#include "net/stats_codec.h"
 #include "obs/fast_clock.h"
+#include "obs/trace.h"
 
 namespace protuner::net {
 
@@ -30,6 +34,28 @@ obs::Registry& resolve_registry(const NetServerOptions& options) {
                                     : obs::Registry::global();
 }
 
+obs::FlightRecorder& resolve_flight(const NetServerOptions& options) {
+  return options.flight != nullptr ? *options.flight
+                                   : obs::FlightRecorder::global();
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (c < 0x20) {
+      static const char hex[] = "0123456789abcdef";
+      out += "\\u00";
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 15]);
+    } else {
+      out.push_back(ch);
+    }
+  }
+}
+
 }  // namespace
 
 NetServer::NetServer(harmony::SessionManager& manager,
@@ -37,6 +63,7 @@ NetServer::NetServer(harmony::SessionManager& manager,
     : manager_(manager),
       options_(std::move(options)),
       registry_(resolve_registry(options_)),
+      flight_(resolve_flight(options_)),
       obs_bytes_in_(registry_.counter("protuner_net_bytes_in_total",
                                       "Bytes received by the net tier")),
       obs_bytes_out_(registry_.counter("protuner_net_bytes_out_total",
@@ -48,7 +75,10 @@ NetServer::NetServer(harmony::SessionManager& manager,
                                     "Connections closed by the net tier")),
       obs_decode_errors_(registry_.counter(
           "protuner_net_decode_errors_total",
-          "Malformed frames that closed their connection")) {
+          "Malformed frames that closed their connection")),
+      obs_stall_dumps_(registry_.counter(
+          "protuner_stall_dumps_total",
+          "Flight-recorder dumps (stall watchdog episodes and SIGUSR1)")) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) throw_errno("epoll_create1");
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
@@ -105,6 +135,9 @@ NetServer::~NetServer() {
 void NetServer::run() { run_until({}); }
 
 void NetServer::run_until(const std::function<bool()>& done) {
+  // Arm the operator escape hatch: SIGUSR1 flags the global recorder and
+  // the loop performs the (allocating) dump from normal context below.
+  obs::FlightRecorder::install_sigusr1_handler();
   while (!stopping_.load(std::memory_order_relaxed)) {
     loop_iteration();
     if (done && done()) break;
@@ -151,6 +184,7 @@ void NetServer::loop_iteration() {
   const bool tick_due = now - last_tick_ >= options_.poll_interval;
   if (tick_due) last_tick_ = now;
   sweep_sessions(tick_due);
+  if (flight_.consume_dump_request()) dump_flight("SIGUSR1");
   destroy_pending();
 }
 
@@ -201,6 +235,12 @@ void NetServer::handle_readable(Connection* c) {
       if (c->in.size() >= cap) {
         obs_decode_errors_.add();
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        flight_.record("error/decode",
+                       c->entry >= 0
+                           ? std::string_view(
+                                 sessions_[static_cast<std::size_t>(c->entry)]
+                                     .name)
+                           : std::string_view{});
         error_close(c, "frame exceeds the size cap");
         return;
       }
@@ -223,6 +263,22 @@ void NetServer::handle_readable(Connection* c) {
     c->in_used += static_cast<std::size_t>(n);
     obs_bytes_in_.add(static_cast<std::uint64_t>(n));
 
+    // First bytes classify the connection: "GET " cannot start a frame
+    // (as a u32 length it dwarfs kMaxFrameBytes), so the one listen port
+    // serves the wire protocol and plain HTTP scrapes side by side.
+    if (c->mode == kModeUnknown && c->in_used >= 4) {
+      c->mode = std::memcmp(c->in.data(), "GET ", 4) == 0 ? kModeHttp
+                                                          : kModeFrames;
+    }
+    if (c->mode != kModeFrames) {
+      if (c->mode == kModeHttp) {
+        handle_http(c);
+        if (c->closed) return;
+      }
+      if (static_cast<std::size_t>(n) < want) break;
+      continue;
+    }
+
     std::size_t off = 0;
     while (!c->closed) {
       const Decoded d = decode_frame(
@@ -235,6 +291,12 @@ void NetServer::handle_readable(Connection* c) {
       if (d.status == DecodeStatus::kBadFrame) {
         obs_decode_errors_.add();
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        flight_.record("error/decode",
+                       c->entry >= 0
+                           ? std::string_view(
+                                 sessions_[static_cast<std::size_t>(c->entry)]
+                                     .name)
+                           : std::string_view{});
         error_close(c, d.error);
         return;
       }
@@ -254,6 +316,9 @@ void NetServer::handle_writable(Connection* c) { flush_out(c); }
 
 void NetServer::handle_frame(Connection* c, const Frame& f) {
   const std::uint64_t entered = obs::LatencyClock::now();
+  // A server answers in the version its peer speaks, so a v1 client never
+  // sees a trailer (or a Stats ack) it cannot decode.
+  c->peer_version = f.version;
   switch (f.type) {
     case MsgType::kAttach:
       handle_attach(c, f);
@@ -264,8 +329,11 @@ void NetServer::handle_frame(Connection* c, const Frame& f) {
     case MsgType::kReport:
       handle_report(c, f, entered);
       return;
+    case MsgType::kStats:
+      handle_stats(c, f);
+      return;
     case MsgType::kDetach:
-      append_simple(c->out, MsgType::kDetach, f.rank, {});
+      append_simple(c->out, MsgType::kDetach, f.rank, {}, c->peer_version);
       c->draining = true;  // close once the ack flushes
       return;
     case MsgType::kError:
@@ -290,9 +358,11 @@ void NetServer::handle_attach(Connection* c, const Frame& f) {
     return;
   }
   c->entry = idx;
+  ++sessions_[static_cast<std::size_t>(idx)].attached_conns;
   append_attach_ack(
       c->out, f.rank,
-      static_cast<std::uint32_t>(sessions_[idx].server->clients()));
+      static_cast<std::uint32_t>(sessions_[idx].server->clients()),
+      c->peer_version);
 }
 
 int NetServer::entry_index_for(std::string_view name) {
@@ -324,6 +394,7 @@ int NetServer::entry_index_for(std::string_view name) {
       "protuner_net_report_wire_ns",
       "Report wire latency: frame decoded to ack queued (ns)", labels);
   e.last_rounds = e.server->rounds_completed();
+  e.last_advance = std::chrono::steady_clock::now();
   sessions_.push_back(std::move(e));
   return static_cast<int>(sessions_.size()) - 1;
 }
@@ -345,8 +416,11 @@ void NetServer::handle_fetch(Connection* c, const Frame& f,
   }
   SessionEntry& e = sessions_[static_cast<std::size_t>(c->entry)];
   try {
-    if (e.server->try_fetch_into(f.rank, scratch_)) {
-      append_config(c->out, f.rank, scratch_);
+    obs::TraceContext trace;
+    if (e.server->try_fetch_into(f.rank, scratch_, trace)) {
+      const WireTrace wt{trace.trace_id, trace.span_id};
+      append_config(c->out, f.rank, scratch_, c->peer_version,
+                    trace ? &wt : nullptr);
       e.fetch_wire_ns->record(wire_ns(entered));
     } else {
       park_fetch(c, f.rank, entered);
@@ -375,21 +449,141 @@ void NetServer::handle_report(Connection* c, const Frame& f,
   }
   SessionEntry& e = sessions_[static_cast<std::size_t>(c->entry)];
   try {
+    // The client's trailer names the round it measured; installing it here
+    // threads the server-side report span into the same trace.
+    const obs::ScopedTraceContext ctx(
+        f.has_trace ? obs::TraceContext{f.trace.trace_id, f.trace.span_id}
+                    : obs::TraceContext{});
     e.server->report(f.rank, time);
-    append_simple(c->out, MsgType::kReport, f.rank, {});
+    append_simple(c->out, MsgType::kReport, f.rank, {}, c->peer_version);
     e.report_wire_ns->record(wire_ns(entered));
   } catch (const harmony::ProtocolError& ex) {
     error_close(c, ex.what());
   }
 }
 
+void NetServer::handle_stats(Connection* c, const Frame& f) {
+  if (c->entry < 0) {
+    error_close(c, "stats: attach first");
+    return;
+  }
+  if (!session_matches(c, f)) {
+    error_close(c, "stats: frame names a different session");
+    return;
+  }
+  obs::RegistrySnapshot snap;
+  if (!decode_stats(f.body, snap)) {
+    obs_decode_errors_.add();
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    error_close(c, "stats: malformed body");
+    return;
+  }
+  registry_.merge_from(snap, {{"client", std::to_string(f.rank)}});
+  append_simple(c->out, MsgType::kStats, f.rank, {}, c->peer_version);
+}
+
+// ------------------------------------------------------------- HTTP scrapes
+// The observability plane, served from the same loop: no scraper thread, no
+// blocking, just another readable fd.  HTTP/1.0, GET only, one request per
+// connection (the response carries Connection: close and the existing
+// draining machinery tears the socket down once it flushes).  Allocation
+// here is fine — scrapes are the control plane, not the per-fetch data path.
+
+void NetServer::handle_http(Connection* c) {
+  const std::string_view req(reinterpret_cast<const char*>(c->in.data()),
+                             c->in_used);
+  const std::size_t head_end = req.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (c->in_used > kMaxHttpRequest) close_conn(c);
+    return;  // headers still in flight
+  }
+  // Request line: "GET <path> HTTP/1.x".  Classification guarantees the
+  // method; anything unparseable gets a 400 rather than a frame Error.
+  const std::size_t line_end = req.find("\r\n");
+  const std::string_view line = req.substr(0, line_end);
+  const std::size_t path_begin = line.find(' ');
+  const std::size_t path_end =
+      path_begin == std::string_view::npos
+          ? std::string_view::npos
+          : line.find(' ', path_begin + 1);
+  if (path_end == std::string_view::npos) {
+    http_respond(c, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  std::string_view path = line.substr(path_begin + 1,
+                                      path_end - path_begin - 1);
+  if (const std::size_t q = path.find('?'); q != std::string_view::npos) {
+    path = path.substr(0, q);
+  }
+
+  if (path == "/metrics") {
+    std::ostringstream body;
+    obs::render_prometheus(body, registry_.snapshot());
+    http_respond(c, 200, "OK", "text/plain; version=0.0.4", body.str());
+    return;
+  }
+  if (path == "/healthz") {
+    bool stalled = false;
+    for (const SessionEntry& e : sessions_) stalled = stalled || e.stalled;
+    if (stalled) {
+      http_respond(c, 503, "Service Unavailable", "text/plain", "stalled\n");
+    } else {
+      http_respond(c, 200, "OK", "text/plain", "ok\n");
+    }
+    return;
+  }
+  if (path == "/sessions") {
+    std::string body = "[";
+    bool first = true;
+    for (const auto& s : manager_.stats_all()) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"name\":\"";
+      append_json_escaped(body, s.name);
+      body += "\",\"strategy\":\"";
+      append_json_escaped(body, s.strategy);
+      body += "\",\"clients\":" + std::to_string(s.clients);
+      body += ",\"active_ranks\":" + std::to_string(s.active_ranks);
+      body += ",\"attached\":" + std::to_string(s.attached);
+      body += ",\"rounds\":" + std::to_string(s.rounds);
+      body += ",\"total_time\":" + std::to_string(s.total_time);
+      body += ",\"converged\":";
+      body += s.converged ? "true" : "false";
+      body += '}';
+    }
+    body += "]\n";
+    http_respond(c, 200, "OK", "application/json", body);
+    return;
+  }
+  http_respond(c, 404, "Not Found", "text/plain", "not found\n");
+}
+
+void NetServer::http_respond(Connection* c, int status,
+                             std::string_view reason,
+                             std::string_view content_type,
+                             std::string_view body) {
+  std::string head = "HTTP/1.0 " + std::to_string(status) + ' ';
+  head += reason;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  c->out.insert(c->out.end(), head.begin(), head.end());
+  c->out.insert(c->out.end(), body.begin(), body.end());
+  c->in_used = 0;          // the one request is consumed
+  c->draining = true;      // close once the response flushes
+  flush_out(c);
+}
+
 void NetServer::park_fetch(Connection* c, std::uint32_t rank,
                            std::uint64_t entered) {
+  SessionEntry& e = sessions_[static_cast<std::size_t>(c->entry)];
   c->parked.push_back({rank, entered});
   if (!c->in_parked_list) {
-    sessions_[static_cast<std::size_t>(c->entry)].parked.push_back(c);
+    e.parked.push_back(c);
     c->in_parked_list = true;
   }
+  flight_.record("fetch/park", e.name, rank, e.server->rounds_completed());
 }
 
 void NetServer::retry_parked(SessionEntry& e) {
@@ -401,8 +595,11 @@ void NetServer::retry_parked(SessionEntry& e) {
     for (std::size_t i = 0; i < c->parked.size() && !c->closed; ++i) {
       const ParkedFetch pf = c->parked[i];
       try {
-        if (e.server->try_fetch_into(pf.rank, scratch_)) {
-          append_config(c->out, pf.rank, scratch_);
+        obs::TraceContext trace;
+        if (e.server->try_fetch_into(pf.rank, scratch_, trace)) {
+          const WireTrace wt{trace.trace_id, trace.span_id};
+          append_config(c->out, pf.rank, scratch_, c->peer_version,
+                        trace ? &wt : nullptr);
           e.fetch_wire_ns->record(wire_ns(pf.entered));
         } else {
           c->parked[w++] = pf;
@@ -424,6 +621,7 @@ void NetServer::retry_parked(SessionEntry& e) {
 }
 
 void NetServer::sweep_sessions(bool tick_due) {
+  const auto now = std::chrono::steady_clock::now();
   for (SessionEntry& e : sessions_) {
     if (tick_due) {
       try {
@@ -436,8 +634,36 @@ void NetServer::sweep_sessions(bool tick_due) {
     const std::size_t rounds = e.server->rounds_completed();
     const bool advanced = rounds != e.last_rounds;
     e.last_rounds = rounds;
+    if (advanced) {
+      e.last_advance = now;
+      e.stalled = false;  // the stall episode (if any) is over
+    }
     if (!e.parked.empty() && (advanced || tick_due)) retry_parked(e);
+    if (tick_due && !e.stalled) check_stall(e, now);
   }
+}
+
+void NetServer::check_stall(SessionEntry& e,
+                            std::chrono::steady_clock::time_point now) {
+  if (e.attached_conns == 0) return;  // nobody is driving: idle, not stalled
+  std::chrono::duration<double> timeout = options_.stall_timeout;
+  if (timeout <= std::chrono::duration<double>::zero()) {
+    const auto deadline = e.server->report_timeout();
+    if (deadline <= std::chrono::duration<double>::zero()) return;
+    timeout = deadline * options_.stall_factor;
+  }
+  if (std::chrono::duration<double>(now - e.last_advance) < timeout) return;
+  e.stalled = true;
+  flight_.record("stall/dump", e.name,
+                 static_cast<std::uint32_t>(e.attached_conns), e.last_rounds);
+  dump_flight(e.name.c_str());
+}
+
+void NetServer::dump_flight(const char* why) {
+  stall_dumps_.fetch_add(1, std::memory_order_relaxed);
+  obs_stall_dumps_.add();
+  std::cerr << "protuner: flight-recorder dump (" << why << ")\n";
+  flight_.dump(std::cerr);
 }
 
 void NetServer::flush_out(Connection* c) {
@@ -501,8 +727,10 @@ void NetServer::close_conn(Connection* c) {
   if (c->closed) return;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
   if (c->entry >= 0) {
+    SessionEntry& e = sessions_[static_cast<std::size_t>(c->entry)];
+    if (e.attached_conns > 0) --e.attached_conns;
     try {
-      manager_.detach(sessions_[static_cast<std::size_t>(c->entry)].name);
+      manager_.detach(e.name);
     } catch (const harmony::SessionError&) {
     }
   }
@@ -529,6 +757,8 @@ void NetServer::destroy_pending() {
     c->closed = false;
     c->draining = false;
     c->want_write = false;
+    c->mode = kModeUnknown;
+    c->peer_version = kWireVersion;
     c->in_used = 0;
     c->out.clear();
     c->out_off = 0;

@@ -48,6 +48,7 @@
 #include "core/types.h"
 #include "harmony/session_manager.h"
 #include "net/frame.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace protuner::net {
@@ -73,8 +74,21 @@ struct NetServerOptions {
   /// Registry the wire telemetry is registered in; null means
   /// obs::Registry::global().  Use the same registry the hosted sessions
   /// record into so Server::metrics_snapshot/SessionManager::
-  /// metrics_snapshot see the net tier too.
+  /// metrics_snapshot see the net tier too — and so the in-loop /metrics
+  /// page serves everything in one exposition.
   obs::Registry* metrics = nullptr;
+  /// Stall watchdog: a session whose round watermark has not advanced for
+  /// this long while connections are attached is declared stalled — the
+  /// flight recorder dumps to stderr once per episode and /healthz answers
+  /// 503 until the watermark moves again.  Zero derives the timeout from
+  /// the session's own report deadline (report_timeout × stall_factor);
+  /// sessions with neither an explicit stall_timeout nor a deadline are
+  /// never declared stalled.
+  std::chrono::duration<double> stall_timeout{0};
+  double stall_factor = 4.0;
+  /// Flight recorder the loop's control-plane events land in; null means
+  /// obs::FlightRecorder::global() (which SIGUSR1 dumps target).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class NetServer {
@@ -108,8 +122,21 @@ class NetServer {
   std::uint64_t decode_errors() const {
     return decode_errors_.load(std::memory_order_relaxed);
   }
+  /// Flight-recorder dumps performed by this loop (stall watchdog episodes
+  /// plus SIGUSR1 requests).
+  std::uint64_t stall_dumps() const {
+    return stall_dumps_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // How a connection's first bytes classified it.  The wire protocol's
+  // length prefix makes the split unambiguous: "GET " read as a u32 length
+  // is ~542 MB, far beyond kMaxFrameBytes, so no valid frame starts with it.
+  static constexpr std::uint8_t kModeUnknown = 0;
+  static constexpr std::uint8_t kModeFrames = 1;
+  static constexpr std::uint8_t kModeHttp = 2;
+  /// Cap on a buffered HTTP request (we only serve bare GETs).
+  static constexpr std::size_t kMaxHttpRequest = 8192;
   struct ParkedFetch {
     std::uint32_t rank = 0;
     std::uint64_t entered = 0;  ///< LatencyClock stamp at frame decode
@@ -127,6 +154,10 @@ class NetServer {
     obs::Histogram* report_wire_ns = nullptr;
     std::size_t last_rounds = 0;
     std::vector<Connection*> parked;  ///< connections with parked fetches
+    // Stall watchdog state (loop thread only).
+    std::size_t attached_conns = 0;   ///< live connections bound to this entry
+    std::chrono::steady_clock::time_point last_advance{};
+    bool stalled = false;             ///< one dump per stall episode
   };
 
   struct Connection {
@@ -135,6 +166,8 @@ class NetServer {
     bool draining = false;      ///< close once the out buffer flushes
     bool want_write = false;    ///< EPOLLOUT armed
     bool in_parked_list = false;
+    std::uint8_t mode = kModeUnknown;        ///< frames vs HTTP demux
+    std::uint8_t peer_version = kWireVersion;  ///< replies match the peer
     int entry = -1;             ///< index into sessions_ once attached
     std::vector<std::uint8_t> in;
     std::size_t in_used = 0;
@@ -151,6 +184,12 @@ class NetServer {
   void handle_attach(Connection* c, const Frame& f);
   void handle_fetch(Connection* c, const Frame& f, std::uint64_t entered);
   void handle_report(Connection* c, const Frame& f, std::uint64_t entered);
+  void handle_stats(Connection* c, const Frame& f);
+  /// Serves one buffered HTTP GET (/metrics, /healthz, /sessions) and puts
+  /// the connection into draining (HTTP/1.0: one request, then close).
+  void handle_http(Connection* c);
+  void http_respond(Connection* c, int status, std::string_view reason,
+                    std::string_view content_type, std::string_view body);
   /// True when the frame's session field names the bound session (empty
   /// means "the bound session").
   bool session_matches(const Connection* c, const Frame& f) const;
@@ -165,12 +204,17 @@ class NetServer {
   void retry_parked(SessionEntry& e);
   /// Round-advance sweep + deadline ticks, once per poll iteration.
   void sweep_sessions(bool tick_due);
+  /// Declares `e` stalled (and dumps the flight recorder) when its round
+  /// watermark has sat still past the watchdog timeout.
+  void check_stall(SessionEntry& e, std::chrono::steady_clock::time_point now);
+  void dump_flight(const char* why);
   void epoll_update(Connection* c, bool want_write);
   int entry_index_for(std::string_view name);
 
   harmony::SessionManager& manager_;
   const NetServerOptions options_;
   obs::Registry& registry_;
+  obs::FlightRecorder& flight_;
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
@@ -189,12 +233,14 @@ class NetServer {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_{0};
   std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> stall_dumps_{0};
 
   obs::Counter& obs_bytes_in_;
   obs::Counter& obs_bytes_out_;
   obs::Counter& obs_accepted_;
   obs::Counter& obs_closed_;
   obs::Counter& obs_decode_errors_;
+  obs::Counter& obs_stall_dumps_;
 };
 
 }  // namespace protuner::net

@@ -1,0 +1,195 @@
+#include "net/stats_codec.h"
+
+#include <algorithm>
+#include <string>
+
+#include "net/frame.h"
+
+namespace protuner::net {
+
+namespace {
+
+void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  append_u16(out, static_cast<std::uint16_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + n);
+}
+
+/// Cursor over the body with bounds-checked reads.
+struct Reader {
+  std::span<const std::uint8_t> buf;
+  std::size_t off = 0;
+
+  bool need(std::size_t n) const { return off + n <= buf.size(); }
+  bool read_u8(std::uint8_t& v) {
+    if (!need(1)) return false;
+    v = buf[off++];
+    return true;
+  }
+  bool read_u16(std::uint16_t& v) {
+    if (!need(2)) return false;
+    v = load_u16(buf.data() + off);
+    off += 2;
+    return true;
+  }
+  bool read_u32(std::uint32_t& v) {
+    if (!need(4)) return false;
+    v = load_u32(buf.data() + off);
+    off += 4;
+    return true;
+  }
+  bool read_u64(std::uint64_t& v) {
+    if (!need(8)) return false;
+    v = load_u64(buf.data() + off);
+    off += 8;
+    return true;
+  }
+  bool read_f64(double& v) {
+    if (!need(8)) return false;
+    v = load_f64(buf.data() + off);
+    off += 8;
+    return true;
+  }
+  bool read_string(std::string& s) {
+    std::uint16_t n = 0;
+    if (!read_u16(n) || !need(n)) return false;
+    s.assign(reinterpret_cast<const char*>(buf.data() + off), n);
+    off += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+void encode_stats(std::vector<std::uint8_t>& out,
+                  const obs::RegistrySnapshot& snap) {
+  append_u32(out, static_cast<std::uint32_t>(snap.instruments.size()));
+  for (const obs::InstrumentSnapshot& s : snap.instruments) {
+    out.push_back(static_cast<std::uint8_t>(s.kind));
+    append_string(out, s.name);
+    append_string(out, s.help);
+    const std::size_t labels = std::min<std::size_t>(s.labels.size(), 0xFF);
+    out.push_back(static_cast<std::uint8_t>(labels));
+    for (std::size_t i = 0; i < labels; ++i) {
+      append_string(out, s.labels[i].first);
+      append_string(out, s.labels[i].second);
+    }
+    switch (s.kind) {
+      case obs::InstrumentKind::kCounter:
+      case obs::InstrumentKind::kGauge:
+        append_f64(out, s.value);
+        break;
+      case obs::InstrumentKind::kHistogram: {
+        std::uint32_t nonzero = 0;
+        for (const std::uint64_t c : s.hist.counts) nonzero += c != 0;
+        append_u32(out, nonzero);
+        for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+          if (s.hist.counts[i] == 0) continue;
+          append_u16(out, static_cast<std::uint16_t>(i));
+          append_u64(out, s.hist.counts[i]);
+        }
+        append_f64(out, s.hist.max);
+        break;
+      }
+    }
+  }
+}
+
+bool decode_stats(std::span<const std::uint8_t> body,
+                  obs::RegistrySnapshot& snap) {
+  snap.instruments.clear();
+  Reader r{body};
+  std::uint32_t count = 0;
+  if (!r.read_u32(count)) return false;
+  // Each instrument needs at least kind + two length prefixes + label count
+  // + an 8-byte payload: a cheap upper bound that stops absurd counts from
+  // reserving gigabytes off a 4-byte lie.
+  if (static_cast<std::size_t>(count) * 14 > body.size()) return false;
+  snap.instruments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::InstrumentSnapshot s;
+    std::uint8_t kind = 0;
+    if (!r.read_u8(kind) || kind > 2) return false;
+    s.kind = static_cast<obs::InstrumentKind>(kind);
+    if (!r.read_string(s.name) || s.name.empty()) return false;
+    if (!r.read_string(s.help)) return false;
+    std::uint8_t labels = 0;
+    if (!r.read_u8(labels)) return false;
+    s.labels.reserve(labels);
+    for (std::uint8_t l = 0; l < labels; ++l) {
+      std::string k, v;
+      if (!r.read_string(k) || !r.read_string(v)) return false;
+      s.labels.emplace_back(std::move(k), std::move(v));
+    }
+    switch (s.kind) {
+      case obs::InstrumentKind::kCounter:
+      case obs::InstrumentKind::kGauge:
+        if (!r.read_f64(s.value)) return false;
+        break;
+      case obs::InstrumentKind::kHistogram: {
+        std::uint32_t nonzero = 0;
+        if (!r.read_u32(nonzero)) return false;
+        if (nonzero > obs::Histogram::kBucketCount) return false;
+        s.hist.counts.assign(obs::Histogram::kBucketCount, 0);
+        for (std::uint32_t b = 0; b < nonzero; ++b) {
+          std::uint16_t idx = 0;
+          std::uint64_t c = 0;
+          if (!r.read_u16(idx) || !r.read_u64(c)) return false;
+          if (idx >= obs::Histogram::kBucketCount) return false;
+          s.hist.counts[idx] = c;
+          s.hist.count += c;
+        }
+        if (!r.read_f64(s.hist.max)) return false;
+        s.value = static_cast<double>(s.hist.count);
+        break;
+      }
+    }
+    snap.instruments.push_back(std::move(s));
+  }
+  return r.off == body.size();
+}
+
+obs::RegistrySnapshot stats_delta(const obs::RegistrySnapshot& current,
+                                  const obs::RegistrySnapshot& prev) {
+  obs::RegistrySnapshot out;
+  for (const obs::InstrumentSnapshot& cur : current.instruments) {
+    const obs::InstrumentSnapshot* old = nullptr;
+    for (const obs::InstrumentSnapshot& p : prev.instruments) {
+      if (p.name == cur.name && p.labels == cur.labels) {
+        old = &p;
+        break;
+      }
+    }
+    obs::InstrumentSnapshot d = cur;
+    bool all_zero = true;
+    switch (cur.kind) {
+      case obs::InstrumentKind::kCounter:
+        if (old != nullptr) d.value = cur.value - old->value;
+        all_zero = d.value == 0.0;
+        break;
+      case obs::InstrumentKind::kGauge:
+        // Levels don't delta; push only when the level moved (or is new).
+        all_zero = old != nullptr && old->value == cur.value;
+        break;
+      case obs::InstrumentKind::kHistogram: {
+        std::uint64_t total = 0;
+        if (old != nullptr) {
+          const std::size_t n =
+              std::min(d.hist.counts.size(), old->hist.counts.size());
+          for (std::size_t i = 0; i < n; ++i) {
+            d.hist.counts[i] -= old->hist.counts[i];
+          }
+        }
+        for (const std::uint64_t c : d.hist.counts) total += c;
+        d.hist.count = total;
+        d.value = static_cast<double>(total);
+        all_zero = total == 0;
+        break;
+      }
+    }
+    if (!all_zero) out.instruments.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace protuner::net

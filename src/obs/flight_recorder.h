@@ -1,0 +1,100 @@
+// Stall flight recorder: a fixed-size ring of recent engine/server events
+// for post-mortem debugging of exactly the pathologies the serving tier
+// imputes around — dead clients, stragglers, protocol abuse (DESIGN.md §15).
+//
+// The recorder is the black box, not the dashboard: it stores the last N
+// discrete events (round open/close, fetch park/serve, report, impute,
+// deadline expiry, protocol error, ...) in a preallocated ring and is only
+// ever read when something goes wrong — a SIGUSR1 from an operator, or the
+// serving loop's watchdog noticing a round that stopped advancing.  The
+// dump is a plain-text timeline on stderr (or any stream), newest state
+// reconstructed from the surviving events, sorted by timestamp.
+//
+// Cost contract: record() never allocates — the ring is sized at
+// construction and event slots are overwritten in place (newest wins).  It
+// takes a plain mutex: flight events are per-round control-plane edges
+// (park, impute, round transitions), orders of magnitude rarer than the
+// per-fetch data plane, and the serving loop records from one thread
+// anyway.  dump()/snapshot() take the same mutex and may allocate.
+//
+// Signal protocol: request_dump() only sets an atomic flag and is
+// async-signal-safe; install_sigusr1_handler() arms SIGUSR1 to call it on
+// the global recorder.  Whoever owns a serving loop polls
+// consume_dump_request() and performs the actual (allocating, stream-
+// writing) dump from normal context.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace protuner::obs {
+
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;    ///< since the recorder's construction
+  const char* kind = nullptr; ///< static string: "round/open", "fetch/park"...
+  std::uint32_t rank = 0;
+  std::uint64_t round = 0;
+  double value = 0.0;         ///< kind-specific (reported time, T_k, ...)
+  char tag[24] = {};          ///< session name, truncated, NUL-terminated
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every built-in site records into when its
+  /// owner was not given a specific one.  Never destroyed.
+  static FlightRecorder& global();
+
+  /// Appends one event (ring-overwrites the oldest when full).  No
+  /// allocation; `kind` must have static storage duration, `session` is
+  /// copied (truncated to the fixed tag width).
+  void record(const char* kind, std::string_view session,
+              std::uint32_t rank = 0, std::uint64_t round = 0,
+              double value = 0.0);
+
+  /// Events currently held, oldest first (already time-sorted: the ring is
+  /// append-ordered under the mutex).
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Events ever recorded (>= held: the excess was overwritten).
+  std::uint64_t recorded() const;
+
+  /// Writes the whole ring as a human-readable timeline.
+  void dump(std::ostream& out) const;
+
+  /// Empties the ring (tests).
+  void clear();
+
+  // ------------------------------------------------------- signal protocol
+  /// Async-signal-safe: flags that a dump was requested.
+  void request_dump() { dump_requested_.store(true, std::memory_order_relaxed); }
+  /// True exactly once per request; the caller performs the dump.
+  bool consume_dump_request() {
+    return dump_requested_.exchange(false, std::memory_order_relaxed);
+  }
+
+  /// Arms SIGUSR1 to request_dump() on the global recorder.  Idempotent.
+  static void install_sigusr1_handler();
+
+ private:
+  std::uint64_t now_ns() const;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;  ///< fixed capacity, written in place
+  std::uint64_t head_ = 0;         ///< events ever recorded (mod = slot)
+  std::atomic<bool> dump_requested_{false};
+};
+
+}  // namespace protuner::obs

@@ -27,6 +27,24 @@ std::string escape_label(const std::string& s) {
   return out;
 }
 
+/// Escapes HELP text: the text format continues to end-of-line, so embedded
+/// newlines (and the backslashes that would fake escapes) must be encoded
+/// or the exposition stops parsing at the first multi-line help string.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void write_labels(std::ostream& out, const Labels& labels,
                   std::string_view extra_key = {},
                   std::string_view extra_value = {}) {
@@ -70,6 +88,22 @@ double Histogram::bucket_upper(std::size_t i) {
     return std::numeric_limits<double>::infinity();
   }
   return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+void Histogram::merge(const HistogramSnapshot& s) {
+  const std::size_t n = std::min(s.counts.size(), kBucketCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.counts[i] != 0) {
+      buckets_[i].fetch_add(s.counts[i], std::memory_order_relaxed);
+    }
+  }
+  if (s.max > 0.0) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(s.max);
+    std::uint64_t cur = max_bits_.load(std::memory_order_relaxed);
+    while (bits > cur && !max_bits_.compare_exchange_weak(
+                             cur, bits, std::memory_order_relaxed)) {
+    }
+  }
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -247,6 +281,36 @@ RegistrySnapshot Registry::snapshot(std::string_view key,
   return out;
 }
 
+void Registry::merge_from(const RegistrySnapshot& snap,
+                          const Labels& extra_labels) {
+  for (const InstrumentSnapshot& s : snap.instruments) {
+    Labels labels = s.labels;
+    // Never stack a duplicate key: a series that already carries one of the
+    // extra labels (it was itself merged from a push once) keeps its
+    // original identity.  Appending would mint a new series per merge and
+    // an echo loop (a pusher snapshotting a registry it is merged into)
+    // would grow the registry without bound.
+    for (const auto& [key, value] : extra_labels) {
+      bool present = false;
+      for (const auto& have : labels) present = present || have.first == key;
+      if (!present) labels.emplace_back(key, value);
+    }
+    switch (s.kind) {
+      case InstrumentKind::kCounter:
+        counter(s.name, s.help, std::move(labels))
+            .add(static_cast<std::uint64_t>(s.value));
+        break;
+      case InstrumentKind::kGauge:
+        gauge(s.name, s.help, std::move(labels))
+            .set(static_cast<std::int64_t>(s.value));
+        break;
+      case InstrumentKind::kHistogram:
+        histogram(s.name, s.help, std::move(labels)).merge(s.hist);
+        break;
+    }
+  }
+}
+
 const InstrumentSnapshot* RegistrySnapshot::find(
     std::string_view name, std::string_view session) const {
   for (const InstrumentSnapshot& s : instruments) {
@@ -281,8 +345,9 @@ void render_prometheus(std::ostream& out, const RegistrySnapshot& snapshot) {
     switch (s->kind) {
       case InstrumentKind::kCounter:
         if (new_family) {
-          if (!s->help.empty()) out << "# HELP " << s->name << ' ' << s->help
-                                    << '\n';
+          if (!s->help.empty()) {
+            out << "# HELP " << s->name << ' ' << escape_help(s->help) << '\n';
+          }
           out << "# TYPE " << s->name << " counter\n";
         }
         out << s->name;
@@ -291,8 +356,9 @@ void render_prometheus(std::ostream& out, const RegistrySnapshot& snapshot) {
         break;
       case InstrumentKind::kGauge:
         if (new_family) {
-          if (!s->help.empty()) out << "# HELP " << s->name << ' ' << s->help
-                                    << '\n';
+          if (!s->help.empty()) {
+            out << "# HELP " << s->name << ' ' << escape_help(s->help) << '\n';
+          }
           out << "# TYPE " << s->name << " gauge\n";
         }
         out << s->name;
@@ -301,8 +367,9 @@ void render_prometheus(std::ostream& out, const RegistrySnapshot& snapshot) {
         break;
       case InstrumentKind::kHistogram: {
         if (new_family) {
-          if (!s->help.empty()) out << "# HELP " << s->name << ' ' << s->help
-                                    << '\n';
+          if (!s->help.empty()) {
+            out << "# HELP " << s->name << ' ' << escape_help(s->help) << '\n';
+          }
           out << "# TYPE " << s->name << " summary\n";
         }
         static constexpr std::pair<const char*, double> kQuantiles[] = {

@@ -121,6 +121,11 @@ class Histogram {
     }
   }
 
+  /// Folds a snapshot (typically shipped from another process) into this
+  /// histogram: bucket-wise relaxed adds plus a CAS max-of-max, so merging
+  /// is associative, commutative and safe concurrently with record().
+  void merge(const HistogramSnapshot& s);
+
   /// Bucket that record(v) lands in.  Exposed for tests and exporters.
   static std::size_t bucket_index(double v);
   /// Inclusive lower edge of bucket i (0 for the underflow bucket).
@@ -192,6 +197,21 @@ class Registry {
   /// filter harmony::Server::metrics_snapshot uses).
   RegistrySnapshot snapshot(std::string_view key,
                             std::string_view value) const;
+
+  /// Folds another registry's snapshot into this one — the server-side half
+  /// of the client telemetry push (DESIGN.md §15).  Each incoming instrument
+  /// is resolved (created on first sight) under its own labels plus
+  /// `extra_labels` — e.g. {{"client", "3"}} — then merged: counters add
+  /// their value (senders ship deltas, so repeated pushes accumulate),
+  /// gauges take the incoming level, histograms merge bucket-wise with
+  /// max-of-max.  An extra-label key the incoming series already carries is
+  /// not appended again, so re-merging an already-merged series can never
+  /// mint new identities (guards against echo loops when a pusher snapshots
+  /// a registry it is merged into).  Merging is associative and commutative
+  /// across senders and safe concurrently with local recording.  A kind
+  /// mismatch with an already-registered instrument throws std::logic_error.
+  void merge_from(const RegistrySnapshot& snap,
+                  const Labels& extra_labels = {});
 
  private:
   struct Entry {

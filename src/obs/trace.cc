@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -26,7 +27,15 @@ struct RingCache {
 
 thread_local RingCache tls_ring_cache;
 
+thread_local TraceContext tls_trace_context;
+
 }  // namespace
+
+TraceContext current_trace_context() { return tls_trace_context; }
+
+void set_current_trace_context(const TraceContext& ctx) {
+  tls_trace_context = ctx;
+}
 
 // ---------------------------------------------------------------------- Ring
 
@@ -104,12 +113,14 @@ Tracer::Ring& Tracer::thread_ring() {
 }
 
 void Tracer::push(Ring& ring, const char* name, std::uint64_t start_ns,
-                  std::uint64_t dur_ns) {
+                  std::uint64_t dur_ns, const TraceContext& ctx) {
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
   TraceSpan& slot = ring.spans[head % ring.spans.size()];
   slot.name = name;
   slot.start_ns = start_ns;
   slot.dur_ns = dur_ns;
+  slot.trace_id = ctx.trace_id;
+  slot.span_id = ctx.span_id;
   slot.tid = ring.tid;
   slot.depth = ring.depth;
   // Release-publish so a concurrent snapshot that acquires `head` sees the
@@ -172,10 +183,25 @@ void write_escaped(std::ostream& out, const char* s) {
   }
 }
 
+/// Correlation ids render as fixed-width hex strings: u64 exceeds the
+/// integer range JSON doubles preserve, and every consumer (trace_merge,
+/// Perfetto queries) treats them as opaque tokens anyway.
+void write_hex64(std::ostream& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out << buf;
+}
+
 }  // namespace
 
-void Tracer::write_chrome_trace(std::ostream& out) const {
-  const std::vector<TraceSpan> spans = snapshot();
+void Tracer::write_chrome_trace(std::ostream& out, std::uint32_t pid) const {
+  std::vector<TraceSpan> spans = snapshot();
+  // Ring wrap interleaves old and new spans; viewers want monotone ts.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   for (const TraceSpan& s : spans) {
@@ -188,8 +214,16 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     out << "\",\"cat\":\"protuner\",\"ph\":\"X\",\"ts\":"
         << static_cast<double>(s.start_ns) / 1e3
         << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3
-        << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"depth\":" << s.depth
-        << "}}";
+        << ",\"pid\":" << pid << ",\"tid\":" << s.tid
+        << ",\"args\":{\"depth\":" << s.depth;
+    if (s.trace_id != 0) {
+      out << ",\"trace\":\"";
+      write_hex64(out, s.trace_id);
+      out << "\",\"span\":\"";
+      write_hex64(out, s.span_id);
+      out << '"';
+    }
+    out << "}}";
   }
   out << "]}\n";
 }
@@ -204,6 +238,7 @@ void ScopedSpan::begin(Tracer& tracer, const char* name) {
   tracer_ = &tracer;
   ring_ = &ring;
   name_ = name;
+  ctx_ = tls_trace_context;
   ring.depth++;
   start_ = tracer.now_ns();
 }
@@ -211,7 +246,7 @@ void ScopedSpan::begin(Tracer& tracer, const char* name) {
 void ScopedSpan::finish() {
   const std::uint64_t end = tracer_->now_ns();
   ring_->depth--;
-  tracer_->push(*ring_, name_, start_, end - start_);
+  tracer_->push(*ring_, name_, start_, end - start_, ctx_);
 }
 
 }  // namespace protuner::obs

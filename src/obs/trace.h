@@ -15,6 +15,14 @@
 // wrap: the newest spans win, old ones are silently dropped — telemetry
 // never blocks or grows without bound.
 //
+// Cross-process correlation (DESIGN.md §15): a TraceContext pairs a trace
+// id (one tuning round, fleet-wide) with a span id (one timed region).
+// The context is thread-local; whoever knows which round the current work
+// belongs to (the round engine when it opens a round, the network client
+// when a fetch reply names its round) installs it, and every span recorded
+// underneath inherits the ids.  Merging the per-process JSON exports by
+// trace id then reconstructs the fleet-wide round timeline (trace_merge).
+//
 // Sampling: the OBS_TRACE environment variable configures the global
 // tracer.  Unset or 0 disables tracing; N >= 1 enables it and records one
 // span in N per thread (OBS_TRACE=1 records everything).
@@ -36,12 +44,42 @@
 
 namespace protuner::obs {
 
+/// Cross-process correlation ids.  trace_id 0 means "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  explicit operator bool() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context (zero when none installed).
+TraceContext current_trace_context();
+/// Installs `ctx` as the calling thread's context (zero ctx clears it).
+void set_current_trace_context(const TraceContext& ctx);
+
+/// RAII context installer: saves the previous context and restores it on
+/// scope exit, so nested rounds / nested client calls stack correctly.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx)
+      : prev_(current_trace_context()) {
+    set_current_trace_context(ctx);
+  }
+  ~ScopedTraceContext() { set_current_trace_context(prev_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 struct TraceSpan {
   /// Static-storage name (string literal by convention): the tracer stores
   /// the pointer, so it must outlive the tracer.
   const char* name = nullptr;
   std::uint64_t start_ns = 0;  ///< since the tracer's epoch
   std::uint64_t dur_ns = 0;
+  std::uint64_t trace_id = 0;  ///< cross-process correlation (0 = none)
+  std::uint64_t span_id = 0;
   std::uint32_t tid = 0;   ///< tracer-local thread id (1-based)
   std::uint16_t depth = 0; ///< nesting depth among *recorded* spans, 0 = top
 };
@@ -81,8 +119,11 @@ class Tracer {
   void clear();
 
   /// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
-  /// loadable in chrome://tracing and Perfetto.
-  void write_chrome_trace(std::ostream& out) const;
+  /// loadable in chrome://tracing and Perfetto.  Events are sorted by start
+  /// timestamp — ring wrap makes raw ring order non-monotonic, which
+  /// confuses trace viewers.  `pid` labels every event (one process per
+  /// exported file; trace_merge keeps them distinct when stitching).
+  void write_chrome_trace(std::ostream& out, std::uint32_t pid = 1) const;
 
   /// One thread's span storage.  Public only so the implementation's
   /// thread-local cache can name it; not part of the user-facing API.
@@ -102,7 +143,7 @@ class Tracer {
   /// first use and cached thread-locally afterwards.
   Ring& thread_ring();
   void push(Ring& ring, const char* name, std::uint64_t start_ns,
-            std::uint64_t dur_ns);
+            std::uint64_t dur_ns, const TraceContext& ctx);
 
   const std::uint64_t id_;  ///< distinguishes tracer instances in TLS cache
   std::atomic<bool> enabled_{false};
@@ -117,7 +158,9 @@ class Tracer {
 
 /// RAII span: times its own lifetime and records it into `tracer` on
 /// destruction.  Inert (one relaxed load) when the tracer is disabled or
-/// the sampler skips this span.
+/// the sampler skips this span.  The span inherits the thread's current
+/// TraceContext at construction; set_context() overrides it for callers
+/// that only learn the ids mid-span (a client parsing a traced reply).
 class ScopedSpan {
  public:
   ScopedSpan(Tracer& tracer, const char* name) {
@@ -133,6 +176,9 @@ class ScopedSpan {
   /// True when this span is actually being recorded (enabled + sampled).
   bool active() const { return ring_ != nullptr; }
 
+  /// Overrides the context this span will be recorded with.
+  void set_context(const TraceContext& ctx) { ctx_ = ctx; }
+
  private:
   void begin(Tracer& tracer, const char* name);
   void finish();
@@ -141,6 +187,7 @@ class ScopedSpan {
   Tracer::Ring* ring_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
+  TraceContext ctx_;
 };
 
 }  // namespace protuner::obs

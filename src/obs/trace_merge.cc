@@ -1,0 +1,292 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <ostream>
+
+namespace protuner::obs {
+
+namespace {
+
+// ------------------------------------------------------- minimal JSON reader
+// Event-free recursive descent over the RFC 8259 grammar.  The caller walks
+// the document with enter_object()/next_key()/... primitives; anything it
+// does not care about is skip()ped.  No DOM, no allocation beyond the
+// strings actually extracted.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool parse_string(std::string& out) {
+    out.clear();
+    skip_ws();
+    if (!consume('"')) return fail();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail();
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail();
+            // Exporter names are ASCII; non-ASCII escapes degrade to '?'.
+            const unsigned long cp =
+                std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                             nullptr, 16);
+            pos_ += 4;
+            out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+            break;
+          }
+          default: return fail();
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail();
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return fail();
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  /// Skips one complete value of any type.
+  bool skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      std::string scratch;
+      return parse_string(scratch);
+    }
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = open == '{' ? '}' : ']';
+      consume(open);
+      if (consume(close)) return true;
+      for (;;) {
+        if (open == '{') {
+          std::string key;
+          if (!parse_string(key) || !consume(':')) return fail();
+        }
+        if (!skip_value()) return false;
+        if (consume(',')) continue;
+        if (consume(close)) return true;
+        return fail();
+      }
+    }
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    double scratch = 0.0;
+    return parse_number(scratch);
+  }
+
+  bool literal(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) return fail();
+    pos_ += word.size();
+    return true;
+  }
+
+  bool fail() {
+    failed_ = true;
+    return false;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool parse_args(JsonCursor& c, MergedEvent& e) {
+  if (!c.consume('{')) return c.fail();
+  if (c.consume('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!c.parse_string(key) || !c.consume(':')) return c.fail();
+    if (key == "trace") {
+      if (!c.parse_string(e.trace_id)) return false;
+    } else if (key == "span") {
+      if (!c.parse_string(e.span_id)) return false;
+    } else if (!c.skip_value()) {
+      return false;
+    }
+    if (c.consume(',')) continue;
+    if (c.consume('}')) return true;
+    return c.fail();
+  }
+}
+
+bool parse_event(JsonCursor& c, MergedEvent& e, bool& is_complete) {
+  is_complete = false;
+  std::string ph;
+  if (!c.consume('{')) return c.fail();
+  if (c.consume('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!c.parse_string(key) || !c.consume(':')) return c.fail();
+    double num = 0.0;
+    if (key == "name") {
+      if (!c.parse_string(e.name)) return false;
+    } else if (key == "ph") {
+      if (!c.parse_string(ph)) return false;
+    } else if (key == "ts") {
+      if (!c.parse_number(e.ts_us)) return false;
+    } else if (key == "dur") {
+      if (!c.parse_number(e.dur_us)) return false;
+    } else if (key == "pid") {
+      if (!c.parse_number(num)) return false;
+      e.pid = static_cast<std::uint32_t>(num);
+    } else if (key == "tid") {
+      if (!c.parse_number(num)) return false;
+      e.tid = static_cast<std::uint32_t>(num);
+    } else if (key == "args") {
+      if (!parse_args(c, e)) return false;
+    } else if (!c.skip_value()) {
+      return false;
+    }
+    if (c.consume(',')) continue;
+    if (c.consume('}')) break;
+    return c.fail();
+  }
+  is_complete = ph == "X";
+  return true;
+}
+
+}  // namespace
+
+bool parse_chrome_trace(std::string_view json,
+                        std::vector<MergedEvent>& out) {
+  JsonCursor c(json);
+  if (!c.consume('{')) return false;
+  bool saw_events = false;
+  if (!c.consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!c.parse_string(key) || !c.consume(':')) return false;
+      if (key == "traceEvents") {
+        saw_events = true;
+        if (!c.consume('[')) return false;
+        if (!c.consume(']')) {
+          for (;;) {
+            MergedEvent e;
+            bool is_complete = false;
+            if (!parse_event(c, e, is_complete)) return false;
+            if (is_complete) out.push_back(std::move(e));
+            if (c.consume(',')) continue;
+            if (c.consume(']')) break;
+            return false;
+          }
+        }
+      } else if (!c.skip_value()) {
+        return false;
+      }
+      if (c.consume(',')) continue;
+      if (c.consume('}')) break;
+      return false;
+    }
+  }
+  return saw_events && !c.failed();
+}
+
+std::vector<MergedEvent> merge_traces(
+    const std::vector<std::vector<MergedEvent>>& inputs) {
+  std::vector<MergedEvent> out;
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (const MergedEvent& e : inputs[i]) {
+      out.push_back(e);
+      out.back().pid = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out << '\\' << ch;
+    } else if (c < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[c >> 4] << "0123456789abcdef"[c & 15];
+    } else {
+      out << ch;
+    }
+  }
+}
+
+}  // namespace
+
+void write_merged(std::ostream& out, const std::vector<MergedEvent>& events) {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const MergedEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    write_json_escaped(out, e.name);
+    out << "\",\"cat\":\"protuner\",\"ph\":\"X\",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us << ",\"pid\":" << e.pid
+        << ",\"tid\":" << e.tid << ",\"args\":{";
+    if (!e.trace_id.empty()) {
+      out << "\"trace\":\"";
+      write_json_escaped(out, e.trace_id);
+      out << "\",\"span\":\"";
+      write_json_escaped(out, e.span_id);
+      out << '"';
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace protuner::obs

@@ -1,0 +1,51 @@
+// Merging per-process Chrome trace exports into one fleet-wide timeline
+// (DESIGN.md §15).
+//
+// A distributed run produces one trace JSON per process (server + N
+// clients), each with its own pid and its own epoch-relative timestamps.
+// What makes them mergeable is the trace context the wire carries: every
+// span recorded under a round's TraceContext holds the same trace id on
+// every process, so a merged file groups the server's round span with the
+// client fetch/report spans it satisfied — the cross-process causal
+// correlation the straggler post-mortems need.
+//
+// The parser reads back exactly the exporter's dialect (a JSON object with
+// a "traceEvents" array of "X" events) but is defensively general: unknown
+// keys are skipped, and any structural error fails the parse rather than
+// crashing.  merge_traces() re-pids each input (file order, 1-based) so
+// processes stay distinct in the viewer and sorts the union by timestamp —
+// Perfetto and chrome://tracing both accept the result.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protuner::obs {
+
+/// One "X" (complete) event read back from a trace file.
+struct MergedEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  std::string trace_id;  ///< hex token from args.trace; empty when absent
+  std::string span_id;   ///< hex token from args.span
+};
+
+/// Parses one Chrome trace JSON document into `out` (appending).  Returns
+/// false on malformed JSON or a missing "traceEvents" array.
+bool parse_chrome_trace(std::string_view json, std::vector<MergedEvent>& out);
+
+/// Concatenates per-process event lists, overriding each input's pid with
+/// its 1-based index, and sorts the union by start timestamp.
+std::vector<MergedEvent> merge_traces(
+    const std::vector<std::vector<MergedEvent>>& inputs);
+
+/// Writes events back out as Chrome trace JSON (the exporter's dialect).
+void write_merged(std::ostream& out, const std::vector<MergedEvent>& events);
+
+}  // namespace protuner::obs

@@ -15,6 +15,8 @@
 
 #include "core/types.h"
 #include "net/frame.h"
+#include "net/stats_codec.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace protuner {
@@ -131,7 +133,7 @@ TEST(NetFrame, RejectsGarbageTypeVersionAndSessionOverrun) {
     bad[5] = 0;  // type below range
     EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
               DecodeStatus::kBadFrame);
-    bad[5] = 6;  // type above range
+    bad[5] = 7;  // type above the v2 range (6 is kStats, valid)
     EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
               DecodeStatus::kBadFrame);
   }
@@ -142,6 +144,169 @@ TEST(NetFrame, RejectsGarbageTypeVersionAndSessionOverrun) {
     EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
               DecodeStatus::kBadFrame);
   }
+}
+
+TEST(NetFrame, TraceTrailerRoundTripsOnEveryTracedEncoder) {
+  const net::WireTrace trace{0x1122334455667788ull, 0x99AABBCCDDEEFF00ull};
+  std::vector<std::uint8_t> buf;
+  net::append_simple(buf, MsgType::kFetch, 2, "t", net::kWireVersion, &trace);
+  net::append_report(buf, 3, {}, 1.5, net::kWireVersion, &trace);
+  core::Point cfg{2.0, 4.0};
+  net::append_config(buf, 4, cfg, net::kWireVersion, &trace);
+  net::append_simple(buf, MsgType::kDetach, 5, {});  // untraced control
+
+  std::size_t off = 0;
+  auto next = [&] {
+    const Decoded d = net::decode_frame({buf.data() + off, buf.size() - off});
+    EXPECT_EQ(d.status, DecodeStatus::kFrame);
+    off += d.consumed;
+    return d.frame;
+  };
+  for (int i = 0; i < 3; ++i) {
+    const net::Frame f = next();
+    EXPECT_EQ(f.version, 2);
+    ASSERT_TRUE(f.has_trace) << "frame " << i;
+    EXPECT_EQ(f.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(f.trace.span_id, trace.span_id);
+    if (f.type == MsgType::kReport) {
+      double time = 0.0;
+      ASSERT_TRUE(net::parse_f64_body(f.body, time));
+      EXPECT_DOUBLE_EQ(time, 1.5);  // the trailer is not part of the body
+    }
+    if (f.type == MsgType::kFetch && !f.body.empty()) {
+      core::Point decoded;
+      ASSERT_TRUE(net::parse_config_body(f.body, decoded));
+      EXPECT_EQ(decoded, cfg);
+    }
+  }
+  const net::Frame plain = next();
+  EXPECT_EQ(plain.type, MsgType::kDetach);
+  EXPECT_FALSE(plain.has_trace);
+  EXPECT_EQ(off, buf.size());
+
+  // Truncation with a trailer present still never errors mid-frame.
+  std::vector<std::uint8_t> one;
+  net::append_report(one, 1, "s", 2.0, net::kWireVersion, &trace);
+  for (std::size_t len = 0; len < one.size(); ++len) {
+    EXPECT_EQ(net::decode_frame({one.data(), len}).status,
+              DecodeStatus::kNeedMore);
+  }
+}
+
+TEST(NetFrame, Version1FramesStillDecodeWithoutTrailers) {
+  // A PR-9 peer's bytes: version 1, types 1..5, no trailer bit.
+  std::vector<std::uint8_t> buf;
+  net::append_simple(buf, MsgType::kAttach, 7, "legacy", 1);
+  net::append_report(buf, 7, {}, 3.25, 1);
+  std::size_t off = 0;
+  for (int i = 0; i < 2; ++i) {
+    const Decoded d = net::decode_frame({buf.data() + off, buf.size() - off});
+    ASSERT_EQ(d.status, DecodeStatus::kFrame);
+    EXPECT_EQ(d.frame.version, 1);
+    EXPECT_FALSE(d.frame.has_trace);
+    off += d.consumed;
+  }
+  EXPECT_EQ(off, buf.size());
+
+  // The encoders drop a trailer requested for a v1 frame (old peers would
+  // misparse it as body bytes), and v1 rejects both the trailer bit and
+  // the Stats type — they are v2 vocabulary.
+  const net::WireTrace trace{1, 2};
+  std::vector<std::uint8_t> v1traced;
+  net::append_simple(v1traced, MsgType::kFetch, 0, {}, 1, &trace);
+  const Decoded d = net::decode_frame({v1traced.data(), v1traced.size()});
+  ASSERT_EQ(d.status, DecodeStatus::kFrame);
+  EXPECT_FALSE(d.frame.has_trace);
+
+  std::vector<std::uint8_t> bad = attach_frame("abc", 1);
+  bad[4] = 1;             // version 1 ...
+  bad[5] = 0x80 | 2;      // ... may not set the trailer bit
+  EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+            DecodeStatus::kBadFrame);
+  bad = attach_frame("abc", 1);
+  bad[4] = 1;
+  bad[5] = 6;             // kStats does not exist in v1
+  EXPECT_EQ(net::decode_frame({bad.data(), bad.size()}).status,
+            DecodeStatus::kBadFrame);
+}
+
+TEST(NetFrame, StatsBodyRoundTripsThroughTheCodec) {
+  obs::RegistrySnapshot snap;
+  {
+    obs::Registry reg;
+    reg.counter("protuner_client_ops_total", "ops", {{"phase", "fetch"}})
+        .add(42);
+    reg.gauge("protuner_client_depth").set(-3);
+    obs::Histogram& h = reg.histogram("protuner_client_ns", "latency");
+    h.record(1000.0);
+    h.record(3e6);
+    snap = reg.snapshot();
+  }
+  std::vector<std::uint8_t> body;
+  net::encode_stats(body, snap);
+
+  // As a full kStats frame through the wire codec.
+  std::vector<std::uint8_t> buf;
+  net::append_frame(buf, MsgType::kStats, 5, "telemetry",
+                    {body.data(), body.size()});
+  const Decoded d = net::decode_frame({buf.data(), buf.size()});
+  ASSERT_EQ(d.status, DecodeStatus::kFrame);
+  EXPECT_EQ(d.frame.type, MsgType::kStats);
+
+  obs::RegistrySnapshot decoded;
+  ASSERT_TRUE(net::decode_stats(d.frame.body, decoded));
+  ASSERT_EQ(decoded.instruments.size(), snap.instruments.size());
+  const obs::InstrumentSnapshot* ops =
+      decoded.find("protuner_client_ops_total");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, 42.0);
+  ASSERT_EQ(ops->labels.size(), 1u);
+  EXPECT_EQ(ops->labels[0].first, "phase");
+  EXPECT_EQ(ops->labels[0].second, "fetch");
+  const obs::InstrumentSnapshot* lat = decoded.find("protuner_client_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, 2u);
+  EXPECT_DOUBLE_EQ(lat->hist.max, 3e6);
+
+  // The decoder is defensive: every truncation of a valid body fails
+  // cleanly instead of reading out of bounds or throwing.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    obs::RegistrySnapshot scratch;
+    EXPECT_FALSE(net::decode_stats({body.data(), len}, scratch))
+        << "truncated stats body of " << len << " bytes decoded";
+  }
+}
+
+TEST(NetFrame, StatsDeltaSubtractsCountersAndCarriesLevels) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("ops_total");
+  obs::Gauge& g = reg.gauge("depth");
+  obs::Histogram& h = reg.histogram("lat_ns");
+  c.add(10);
+  g.set(4);
+  h.record(100.0);
+  const obs::RegistrySnapshot first = reg.snapshot();
+  c.add(5);
+  g.set(2);
+  h.record(100.0);
+  h.record(900.0);
+  const obs::RegistrySnapshot second = reg.snapshot();
+
+  const obs::RegistrySnapshot delta = net::stats_delta(second, first);
+  const obs::InstrumentSnapshot* ops = delta.find("ops_total");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, 5.0) << "counters ship as deltas";
+  const obs::InstrumentSnapshot* depth = delta.find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value, 2.0) << "gauges ship as levels";
+  const obs::InstrumentSnapshot* lat = delta.find("lat_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, 2u) << "buckets ship as deltas";
+  EXPECT_DOUBLE_EQ(lat->hist.max, 900.0);
+
+  // A quiet period yields an empty delta — nothing to push.
+  const obs::RegistrySnapshot quiet = net::stats_delta(second, second);
+  EXPECT_TRUE(quiet.instruments.empty());
 }
 
 TEST(NetFrame, ReassemblesFramesAtEveryChunking) {

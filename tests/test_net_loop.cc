@@ -26,6 +26,7 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/net_server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace protuner {
@@ -274,6 +275,170 @@ TEST(NetLoop, WireTelemetryIsVisibleThroughObs) {
   EXPECT_NE(page.find("protuner_net_bytes_in_total"), std::string::npos);
   EXPECT_NE(page.find("protuner_net_fetch_wire_ns"), std::string::npos);
   EXPECT_NE(page.find("session=\"observed\""), std::string::npos);
+}
+
+TEST(NetLoop, Version1ClientInteroperatesWithTheV2Server) {
+  // A PR-9 peer: wire version 1, no trace trailers, no Stats push.  The v2
+  // server must speak v1 back to it for a complete attach → fetch → report
+  // → detach lifecycle.
+  LoopFixture fx;
+  auto hosted = fx.host("legacy", 2);
+  obs::Registry client_registry;
+  net::ClientOptions co = fx.client_options();
+  co.wire_version = 1;
+  co.metrics = &client_registry;
+  net::HarmonyClient old_client(co);
+  EXPECT_EQ(old_client.attach("legacy", 0), 2u);
+  net::HarmonyClient new_client(fx.client_options());
+  new_client.attach("legacy", 1);
+  Point cfg;
+  constexpr std::size_t kRounds = 10;
+  for (std::size_t k = 0; k < kRounds; ++k) {
+    old_client.fetch_into(0, cfg);
+    EXPECT_EQ(cfg, (Point{1.0, 2.0}));
+    new_client.fetch_into(1, cfg);
+    old_client.report(0, 1.0);
+    new_client.report(1, 2.0);
+  }
+  old_client.detach(0);  // v1: the detach ships no stats frame
+  new_client.detach(1);
+  EXPECT_EQ(hosted->rounds_completed(), kRounds);
+  EXPECT_EQ(fx.server->decode_errors(), 0u);
+  // Nothing was merged for the v1 client: no {client="0"} series appeared.
+  for (const obs::InstrumentSnapshot& inst : fx.registry.snapshot().instruments) {
+    for (const auto& [k, v] : inst.labels) {
+      EXPECT_FALSE(k == "client" && v == "0") << inst.name;
+    }
+  }
+}
+
+const obs::InstrumentSnapshot* find_with_client_label(
+    const obs::RegistrySnapshot& snap, std::string_view name,
+    std::string_view client) {
+  for (const obs::InstrumentSnapshot& inst : snap.instruments) {
+    if (inst.name != name) continue;
+    for (const auto& [k, v] : inst.labels) {
+      if (k == "client" && v == client) return &inst;
+    }
+  }
+  return nullptr;
+}
+
+TEST(NetLoop, ClientStatsPushMergesUnderTheClientLabel) {
+  LoopFixture fx;
+  fx.host("telemetry", 1);
+  obs::Registry client_registry;
+  obs::Counter& widgets =
+      client_registry.counter("loadgen_widgets_total", "app-side counter");
+  obs::Histogram& think =
+      client_registry.histogram("loadgen_think_ns", "app-side latency");
+  net::ClientOptions co = fx.client_options();
+  co.metrics = &client_registry;
+  co.stats_every_rounds = 2;  // push after every second report
+  net::HarmonyClient client(co);
+  client.attach("telemetry", 0);  // rank 0 names the series
+
+  widgets.add(7);
+  think.record(1000.0);
+  Point cfg;
+  for (int k = 0; k < 2; ++k) {
+    client.fetch_into(0, cfg);
+    client.report(0, 1.0);
+  }
+  // The periodic push is synchronous with the second report's ack.
+  const obs::RegistrySnapshot mid = fx.registry.snapshot();
+  const obs::InstrumentSnapshot* merged =
+      find_with_client_label(mid, "loadgen_widgets_total", "0");
+  ASSERT_NE(merged, nullptr) << "periodic push did not reach the server";
+  EXPECT_EQ(merged->value, 7.0);
+  const obs::InstrumentSnapshot* hist =
+      find_with_client_label(mid, "loadgen_think_ns", "0");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, 1u);
+  // The client's own wire histograms ride along, client-labelled.
+  EXPECT_NE(find_with_client_label(mid, "protuner_net_client_fetch_ns", "0"),
+            nullptr);
+
+  // More activity, then detach: the final delta accumulates on top.
+  widgets.add(3);
+  think.record(5000.0);
+  client.detach(0);
+  const obs::RegistrySnapshot after = fx.registry.snapshot();
+  merged = find_with_client_label(after, "loadgen_widgets_total", "0");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->value, 10.0) << "deltas must accumulate across pushes";
+  hist = find_with_client_label(after, "loadgen_think_ns", "0");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist->hist.max, 5000.0);
+}
+
+TEST(NetLoop, WatchdogStallDumpCapturesTheParkedFetchAndTheImpute) {
+  // The acceptance scenario for the flight recorder: a client dies holding
+  // a round open, the survivor's next fetch parks, the deadline imputes
+  // the dead rank, and when the fleet finally goes quiet the stall
+  // watchdog dumps a ring that still holds both edges.
+  obs::FlightRecorder flight(512);
+  net::NetServerOptions no;
+  no.stall_timeout = std::chrono::duration<double>(0.25);
+  no.flight = &flight;
+  LoopFixture fx(no);
+  harmony::ServerOptions so;
+  so.report_timeout = std::chrono::duration<double>(0.05);
+  so.straggler_policy = harmony::StragglerPolicy::kShrink;
+  so.flight = &flight;
+  auto hosted = fx.host("blackbox", 2, so);
+
+  // Rank 1 fetches its assignment and dies mid-round.
+  {
+    net::HarmonyClient doomed(fx.client_options());
+    doomed.attach("blackbox", 1);
+    Point cfg;
+    doomed.fetch_into(1, cfg);
+    doomed.close();
+  }
+
+  net::HarmonyClient client(fx.client_options());
+  client.attach("blackbox", 0);
+  Point cfg;
+  client.fetch_into(0, cfg);
+  client.report(0, 1.0);
+  // Round 0 still waits on the dead rank 1: this fetch parks until the
+  // deadline expires and imputes the straggler.
+  client.fetch_into(0, cfg);
+  // Now go silent while staying attached.  Rounds stop advancing; after
+  // stall_timeout the watchdog declares the session stalled and dumps.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fx.server->stall_dumps() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fx.server->stall_dumps(), 1u) << "watchdog never fired";
+
+  // The ring holds the whole post-mortem: the parked fetch, the deadline
+  // expiry, the imputation of the dead rank, and the stall declaration.
+  bool saw_park = false;
+  bool saw_impute_dead_rank = false;
+  bool saw_deadline = false;
+  bool saw_stall = false;
+  bool saw_fail = false;
+  for (const obs::FlightEvent& e : flight.snapshot()) {
+    const std::string_view kind = e.kind != nullptr ? e.kind : "";
+    saw_park |= kind == "fetch/park" && e.rank == 0;
+    saw_impute_dead_rank |= kind == "rank/impute" && e.rank == 1;
+    saw_deadline |= kind == "deadline/expire";
+    saw_stall |= kind == "stall/dump";
+    saw_fail |= kind == "session/fail";
+  }
+  EXPECT_TRUE(saw_park) << "parked fetch missing from the flight ring";
+  EXPECT_TRUE(saw_impute_dead_rank)
+      << "imputation of the dead rank missing from the flight ring";
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_fail) << "the fleet-wide silence must fail the session";
+  EXPECT_GE(hosted->rounds_completed(), 1u);
+  client.close();
 }
 
 TEST(NetLoop, SessionManagerSnapshotSeesNetAndSessionTelemetryTogether) {

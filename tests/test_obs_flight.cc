@@ -1,0 +1,173 @@
+// obs::FlightRecorder contract tests: ring-wrap retention (newest N
+// survive, recorded() keeps the true total), tag truncation into the
+// fixed-width slot, the human-readable dump, the async-signal-safe
+// request/consume handshake, and — with a counting global operator new,
+// the test_step_alloc pattern (this TU owns its executable) — proof that
+// record() never touches the heap once the ring exists.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace protuner {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightRecorder;
+
+TEST(FlightRecorder, RingWrapKeepsTheNewestEvents) {
+  FlightRecorder rec(8);
+  static const char* const kKinds[3] = {"round/open", "report", "round/close"};
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    rec.record(kKinds[i % 3], "sess", i, i / 3, static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are events 12..19, oldest first, timestamps monotone.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::uint32_t n = static_cast<std::uint32_t>(12 + i);
+    EXPECT_EQ(events[i].rank, n);
+    EXPECT_STREQ(events[i].kind, kKinds[n % 3]);
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(n));
+    if (i > 0) EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+  rec.clear();
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorder, SessionTagIsCopiedAndTruncated) {
+  FlightRecorder rec(4);
+  rec.record("round/open", "short");
+  const std::string long_name(64, 'x');
+  rec.record("round/open", long_name);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].tag, "short");
+  // The tag slot is fixed-width with a guaranteed NUL.
+  const std::string tag = events[1].tag;
+  EXPECT_LT(tag.size(), sizeof(events[1].tag));
+  EXPECT_EQ(tag, long_name.substr(0, tag.size()));
+}
+
+TEST(FlightRecorder, DumpRendersATimeline) {
+  FlightRecorder rec(16);
+  rec.record("fetch/park", "dumped", 3, 7);
+  rec.record("rank/impute", "dumped", 1, 7, 2.5);
+  std::ostringstream out;
+  rec.dump(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("fetch/park"), std::string::npos) << text;
+  EXPECT_NE(text.find("rank/impute"), std::string::npos);
+  EXPECT_NE(text.find("dumped"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpRequestHandshakeFiresExactlyOnce) {
+  FlightRecorder rec(4);
+  EXPECT_FALSE(rec.consume_dump_request());
+  rec.request_dump();
+  rec.request_dump();  // coalesces: still one pending dump
+  EXPECT_TRUE(rec.consume_dump_request());
+  EXPECT_FALSE(rec.consume_dump_request());
+}
+
+TEST(FlightRecorder, Sigusr1RequestsADumpOnTheGlobalRecorder) {
+  FlightRecorder::install_sigusr1_handler();
+  (void)FlightRecorder::global().consume_dump_request();  // drain leftovers
+  ASSERT_EQ(::raise(SIGUSR1), 0);
+  EXPECT_TRUE(FlightRecorder::global().consume_dump_request());
+  EXPECT_FALSE(FlightRecorder::global().consume_dump_request());
+}
+
+TEST(FlightRecorder, RecordIsAllocationFree) {
+  FlightRecorder rec(128);
+  rec.record("warm", "warm");  // nothing to warm, but symmetry is cheap
+  const std::size_t before = allocation_count();
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    rec.record("round/close", "alloc-free-session-name", i, i,
+               static_cast<double>(i));
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "flight-recorder record() touched the heap";
+  EXPECT_EQ(rec.recorded(), 10001u);
+}
+
+TEST(FlightRecorder, ConcurrentRecordAndSnapshotStayConsistent) {
+  FlightRecorder rec(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&rec, &stop] {
+    std::uint32_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      rec.record("round/open", "hammer", i++, i);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<FlightEvent> events = rec.snapshot();
+    EXPECT_LE(events.size(), 64u);
+    for (std::size_t k = 1; k < events.size(); ++k) {
+      EXPECT_GE(events[k].ts_ns, events[k - 1].ts_ns);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace protuner

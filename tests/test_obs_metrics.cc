@@ -212,6 +212,213 @@ TEST(RegistryContract, PrometheusRenderIsWellFormed) {
       << "no mean under heavy tails, so no _sum series";
 }
 
+TEST(RegistryMerge, MergeFromAccumulatesUnderExtraLabels) {
+  // The server half of the fleet telemetry push: deltas from client
+  // registries land in the serving registry under {client="<rank>"}.
+  Registry sender;
+  sender.counter("ops_total", "pushed ops").add(5);
+  sender.gauge("depth").set(3);
+  obs::Histogram& h = sender.histogram("lat_ns", "pushed latency");
+  h.record(100.0);
+  h.record(7000.0);
+  const obs::RegistrySnapshot delta = sender.snapshot();
+
+  Registry receiver;
+  receiver.merge_from(delta, {{"client", "3"}});
+  receiver.merge_from(delta, {{"client", "3"}});  // a second identical push
+  receiver.merge_from(delta, {{"client", "9"}});  // a different sender
+
+  const obs::RegistrySnapshot merged = receiver.snapshot();
+  std::uint64_t series = 0;
+  for (const InstrumentSnapshot& inst : merged.instruments) {
+    bool client3 = false;
+    bool client9 = false;
+    for (const auto& [k, v] : inst.labels) {
+      client3 |= k == "client" && v == "3";
+      client9 |= k == "client" && v == "9";
+    }
+    ASSERT_TRUE(client3 || client9) << inst.name << " lost the push label";
+    ++series;
+    if (inst.name == "ops_total") {
+      // Counters accumulate across pushes; senders ship deltas.
+      EXPECT_EQ(inst.value, client3 ? 10.0 : 5.0);
+      EXPECT_EQ(inst.help, "pushed ops") << "help text must survive the wire";
+    }
+    if (inst.name == "depth") {
+      EXPECT_EQ(inst.value, 3.0) << "gauges take the incoming level";
+    }
+    if (inst.name == "lat_ns") {
+      EXPECT_EQ(inst.hist.count, client3 ? 4u : 2u);
+      EXPECT_DOUBLE_EQ(inst.hist.max, 7000.0);
+    }
+  }
+  EXPECT_EQ(series, 6u) << "three instruments x two senders";
+}
+
+TEST(RegistryMerge, MergeIsCommutativeAndTakesMaxOfMax) {
+  Registry a_src;
+  a_src.histogram("lat").record(100.0);
+  a_src.counter("n").add(2);
+  Registry b_src;
+  obs::Histogram& bh = b_src.histogram("lat");
+  bh.record(900.0);
+  bh.record(900.0);
+  b_src.counter("n").add(5);
+  const obs::RegistrySnapshot a = a_src.snapshot();
+  const obs::RegistrySnapshot b = b_src.snapshot();
+
+  Registry ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  Registry ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+  for (const Registry* r : {&ab, &ba}) {
+    const obs::RegistrySnapshot snap = r->snapshot();
+    const InstrumentSnapshot* lat = snap.find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->hist.count, 3u);
+    EXPECT_DOUBLE_EQ(lat->hist.max, 900.0) << "max-of-max, not last-wins";
+    EXPECT_EQ(snap.find("n")->value, 7.0);
+  }
+}
+
+TEST(RegistryMerge, ReMergingAMergedSeriesNeverMintsNewIdentities) {
+  // The echo-loop guard: a pusher that snapshots a registry it is merged
+  // into (one process playing both ends, as the loadgen's loopback mode
+  // does) re-ships already-merged {client=...} series.  Re-merging those
+  // under another client label must fold into the existing series — never
+  // append a second `client` key, which would grow the registry by the
+  // size of everything previously merged, on every push.
+  Registry server;
+  Registry client0;
+  client0.counter("pushed_total").add(3);
+  server.merge_from(client0.snapshot(), {{"client", "0"}});
+
+  // The echo: a snapshot of the server itself, pushed back as client 1.
+  const obs::RegistrySnapshot echo = server.snapshot();
+  server.merge_from(echo, {{"client", "1"}});
+  server.merge_from(server.snapshot(), {{"client", "1"}});
+
+  const obs::RegistrySnapshot snap = server.snapshot();
+  std::size_t series = 0;
+  for (const InstrumentSnapshot& s : snap.instruments) {
+    if (s.name != "pushed_total") continue;
+    ++series;
+    std::size_t client_keys = 0;
+    for (const auto& [k, v] : s.labels) client_keys += k == "client";
+    EXPECT_EQ(client_keys, 1u) << "a series must carry one client label";
+  }
+  EXPECT_EQ(series, 1u) << "echoed merges must fold, not mint";
+}
+
+TEST(RegistryMerge, KindMismatchWithALocalInstrumentThrows) {
+  Registry receiver;
+  receiver.counter("clash", "", {{"client", "1"}}).add(1);
+  Registry sender;
+  sender.histogram("clash").record(1.0);
+  EXPECT_THROW(receiver.merge_from(sender.snapshot(), {{"client", "1"}}),
+               std::logic_error);
+}
+
+TEST(RegistryConcurrency, MergeWhileRecordingKeepsExactTotals) {
+  // The tier1-tsan companion to the snapshot hammer: remote pushes merge
+  // into the registry while local threads record into the same instruments
+  // (same name, no client label — distinct series; and the same series via
+  // an empty label merge).  After the join every add is accounted for.
+  const int threads = static_cast<int>(util::env_long("REPRO_THREADS", 4));
+  constexpr int kPerThread = 10000;
+  constexpr int kMerges = 200;
+  Registry reg;
+  obs::Counter& local = reg.counter("mixed_total");
+  obs::Histogram& lat = reg.histogram("mixed_ns");
+  Registry sender;
+  sender.counter("mixed_total").add(1);
+  sender.histogram("mixed_ns").record(50.0);
+  const obs::RegistrySnapshot push = sender.snapshot();
+
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    writers.emplace_back([&local, &lat] {
+      for (int i = 0; i < kPerThread; ++i) {
+        local.add();
+        lat.record(1000.0);
+      }
+    });
+  }
+  for (int m = 0; m < kMerges; ++m) {
+    reg.merge_from(push);  // merges into the very series being recorded
+    (void)reg.snapshot();
+  }
+  for (auto& w : writers) w.join();
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("mixed_total")->value,
+            static_cast<double>(threads) * kPerThread + kMerges);
+  EXPECT_EQ(snap.find("mixed_ns")->hist.count,
+            static_cast<std::uint64_t>(threads) * kPerThread + kMerges);
+}
+
+TEST(RegistryContract, PrometheusEscapesLabelValuesAndHelp) {
+  // Label values may carry anything a session name (or a pushed client
+  // label) does: backslashes, quotes, newlines.  The exposition format
+  // requires \\, \" and \n — an unescaped newline truncates the series and
+  // the scraper drops the rest of the page.
+  Registry reg;
+  reg.counter("protuner_esc_total", "", {{"session", "a\\b\"c\nd"}}).add(1);
+  reg.gauge("protuner_esc_gauge", "line one\nline \\two").set(5);
+  std::ostringstream out;
+  obs::render_prometheus(out, reg.snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("protuner_esc_total{session=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP protuner_esc_gauge line one\\nline \\\\two"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside any line: every line is complete.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(RegistryContract, PrometheusEmitsHelpAndTypeOncePerFamily) {
+  // Client-labelled series multiply the label sets per family; the HELP and
+  // TYPE headers must still appear exactly once each, before the family's
+  // first sample.
+  Registry reg;
+  reg.counter("protuner_family_total", "one family").add(1);
+  reg.counter("protuner_family_total", "one family", {{"client", "1"}})
+      .add(2);
+  reg.counter("protuner_family_total", "one family", {{"client", "2"}})
+      .add(3);
+  reg.histogram("protuner_family_ns", "latencies").record(10.0);
+  reg.histogram("protuner_family_ns", "latencies", {{"client", "1"}})
+      .record(20.0);
+  std::ostringstream out;
+  obs::render_prometheus(out, reg.snapshot());
+  const std::string text = out.str();
+  const auto count_of = [&text](const std::string& needle) {
+    int n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# TYPE protuner_family_total counter"), 1);
+  EXPECT_EQ(count_of("# HELP protuner_family_total"), 1);
+  EXPECT_EQ(count_of("# TYPE protuner_family_ns summary"), 1);
+  EXPECT_EQ(count_of("# HELP protuner_family_ns"), 1);
+  EXPECT_EQ(count_of("protuner_family_total{client=\"1\"} 2"), 1);
+  EXPECT_EQ(count_of("protuner_family_total{client=\"2\"} 3"), 1);
+}
+
 TEST(RegistryConcurrency, SnapshotWhileRecordingIsRaceFreeAndExact) {
   // REPRO_THREADS writers hammer one counter and one histogram while the
   // main thread snapshots continuously; after the join, totals are exact.

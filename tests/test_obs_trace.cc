@@ -13,12 +13,14 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/simulated_cluster.h"
 #include "core/fixed.h"
 #include "core/round_engine.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "varmodel/simple_noise.h"
 
 namespace {
@@ -290,6 +292,111 @@ TEST(Tracing, SamplerRecordsOneInN) {
     const ScopedSpan span(tracer, "sampled");
   }
   EXPECT_EQ(tracer.snapshot().size(), 3u);
+}
+
+TEST(Tracing, TraceContextInstallsInheritsAndRestores) {
+  using obs::ScopedTraceContext;
+  using obs::TraceContext;
+  EXPECT_FALSE(obs::current_trace_context());
+  Tracer tracer;
+  tracer.configure(true, 1);
+  {
+    const ScopedTraceContext outer(TraceContext{0xAB, 0x11});
+    EXPECT_EQ(obs::current_trace_context().trace_id, 0xABu);
+    { const ScopedSpan inherits(tracer, "inherits"); }
+    {
+      // Nested contexts stack: the inner round wins, then pops cleanly.
+      const ScopedTraceContext inner(TraceContext{0xCD, 0x22});
+      EXPECT_EQ(obs::current_trace_context().trace_id, 0xCDu);
+      { const ScopedSpan nested(tracer, "nested"); }
+    }
+    EXPECT_EQ(obs::current_trace_context().trace_id, 0xABu);
+    {
+      // A client that learns the ids mid-span overrides its capture.
+      ScopedSpan overridden(tracer, "overridden");
+      ASSERT_TRUE(overridden.active());
+      overridden.set_context(TraceContext{0xEF, 0x33});
+    }
+  }
+  EXPECT_FALSE(obs::current_trace_context()) << "context leaked past scope";
+
+  const std::vector<TraceSpan> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans_named(spans, "inherits").at(0).trace_id, 0xABu);
+  EXPECT_EQ(spans_named(spans, "inherits").at(0).span_id, 0x11u);
+  EXPECT_EQ(spans_named(spans, "nested").at(0).trace_id, 0xCDu);
+  EXPECT_EQ(spans_named(spans, "overridden").at(0).trace_id, 0xEFu);
+  EXPECT_EQ(spans_named(spans, "overridden").at(0).span_id, 0x33u);
+}
+
+TEST(Tracing, ContextIdsSurviveTheJsonExportAsHexTokens) {
+  Tracer tracer;
+  tracer.configure(true, 1);
+  {
+    const obs::ScopedTraceContext ctx(
+        obs::TraceContext{0x00AB00CD00EF0012ull, 0x34u});
+    const ScopedSpan span(tracer, "traced");
+  }
+  { const ScopedSpan plain(tracer, "plain"); }
+  std::ostringstream out;
+  tracer.write_chrome_trace(out, 7);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonReader(text).parse()) << text;
+  EXPECT_NE(text.find("\"trace\":\"00ab00cd00ef0012\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"span\":\"0000000000000034\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":7"), std::string::npos);
+  // The untraced span carries no correlation args at all.
+  std::vector<obs::MergedEvent> events;
+  ASSERT_TRUE(obs::parse_chrome_trace(text, events));
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_traced = false;
+  bool saw_plain = false;
+  for (const obs::MergedEvent& e : events) {
+    if (e.name == "traced") {
+      saw_traced = true;
+      EXPECT_EQ(e.trace_id, "00ab00cd00ef0012");
+      EXPECT_EQ(e.span_id, "0000000000000034");
+    }
+    if (e.name == "plain") {
+      saw_plain = true;
+      EXPECT_TRUE(e.trace_id.empty());
+    }
+  }
+  EXPECT_TRUE(saw_traced);
+  EXPECT_TRUE(saw_plain);
+}
+
+TEST(Tracing, ExportAfterRingWrapIsTimeSortedAndParseable) {
+  // Regression: ring wrap makes raw ring order non-monotonic (the slot
+  // after the newest span holds the oldest survivor), and multiple thread
+  // rings interleave arbitrarily.  The exporter must sort by timestamp or
+  // trace viewers render garbage.
+  Tracer tracer;
+  tracer.configure(true, 1, 8);  // tiny ring: 24 spans per thread wrap it 3x
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 24; ++i) {
+        const ScopedSpan span(tracer, "wrapped");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(tracer.snapshot().size(), 16u);  // both rings full
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonReader(text).parse()) << text;
+
+  std::vector<obs::MergedEvent> events;
+  ASSERT_TRUE(obs::parse_chrome_trace(text, events));
+  ASSERT_EQ(events.size(), 16u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us)
+        << "export not time-sorted at event " << i;
+  }
 }
 
 TEST(Tracing, RingWrapKeepsTheNewestSpans) {

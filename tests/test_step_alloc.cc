@@ -33,6 +33,7 @@
 #include "harmony/session_manager.h"
 #include "net/client.h"
 #include "net/net_server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "varmodel/pareto_noise.h"
@@ -185,10 +186,12 @@ TEST(StepAllocation, ServingFetchReportPathIsAllocationFree) {
   // must never touch the heap.  This is what lets the sharded server run
   // at memory-bandwidth speeds instead of malloc-lock speeds under load.
   obs::Registry registry;
+  obs::FlightRecorder flight(1024);  // armed: every round records two events
   harmony::ServerOptions so;
   so.metrics = &registry;
   so.record_series = false;  // the cost series grows by design
   so.session = "alloc-serving";
+  so.flight = &flight;
   harmony::Server server(std::make_unique<FixedStrategy>(Point{1.0, 2.0}),
                          16, so);
   Point scratch;
@@ -199,6 +202,7 @@ TEST(StepAllocation, ServingFetchReportPathIsAllocationFree) {
     }
   }
   const std::size_t before = allocation_count();
+  const std::uint64_t flight_before = flight.recorded();
   for (int k = 0; k < 200; ++k) {
     for (std::size_t r = 0; r < 16; ++r) {
       server.fetch_into(r, scratch);
@@ -207,6 +211,8 @@ TEST(StepAllocation, ServingFetchReportPathIsAllocationFree) {
   }
   EXPECT_EQ(allocation_count(), before)
       << "steady-state fetch/report allocated on the heap";
+  EXPECT_GE(flight.recorded() - flight_before, 400u)
+      << "the flight recorder was not actually recording round events";
   EXPECT_EQ(server.rounds_completed(), 205u);
 }
 
@@ -218,15 +224,18 @@ TEST(StepAllocation, NetServingFetchReportPathIsAllocationFree) {
   // instruments are warm, a fetch/report round trip must never touch the
   // heap on either side.
   obs::Registry registry;
+  obs::FlightRecorder flight(1024);  // armed on both the session and the loop
   harmony::SessionManager manager;
   harmony::ServerOptions so;
   so.metrics = &registry;
   so.record_series = false;
   so.session = "alloc-net";
+  so.flight = &flight;
   auto hosted = manager.create(
       "alloc-net", std::make_unique<FixedStrategy>(Point{1.0, 2.0}), 4, so);
   net::NetServerOptions no;
   no.metrics = &registry;
+  no.flight = &flight;
   no.poll_interval = std::chrono::milliseconds(1);
   net::NetServer net(manager, no);
   std::thread loop([&net] { net.run(); });
