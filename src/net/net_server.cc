@@ -478,7 +478,34 @@ void NetServer::handle_stats(Connection* c, const Frame& f) {
     error_close(c, "stats: malformed body");
     return;
   }
-  registry_.merge_from(snap, {{"client", std::to_string(f.rank)}});
+  SessionEntry& e = sessions_[static_cast<std::size_t>(c->entry)];
+  const std::size_t budget = options_.max_stats_series > c->stats_series
+                                 ? options_.max_stats_series - c->stats_series
+                                 : 0;
+  obs::Registry::MergeResult merged;
+  try {
+    merged = registry_.merge_from(
+        snap, {{"client", std::to_string(f.rank)}}, budget);
+  } catch (const std::exception& ex) {
+    // A kind collision with an already-registered instrument throws; like
+    // every other client misbehaviour it costs the one connection, never
+    // the loop (an escaped exception here would std::terminate the server).
+    obs_decode_errors_.add();
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    flight_.record("error/decode", std::string_view(e.name));
+    error_close(c, ex.what());
+    return;
+  }
+  c->stats_series += merged.created;
+  if (merged.dropped != 0) {
+    // Rejected instruments (hostile identifier or value, or series past
+    // this connection's minting cap) are treated like a malformed body.
+    obs_decode_errors_.add();
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    flight_.record("error/decode", std::string_view(e.name));
+    error_close(c, "stats: push rejected (bad instrument or series cap)");
+    return;
+  }
   append_simple(c->out, MsgType::kStats, f.rank, {}, c->peer_version);
 }
 
@@ -754,6 +781,7 @@ void NetServer::destroy_pending() {
     auto owned = std::move(conns_[static_cast<std::size_t>(c->fd)]);
     c->fd = -1;
     c->entry = -1;
+    c->stats_series = 0;
     c->closed = false;
     c->draining = false;
     c->want_write = false;

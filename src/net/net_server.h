@@ -89,6 +89,13 @@ struct NetServerOptions {
   /// Flight recorder the loop's control-plane events land in; null means
   /// obs::FlightRecorder::global() (which SIGUSR1 dumps target).
   obs::FlightRecorder* flight = nullptr;
+  /// Cap on the number of distinct registry series one connection may
+  /// create via Stats pushes — the series-churn counterpart of max_frame:
+  /// without it a buggy or adversarial client minting unique metric
+  /// names/label sets grows server memory (and the /metrics page) without
+  /// bound.  Merging into existing series is never limited; a push that
+  /// would exceed the cap is rejected and the connection closed.
+  std::size_t max_stats_series = 256;
 };
 
 class NetServer {
@@ -169,6 +176,7 @@ class NetServer {
     std::uint8_t mode = kModeUnknown;        ///< frames vs HTTP demux
     std::uint8_t peer_version = kWireVersion;  ///< replies match the peer
     int entry = -1;             ///< index into sessions_ once attached
+    std::size_t stats_series = 0;  ///< registry series minted by its pushes
     std::vector<std::uint8_t> in;
     std::size_t in_used = 0;
     std::vector<std::uint8_t> out;

@@ -111,7 +111,13 @@ bool decode_stats(std::span<const std::uint8_t> body,
     std::uint8_t kind = 0;
     if (!r.read_u8(kind) || kind > 2) return false;
     s.kind = static_cast<obs::InstrumentKind>(kind);
-    if (!r.read_string(s.name) || s.name.empty()) return false;
+    // Names and label keys are written verbatim into the Prometheus text
+    // exposition: restricting them to the identifier charset here keeps a
+    // hostile push from injecting fake series lines (label *values* are
+    // escaped at render time and stay free-form).
+    if (!r.read_string(s.name) || !obs::is_valid_metric_name(s.name)) {
+      return false;
+    }
     if (!r.read_string(s.help)) return false;
     std::uint8_t labels = 0;
     if (!r.read_u8(labels)) return false;
@@ -119,6 +125,7 @@ bool decode_stats(std::span<const std::uint8_t> body,
     for (std::uint8_t l = 0; l < labels; ++l) {
       std::string k, v;
       if (!r.read_string(k) || !r.read_string(v)) return false;
+      if (!obs::is_valid_label_key(k)) return false;
       s.labels.emplace_back(std::move(k), std::move(v));
     }
     switch (s.kind) {
@@ -131,11 +138,17 @@ bool decode_stats(std::span<const std::uint8_t> body,
         if (!r.read_u32(nonzero)) return false;
         if (nonzero > obs::Histogram::kBucketCount) return false;
         s.hist.counts.assign(obs::Histogram::kBucketCount, 0);
+        // The encoder walks buckets in order, so indices are strictly
+        // increasing; enforcing that rejects duplicates, which would leave
+        // count (accumulated per entry) inconsistent with the bucket sum.
+        int prev = -1;
         for (std::uint32_t b = 0; b < nonzero; ++b) {
           std::uint16_t idx = 0;
           std::uint64_t c = 0;
           if (!r.read_u16(idx) || !r.read_u64(c)) return false;
           if (idx >= obs::Histogram::kBucketCount) return false;
+          if (static_cast<int>(idx) <= prev) return false;
+          prev = static_cast<int>(idx);
           s.hist.counts[idx] = c;
           s.hist.count += c;
         }

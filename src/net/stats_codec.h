@@ -19,7 +19,11 @@
 // push; max and gauges as current levels) so the receiving
 // obs::Registry::merge_from accumulates correctly across repeated pushes.
 // The decoder is defensive — it faces network bytes — and rejects any
-// truncation or overrun without throwing.
+// truncation or overrun without throwing.  It also rejects instrument
+// names and label keys outside the Prometheus identifier charset (they
+// would be rendered verbatim into the /metrics exposition) and histogram
+// entries whose bucket indices are not strictly increasing (a duplicate
+// would desynchronize count from the bucket sum).
 #pragma once
 
 #include <cstdint>

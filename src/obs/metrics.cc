@@ -158,10 +158,12 @@ Registry& Registry::global() {
   return *g;
 }
 
-Registry::Entry& Registry::find_or_create(InstrumentKind kind,
+Registry::Entry* Registry::find_or_create(InstrumentKind kind,
                                           std::string_view name,
                                           std::string_view help,
-                                          Labels labels) {
+                                          Labels labels, bool allow_create,
+                                          bool* created) {
+  if (created != nullptr) *created = false;
   const std::scoped_lock lock(mutex_);
   for (const auto& e : entries_) {
     if (e->name == name && e->labels == labels) {
@@ -170,9 +172,11 @@ Registry::Entry& Registry::find_or_create(InstrumentKind kind,
                                std::string(name) +
                                "' already registered with a different kind");
       }
-      return *e;
+      return e.get();
     }
   }
+  if (!allow_create) return nullptr;
+  if (created != nullptr) *created = true;
   auto e = std::make_unique<Entry>();
   e->kind = kind;
   e->name = std::string(name);
@@ -190,28 +194,28 @@ Registry::Entry& Registry::find_or_create(InstrumentKind kind,
       break;
   }
   entries_.push_back(std::move(e));
-  return *entries_.back();
+  return entries_.back().get();
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help,
                            Labels labels) {
   return *find_or_create(InstrumentKind::kCounter, name, help,
                          std::move(labels))
-              .counter;
+              ->counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help,
                        Labels labels) {
   return *find_or_create(InstrumentKind::kGauge, name, help,
                          std::move(labels))
-              .gauge;
+              ->gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                Labels labels) {
   return *find_or_create(InstrumentKind::kHistogram, name, help,
                          std::move(labels))
-              .histogram;
+              ->histogram;
 }
 
 std::size_t Registry::size() const {
@@ -281,9 +285,44 @@ RegistrySnapshot Registry::snapshot(std::string_view key,
   return out;
 }
 
-void Registry::merge_from(const RegistrySnapshot& snap,
-                          const Labels& extra_labels) {
+Registry::MergeResult Registry::merge_from(const RegistrySnapshot& snap,
+                                           const Labels& extra_labels,
+                                           std::size_t max_new_series) {
+  // Exact double thresholds for the integer casts below: 2^64 and 2^63.
+  constexpr double kCounterLimit = 18446744073709551616.0;
+  constexpr double kGaugeLimit = 9223372036854775808.0;
+  MergeResult res;
   for (const InstrumentSnapshot& s : snap.instruments) {
+    // Snapshots arrive off the wire: a name or label key outside the
+    // Prometheus identifier charset would be rendered verbatim into the
+    // /metrics exposition (injecting fake lines), and a hostile double
+    // would hit an out-of-range integer cast (UB).  Validate before any
+    // series is resolved so a rejected instrument cannot mint one.
+    bool ident_ok = is_valid_metric_name(s.name);
+    for (const auto& [k, v] : s.labels) {
+      ident_ok = ident_ok && is_valid_label_key(k);
+    }
+    if (!ident_ok) {
+      ++res.dropped;
+      continue;
+    }
+    std::int64_t gauge_level = 0;
+    if (s.kind == InstrumentKind::kCounter &&
+        (!(s.value >= 0.0) || s.value >= kCounterLimit)) {
+      ++res.dropped;  // NaN, negative, or beyond uint64: the cast is UB
+      continue;
+    }
+    if (s.kind == InstrumentKind::kGauge) {
+      if (std::isnan(s.value)) {
+        ++res.dropped;
+        continue;
+      }
+      gauge_level = s.value >= kGaugeLimit
+                        ? std::numeric_limits<std::int64_t>::max()
+                    : s.value < -kGaugeLimit
+                        ? std::numeric_limits<std::int64_t>::min()
+                        : static_cast<std::int64_t>(s.value);
+    }
     Labels labels = s.labels;
     // Never stack a duplicate key: a series that already carries one of the
     // extra labels (it was itself merged from a push once) keeps its
@@ -295,20 +334,63 @@ void Registry::merge_from(const RegistrySnapshot& snap,
       for (const auto& have : labels) present = present || have.first == key;
       if (!present) labels.emplace_back(key, value);
     }
+    bool created = false;
+    Entry* e = find_or_create(s.kind, s.name, s.help, std::move(labels),
+                              res.created < max_new_series, &created);
+    if (e == nullptr) {
+      ++res.dropped;  // would mint a series past the caller's budget
+      continue;
+    }
+    res.created += created ? 1 : 0;
     switch (s.kind) {
       case InstrumentKind::kCounter:
-        counter(s.name, s.help, std::move(labels))
-            .add(static_cast<std::uint64_t>(s.value));
+        e->counter->add(static_cast<std::uint64_t>(s.value));
         break;
       case InstrumentKind::kGauge:
-        gauge(s.name, s.help, std::move(labels))
-            .set(static_cast<std::int64_t>(s.value));
+        e->gauge->set(gauge_level);
         break;
       case InstrumentKind::kHistogram:
-        histogram(s.name, s.help, std::move(labels)).merge(s.hist);
+        if (std::isfinite(s.hist.max)) {
+          e->histogram->merge(s.hist);
+        } else {
+          // A pushed +inf max would win every CAS-max forever; keep the
+          // bucket counts and let the real observed maxima stand.
+          HistogramSnapshot clean = s.hist;
+          clean.max = 0.0;
+          e->histogram->merge(clean);
+        }
         break;
     }
+    ++res.merged;
   }
+  return res;
+}
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':') {
+      continue;
+    }
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+bool is_valid_label_key(std::string_view key) {
+  if (key.empty()) return false;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const char c = key[i];
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      continue;
+    }
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
 }
 
 const InstrumentSnapshot* RegistrySnapshot::find(

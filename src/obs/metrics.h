@@ -198,6 +198,14 @@ class Registry {
   RegistrySnapshot snapshot(std::string_view key,
                             std::string_view value) const;
 
+  /// Outcome of one merge_from call: how many instruments folded in, how
+  /// many new series the call minted, and how many it refused.
+  struct MergeResult {
+    std::size_t merged = 0;   ///< instruments folded into the registry
+    std::size_t created = 0;  ///< series newly created by this call
+    std::size_t dropped = 0;  ///< rejected: bad identifier/value, or budget
+  };
+
   /// Folds another registry's snapshot into this one — the server-side half
   /// of the client telemetry push (DESIGN.md §15).  Each incoming instrument
   /// is resolved (created on first sight) under its own labels plus
@@ -210,8 +218,19 @@ class Registry {
   /// a registry it is merged into).  Merging is associative and commutative
   /// across senders and safe concurrently with local recording.  A kind
   /// mismatch with an already-registered instrument throws std::logic_error.
-  void merge_from(const RegistrySnapshot& snap,
-                  const Labels& extra_labels = {});
+  ///
+  /// Snapshots may arrive off the wire, so nothing in one is trusted:
+  /// an instrument whose name or label keys fall outside the Prometheus
+  /// identifier charset is dropped (it would be emitted verbatim by
+  /// render_prometheus), a counter delta that is NaN, negative, or beyond
+  /// uint64 range is dropped (the cast would be UB), a gauge level is
+  /// clamped into int64 range (NaN dropped), and a non-finite histogram max
+  /// is ignored.  `max_new_series` bounds how many series this one call may
+  /// create — merging into existing series is never limited; an instrument
+  /// that would mint a series past the budget counts as dropped.
+  MergeResult merge_from(const RegistrySnapshot& snap,
+                         const Labels& extra_labels = {},
+                         std::size_t max_new_series = SIZE_MAX);
 
  private:
   struct Entry {
@@ -224,14 +243,27 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& find_or_create(InstrumentKind kind, std::string_view name,
-                        std::string_view help, Labels labels);
+  /// Resolves (name, labels) to its entry.  With `allow_create` false a
+  /// missing entry returns nullptr instead of being minted; `created`
+  /// (optional) reports whether this call registered the entry.
+  Entry* find_or_create(InstrumentKind kind, std::string_view name,
+                        std::string_view help, Labels labels,
+                        bool allow_create = true, bool* created = nullptr);
   InstrumentSnapshot snapshot_entry(const Entry& e) const;
   std::vector<const Entry*> collect_entries() const;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;  ///< pointer-stable storage
 };
+
+/// True when `name` matches the Prometheus metric-name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.  Anything else written verbatim into the text
+/// exposition (spaces, quotes, newlines) corrupts it or injects fake series.
+bool is_valid_metric_name(std::string_view name);
+
+/// True when `key` matches the Prometheus label-key charset
+/// [a-zA-Z_][a-zA-Z0-9_]* (no colons, those are reserved for metric names).
+bool is_valid_label_key(std::string_view key);
 
 /// Renders a snapshot in the Prometheus v0 text exposition format
 /// (text/plain; version=0.0.4).  Counters and gauges map directly;

@@ -277,6 +277,68 @@ TEST(NetFrame, StatsBodyRoundTripsThroughTheCodec) {
   }
 }
 
+TEST(NetFrame, StatsDecoderRejectsNonPrometheusIdentifiers) {
+  // Names and label keys land verbatim in the /metrics exposition, so the
+  // decoder holds them to the Prometheus identifier charset.
+  const auto encode_one = [](const std::string& name, const std::string& key) {
+    obs::RegistrySnapshot snap;
+    obs::InstrumentSnapshot s;
+    s.kind = obs::InstrumentKind::kCounter;
+    s.name = name;
+    if (!key.empty()) s.labels = {{key, "v"}};
+    s.value = 1.0;
+    snap.instruments.push_back(std::move(s));
+    std::vector<std::uint8_t> body;
+    net::encode_stats(body, snap);
+    return body;
+  };
+  obs::RegistrySnapshot scratch;
+  const auto rejects = [&](const std::string& name, const std::string& key) {
+    const std::vector<std::uint8_t> body = encode_one(name, key);
+    return !net::decode_stats({body.data(), body.size()}, scratch);
+  };
+  EXPECT_FALSE(rejects("ok_total", "ok_key"));
+  EXPECT_FALSE(rejects("ns:sub_total", "key_2"));
+  EXPECT_TRUE(rejects("bad name", ""));
+  EXPECT_TRUE(rejects("bad\ntotal 9\ninjected 1", ""));
+  EXPECT_TRUE(rejects("bad\"quote", ""));
+  EXPECT_TRUE(rejects("9starts_with_digit", ""));
+  EXPECT_TRUE(rejects("ok_total", "bad key"));
+  EXPECT_TRUE(rejects("ok_total", "k=\"v\"},fake"));
+  EXPECT_TRUE(rejects("ok_total", "colons:reserved"));
+}
+
+TEST(NetFrame, StatsDecoderRejectsNonIncreasingBucketIndices) {
+  // A duplicated bucket index would be last-wins in counts[] while count
+  // accumulates every entry, desynchronizing the two.  The encoder walks
+  // buckets in order, so strictly-increasing is the only honest stream.
+  const auto body_with_buckets =
+      [](const std::vector<std::pair<std::uint16_t, std::uint64_t>>& buckets) {
+        std::vector<std::uint8_t> body;
+        net::append_u32(body, 1);  // one instrument
+        body.push_back(2);         // kHistogram
+        net::append_u16(body, 4);
+        body.insert(body.end(), {'h', '_', 'n', 's'});
+        net::append_u16(body, 0);  // empty help
+        body.push_back(0);         // no labels
+        net::append_u32(body, static_cast<std::uint32_t>(buckets.size()));
+        for (const auto& [idx, c] : buckets) {
+          net::append_u16(body, idx);
+          net::append_u64(body, c);
+        }
+        net::append_f64(body, 100.0);
+        return body;
+      };
+  obs::RegistrySnapshot snap;
+  std::vector<std::uint8_t> ok = body_with_buckets({{3, 1}, {7, 2}});
+  ASSERT_TRUE(net::decode_stats({ok.data(), ok.size()}, snap));
+  EXPECT_EQ(snap.instruments[0].hist.count, 3u);
+  std::vector<std::uint8_t> dup = body_with_buckets({{3, 1}, {3, 2}});
+  EXPECT_FALSE(net::decode_stats({dup.data(), dup.size()}, snap));
+  std::vector<std::uint8_t> desc = body_with_buckets({{7, 2}, {3, 1}});
+  EXPECT_FALSE(net::decode_stats({desc.data(), desc.size()}, snap));
+}
+
 TEST(NetFrame, StatsDeltaSubtractsCountersAndCarriesLevels) {
   obs::Registry reg;
   obs::Counter& c = reg.counter("ops_total");

@@ -26,6 +26,7 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/net_server.h"
+#include "net/stats_codec.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
@@ -371,6 +372,132 @@ TEST(NetLoop, ClientStatsPushMergesUnderTheClientLabel) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->hist.count, 2u);
   EXPECT_DOUBLE_EQ(hist->hist.max, 5000.0);
+}
+
+// Raw-socket driver for hostile-client tests: sends `wire` verbatim, reads
+// to EOF, and returns the type of the last reply frame (the server closes
+// after an Error, so that is what a contained failure ends with).
+net::MsgType drive_raw(std::uint16_t port,
+                       const std::vector<std::uint8_t>& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;  // server already closed on us: the replies tell all
+    sent += static_cast<std::size_t>(n);
+  }
+  std::vector<std::uint8_t> reply(1 << 16);
+  std::size_t got = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, reply.data() + got, reply.size() - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  net::MsgType last = net::MsgType::kAttach;
+  bool any = false;
+  std::size_t off = 0;
+  for (;;) {
+    const net::Decoded d = net::decode_frame({reply.data() + off, got - off});
+    if (d.status != net::DecodeStatus::kFrame) break;
+    last = d.frame.type;
+    any = true;
+    off += d.consumed;
+  }
+  EXPECT_TRUE(any) << "no decodable reply frame";
+  return last;
+}
+
+std::vector<std::uint8_t> stats_frame(const obs::RegistrySnapshot& snap) {
+  std::vector<std::uint8_t> body;
+  net::encode_stats(body, snap);
+  std::vector<std::uint8_t> frame;
+  net::append_frame(frame, net::MsgType::kStats, 0, {},
+                    {body.data(), body.size()});
+  return frame;
+}
+
+TEST(NetLoop, KindMismatchStatsPushClosesTheConnectionNotTheServer) {
+  // Regression: merge_from throws std::logic_error when a pushed instrument
+  // collides with an existing one of a different kind.  Escaping the event
+  // loop would std::terminate the whole server; it must cost exactly the
+  // one connection, like any other client misbehaviour.
+  LoopFixture fx;
+  auto hosted = fx.host("armored", 1);
+
+  std::vector<std::uint8_t> wire;
+  net::append_simple(wire, net::MsgType::kAttach, 0, "armored");
+  obs::Registry first;
+  first.counter("flip_total").add(1);
+  const std::vector<std::uint8_t> push1 = stats_frame(first.snapshot());
+  wire.insert(wire.end(), push1.begin(), push1.end());
+  obs::Registry second;
+  second.gauge("flip_total").set(1);  // same name+labels, different kind
+  const std::vector<std::uint8_t> push2 = stats_frame(second.snapshot());
+  wire.insert(wire.end(), push2.begin(), push2.end());
+
+  EXPECT_EQ(drive_raw(fx.server->port(), wire), net::MsgType::kError);
+  EXPECT_GE(fx.server->decode_errors(), 1u);
+
+  // The loop is unharmed: a well-behaved client completes rounds.
+  net::HarmonyClient client(fx.client_options());
+  client.attach("armored", 0);
+  Point cfg;
+  for (int k = 0; k < 3; ++k) {
+    client.fetch_into(0, cfg);
+    client.report(0, 1.0);
+  }
+  client.detach(0);
+  EXPECT_EQ(hosted->rounds_completed(), 3u);
+}
+
+TEST(NetLoop, StatsSeriesChurnPastTheCapClosesTheConnection) {
+  // A client minting unique metric names on every push would grow the
+  // server registry (and the /metrics page) without bound; past the
+  // per-connection cap the push is rejected and the connection closed.
+  net::NetServerOptions no;
+  no.max_stats_series = 8;
+  LoopFixture fx(no);
+  auto hosted = fx.host("bounded", 1);
+  const std::size_t before = fx.registry.size();
+
+  obs::Registry churner;
+  for (int i = 0; i < 20; ++i) {
+    churner.counter("churn_" + std::to_string(i) + "_total").add(1);
+  }
+  std::vector<std::uint8_t> wire;
+  net::append_simple(wire, net::MsgType::kAttach, 0, "bounded");
+  const std::vector<std::uint8_t> push = stats_frame(churner.snapshot());
+  wire.insert(wire.end(), push.begin(), push.end());
+
+  EXPECT_EQ(drive_raw(fx.server->port(), wire), net::MsgType::kError);
+  EXPECT_GE(fx.server->decode_errors(), 1u);
+  // At most the cap's worth of churn series landed (+2 for the session's
+  // own wire histograms, minted by the attach).
+  EXPECT_LE(fx.registry.size(), before + 2 + 8);
+  const obs::RegistrySnapshot snap = fx.registry.snapshot();
+  EXPECT_NE(find_with_client_label(snap, "churn_0_total", "0"), nullptr)
+      << "series under the cap still merge";
+  EXPECT_EQ(find_with_client_label(snap, "churn_19_total", "0"), nullptr);
+
+  // The loop is unharmed: a well-behaved client completes rounds.
+  net::HarmonyClient client(fx.client_options());
+  client.attach("bounded", 0);
+  Point cfg;
+  for (int k = 0; k < 3; ++k) {
+    client.fetch_into(0, cfg);
+    client.report(0, 1.0);
+  }
+  client.detach(0);
+  EXPECT_EQ(hosted->rounds_completed(), 3u);
 }
 
 TEST(NetLoop, WatchdogStallDumpCapturesTheParkedFetchAndTheImpute) {

@@ -321,6 +321,112 @@ TEST(RegistryMerge, KindMismatchWithALocalInstrumentThrows) {
                std::logic_error);
 }
 
+TEST(RegistryMerge, HostileValuesNeverReachTheIntegerCasts) {
+  // Pushed snapshots arrive off the wire, so any double can show up.  A
+  // NaN, infinite, negative, or > 2^64 counter delta must be dropped (the
+  // uint64 cast would be UB); gauges clamp into int64 range and drop only
+  // NaN; a +inf histogram max must not win the CAS-max forever.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  obs::RegistrySnapshot push;
+  const auto add = [&push](obs::InstrumentKind kind, const char* name,
+                           double value) {
+    InstrumentSnapshot s;
+    s.kind = kind;
+    s.name = name;
+    s.value = value;
+    push.instruments.push_back(std::move(s));
+  };
+  add(obs::InstrumentKind::kCounter, "nan_total", kNan);
+  add(obs::InstrumentKind::kCounter, "neg_total", -1.0);
+  add(obs::InstrumentKind::kCounter, "inf_total", kInf);
+  add(obs::InstrumentKind::kCounter, "huge_total", 1e300);
+  add(obs::InstrumentKind::kCounter, "good_total", 3.0);
+  add(obs::InstrumentKind::kGauge, "nan_level", kNan);
+  add(obs::InstrumentKind::kGauge, "high_level", 1e300);
+  add(obs::InstrumentKind::kGauge, "low_level", -1e300);
+  {
+    InstrumentSnapshot s;
+    s.kind = obs::InstrumentKind::kHistogram;
+    s.name = "poisoned_ns";
+    s.hist.counts.assign(Histogram::kBucketCount, 0);
+    s.hist.counts[10] = 4;
+    s.hist.count = 4;
+    s.hist.max = kInf;
+    push.instruments.push_back(std::move(s));
+  }
+
+  Registry r;
+  const Registry::MergeResult res = r.merge_from(push);
+  EXPECT_EQ(res.merged, 4u);   // good_total, both clamped gauges, histogram
+  EXPECT_EQ(res.dropped, 5u);  // four hostile counters and the NaN gauge
+  const obs::RegistrySnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.find("nan_total"), nullptr);
+  EXPECT_EQ(snap.find("neg_total"), nullptr);
+  EXPECT_EQ(snap.find("inf_total"), nullptr);
+  EXPECT_EQ(snap.find("huge_total"), nullptr);
+  EXPECT_EQ(snap.find("nan_level"), nullptr);
+  ASSERT_NE(snap.find("good_total"), nullptr);
+  EXPECT_EQ(snap.find("good_total")->value, 3.0);
+  EXPECT_EQ(
+      snap.find("high_level")->value,
+      static_cast<double>(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(
+      snap.find("low_level")->value,
+      static_cast<double>(std::numeric_limits<std::int64_t>::min()));
+  const InstrumentSnapshot* hist = snap.find("poisoned_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, 4u) << "bucket counts survive";
+  EXPECT_TRUE(std::isfinite(hist->hist.max)) << "+inf max must not stick";
+}
+
+TEST(RegistryMerge, NonPrometheusIdentifiersAreDropped) {
+  // render_prometheus writes names and label keys verbatim; a pushed name
+  // with a newline or space would inject fake exposition lines.
+  obs::RegistrySnapshot push;
+  InstrumentSnapshot bad_name;
+  bad_name.kind = obs::InstrumentKind::kCounter;
+  bad_name.name = "evil 1\ninjected_series 99";
+  bad_name.value = 1.0;
+  push.instruments.push_back(std::move(bad_name));
+  InstrumentSnapshot bad_key;
+  bad_key.kind = obs::InstrumentKind::kCounter;
+  bad_key.name = "ok_total";
+  bad_key.labels = {{"k=\"v\"} fake", "x"}};
+  bad_key.value = 1.0;
+  push.instruments.push_back(std::move(bad_key));
+
+  Registry r;
+  const Registry::MergeResult res = r.merge_from(push);
+  EXPECT_EQ(res.merged, 0u);
+  EXPECT_EQ(res.dropped, 2u);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RegistryMerge, NewSeriesBudgetCapsMintingButNotAccumulation) {
+  Registry sender;
+  sender.counter("a_total").add(1);
+  sender.counter("b_total").add(1);
+  sender.counter("c_total").add(1);
+  const obs::RegistrySnapshot push = sender.snapshot();
+
+  Registry r;
+  const Registry::MergeResult first = r.merge_from(push, {}, 2);
+  EXPECT_EQ(first.created, 2u);
+  EXPECT_EQ(first.merged, 2u);
+  EXPECT_EQ(first.dropped, 1u) << "the third series exceeds the budget";
+  EXPECT_EQ(r.size(), 2u);
+
+  // A zero budget still folds deltas into the series that already exist.
+  const Registry::MergeResult second = r.merge_from(push, {}, 0);
+  EXPECT_EQ(second.created, 0u);
+  EXPECT_EQ(second.merged, 2u);
+  EXPECT_EQ(second.dropped, 1u);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.snapshot().find("a_total")->value, 2.0);
+  EXPECT_EQ(r.snapshot().find("c_total"), nullptr);
+}
+
 TEST(RegistryConcurrency, MergeWhileRecordingKeepsExactTotals) {
   // The tier1-tsan companion to the snapshot hammer: remote pushes merge
   // into the registry while local threads record into the same instruments
